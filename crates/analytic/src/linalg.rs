@@ -1,0 +1,188 @@
+//! Tiny dense linear-algebra helpers for the curve-fitting step.
+//!
+//! The analytic fixed-point solver fits a quadratic in log-log space, which
+//! reduces to solving a 3×3 (weighted) normal-equation system. A small
+//! Gaussian-elimination solver with partial pivoting is all that is needed —
+//! pulling in a full linear-algebra crate would be overkill.
+
+/// Solve the square linear system `A · x = b` in place using Gaussian
+/// elimination with partial pivoting.
+///
+/// `a` is a row-major `n × n` matrix. Returns `None` if the matrix is
+/// (numerically) singular.
+pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix row count must match rhs length");
+    for row in &a {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+
+    for col in 0..n {
+        // Partial pivoting: find the row with the largest entry in `col`.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty range");
+        if a[pivot_row][col].abs() < 1e-14 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for col in (row + 1)..n {
+            sum -= a[row][col] * x[col];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+/// Weighted least-squares fit of a polynomial of degree `degree` to the
+/// points `(x, y)` with weights `w`: minimises `Σ w_i (y_i − p(x_i))²`.
+///
+/// Returns the coefficients `[c_0, c_1, …, c_degree]` of
+/// `p(x) = c_0 + c_1 x + … + c_degree x^degree`, or `None` if the normal
+/// equations are singular (e.g. not enough distinct points).
+pub fn weighted_polyfit(
+    xs: &[f64],
+    ys: &[f64],
+    weights: &[f64],
+    degree: usize,
+) -> Option<Vec<f64>> {
+    assert_eq!(xs.len(), ys.len(), "x and y lengths must match");
+    assert_eq!(xs.len(), weights.len(), "weights length must match");
+    let terms = degree + 1;
+    if xs.len() < terms {
+        return None;
+    }
+
+    // Normal equations: (Xᵀ W X) c = Xᵀ W y with X the Vandermonde matrix.
+    let mut ata = vec![vec![0.0; terms]; terms];
+    let mut atb = vec![0.0; terms];
+    for ((&x, &y), &w) in xs.iter().zip(ys).zip(weights) {
+        // powers[j] = x^j
+        let mut powers = vec![1.0; terms];
+        for j in 1..terms {
+            powers[j] = powers[j - 1] * x;
+        }
+        for i in 0..terms {
+            atb[i] += w * powers[i] * y;
+            for j in 0..terms {
+                ata[i][j] += w * powers[i] * powers[j];
+            }
+        }
+    }
+    solve_linear_system(ata, atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity_system() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let b = vec![3.0, -2.0];
+        assert_eq!(solve_linear_system(a, b), Some(vec![3.0, -2.0]));
+    }
+
+    #[test]
+    fn solves_general_3x3() {
+        // x = 1, y = -2, z = 3
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let b = vec![2.0 - 2.0 - 3.0, -3.0 + 2.0 + 6.0, -2.0 - 2.0 + 6.0];
+        let x = solve_linear_system(a, b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] + 2.0).abs() < 1e-10);
+        assert!((x[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let b = vec![1.0, 2.0];
+        assert_eq!(solve_linear_system(a, b), None);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let b = vec![5.0, 7.0];
+        let x = solve_linear_system(a, b).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polyfit_recovers_exact_quadratic() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.3 - 2.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1.5 - 2.0 * x + 0.25 * x * x).collect();
+        let w = vec![1.0; xs.len()];
+        let c = weighted_polyfit(&xs, &ys, &w, 2).unwrap();
+        assert!((c[0] - 1.5).abs() < 1e-9);
+        assert!((c[1] + 2.0).abs() < 1e-9);
+        assert!((c[2] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polyfit_recovers_line_with_noiseless_data() {
+        let xs = vec![0.0, 1.0, 2.0, 3.0];
+        let ys = vec![1.0, 3.0, 5.0, 7.0];
+        let w = vec![1.0; 4];
+        let c = weighted_polyfit(&xs, &ys, &w, 1).unwrap();
+        assert!((c[0] - 1.0).abs() < 1e-9);
+        assert!((c[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_pull_the_fit_toward_heavy_points() {
+        // Two clusters of points on different lines; the heavily weighted
+        // cluster dominates the fit.
+        let xs = vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0];
+        let ys = vec![0.0, 1.0, 2.0, 0.0, 0.0, 0.0];
+        let light = vec![1.0, 1.0, 1.0, 1e6, 1e6, 1e6];
+        let c = weighted_polyfit(&xs, &ys, &light, 1).unwrap();
+        // Slope must be close to the heavy cluster's slope (≈ 0), i.e. far
+        // from the light cluster's slope of 1.
+        assert!(c[1].abs() < 0.2, "slope {}", c[1]);
+    }
+
+    #[test]
+    fn polyfit_with_too_few_points_fails() {
+        assert!(weighted_polyfit(&[1.0], &[2.0], &[1.0], 2).is_none());
+        // Degenerate: all x identical -> singular normal equations.
+        assert!(weighted_polyfit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], &[1.0, 1.0, 1.0], 2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_lengths_panic() {
+        weighted_polyfit(&[1.0, 2.0], &[1.0], &[1.0, 1.0], 1);
+    }
+}

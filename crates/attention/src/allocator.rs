@@ -1,0 +1,235 @@
+//! Distributing a day's visit budget over a ranked result list.
+//!
+//! The simulator needs, every day, to turn a ranking (an ordering of page
+//! slots) into per-page visit counts. Two allocation modes are provided:
+//!
+//! * [`AllocationMode::Expected`] — each page receives its *expected*
+//!   (fractional) number of visits `F2(rank)`. This is what the paper's own
+//!   simulator does ("distributes user visits to pages according to
+//!   Equation 4") and what the analytic model assumes; it converges fast and
+//!   is deterministic.
+//! * [`AllocationMode::Sampled`] — the integer visit budget is drawn
+//!   multinomially from the rank-bias distribution, modelling individual
+//!   users clicking. Used in ablation experiments to confirm the
+//!   expected-value shortcut does not change any conclusion.
+
+use crate::view_probability::RankBias;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the daily visit budget is split over ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocationMode {
+    /// Deterministic expected-value allocation (fractional visits).
+    Expected,
+    /// Multinomial sampling of an integer number of visits.
+    Sampled,
+}
+
+/// Allocates visits to page slots according to a [`RankBias`] law.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VisitAllocator {
+    bias: RankBias,
+    mode: AllocationMode,
+    /// Cumulative view-probability table, built lazily for sampled mode.
+    #[serde(skip)]
+    cumulative: Vec<f64>,
+}
+
+impl VisitAllocator {
+    /// Create an allocator for the given rank-bias law and mode.
+    pub fn new(bias: RankBias, mode: AllocationMode) -> Self {
+        let cumulative = if mode == AllocationMode::Sampled {
+            cumulative_probabilities(&bias)
+        } else {
+            Vec::new()
+        };
+        VisitAllocator {
+            bias,
+            mode,
+            cumulative,
+        }
+    }
+
+    /// The rank-bias law in use.
+    pub fn bias(&self) -> &RankBias {
+        &self.bias
+    }
+
+    /// The allocation mode in use.
+    pub fn mode(&self) -> AllocationMode {
+        self.mode
+    }
+
+    /// Distribute the allocator's visit budget over `ranking`.
+    ///
+    /// `ranking[r]` is the slot index of the page shown at rank `r + 1`;
+    /// `n_slots` is the total number of page slots. Returns a vector of
+    /// length `n_slots` whose entry `s` is the number of visits slot `s`
+    /// receives this day (fractional in expected mode, integral in sampled
+    /// mode). Slots not present in `ranking` receive zero.
+    pub fn allocate<R: Rng + ?Sized>(
+        &self,
+        ranking: &[usize],
+        n_slots: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let mut visits = vec![0.0; n_slots];
+        match self.mode {
+            AllocationMode::Expected => {
+                for (idx, &slot) in ranking.iter().enumerate() {
+                    debug_assert!(slot < n_slots, "slot index out of range");
+                    visits[slot] += self.bias.visits_at_rank(idx + 1);
+                }
+            }
+            AllocationMode::Sampled => {
+                let budget = self.bias.total_visits().round() as u64;
+                for _ in 0..budget {
+                    let rank = sample_rank(&self.cumulative, rng);
+                    if let Some(&slot) = ranking.get(rank) {
+                        visits[slot] += 1.0;
+                    }
+                }
+            }
+        }
+        visits
+    }
+
+    /// Total visits distributed per call (the budget of the underlying
+    /// rank-bias law, truncated to the length of the ranking).
+    pub fn budget(&self) -> f64 {
+        self.bias.total_visits()
+    }
+}
+
+/// Cumulative distribution over 0-based rank indices.
+fn cumulative_probabilities(bias: &RankBias) -> Vec<f64> {
+    let probs = bias.probabilities_by_rank();
+    let mut cumulative = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for p in probs {
+        acc += p;
+        cumulative.push(acc);
+    }
+    if let Some(last) = cumulative.last_mut() {
+        *last = 1.0; // guard against rounding drift
+    }
+    cumulative
+}
+
+/// Draw a 0-based rank index from the cumulative distribution.
+fn sample_rank<R: Rng + ?Sized>(cumulative: &[f64], rng: &mut R) -> usize {
+    let u: f64 = rng.gen();
+    match cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+        Ok(i) => i,
+        Err(i) => i.min(cumulative.len().saturating_sub(1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bias(n: usize, v: f64) -> RankBias {
+        RankBias::altavista(n, v)
+    }
+
+    #[test]
+    fn expected_allocation_preserves_budget() {
+        let alloc = VisitAllocator::new(bias(100, 50.0), AllocationMode::Expected);
+        let ranking: Vec<usize> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let visits = alloc.allocate(&ranking, 100, &mut rng);
+        let total: f64 = visits.iter().sum();
+        assert!((total - 50.0).abs() < 1e-9);
+        assert_eq!(alloc.budget(), 50.0);
+    }
+
+    #[test]
+    fn expected_allocation_follows_rank_order_not_slot_order() {
+        let alloc = VisitAllocator::new(bias(3, 10.0), AllocationMode::Expected);
+        // Slot 2 is ranked first, slot 0 second, slot 1 third.
+        let ranking = vec![2, 0, 1];
+        let mut rng = StdRng::seed_from_u64(0);
+        let visits = alloc.allocate(&ranking, 3, &mut rng);
+        assert!(visits[2] > visits[0]);
+        assert!(visits[0] > visits[1]);
+        assert!((visits[2] - alloc.bias().visits_at_rank(1)).abs() < 1e-12);
+        assert!((visits[1] - alloc.bias().visits_at_rank(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_ranking_leaves_other_slots_unvisited() {
+        let alloc = VisitAllocator::new(bias(2, 10.0), AllocationMode::Expected);
+        let ranking = vec![4, 1];
+        let mut rng = StdRng::seed_from_u64(0);
+        let visits = alloc.allocate(&ranking, 6, &mut rng);
+        assert_eq!(visits[0], 0.0);
+        assert_eq!(visits[2], 0.0);
+        assert!(visits[4] > 0.0);
+        assert!(visits[1] > 0.0);
+    }
+
+    #[test]
+    fn sampled_allocation_distributes_integer_budget() {
+        let alloc = VisitAllocator::new(bias(50, 200.0), AllocationMode::Sampled);
+        let ranking: Vec<usize> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let visits = alloc.allocate(&ranking, 50, &mut rng);
+        let total: f64 = visits.iter().sum();
+        assert_eq!(total, 200.0);
+        assert!(visits.iter().all(|v| v.fract() == 0.0));
+    }
+
+    #[test]
+    fn sampled_allocation_concentrates_on_top_ranks() {
+        let alloc = VisitAllocator::new(bias(100, 10_000.0), AllocationMode::Sampled);
+        let ranking: Vec<usize> = (0..100).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let visits = alloc.allocate(&ranking, 100, &mut rng);
+        // Rank 1 expected share is 1/H(100, 1.5) ≈ 0.4; allow slack.
+        assert!(visits[0] > 3_000.0, "rank 1 got {}", visits[0]);
+        assert!(visits[0] > visits[50]);
+    }
+
+    #[test]
+    fn sampled_mean_matches_expected_allocation() {
+        let expected_alloc = VisitAllocator::new(bias(20, 100.0), AllocationMode::Expected);
+        let sampled_alloc = VisitAllocator::new(bias(20, 100.0), AllocationMode::Sampled);
+        let ranking: Vec<usize> = (0..20).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let expected = expected_alloc.allocate(&ranking, 20, &mut rng);
+        let trials = 400;
+        let mut mean = vec![0.0; 20];
+        for _ in 0..trials {
+            let v = sampled_alloc.allocate(&ranking, 20, &mut rng);
+            for (m, x) in mean.iter_mut().zip(v) {
+                *m += x / trials as f64;
+            }
+        }
+        for (rank0, (e, m)) in expected.iter().zip(&mean).enumerate() {
+            assert!(
+                (e - m).abs() < 0.15 * e.max(1.0),
+                "rank {}: expected {e}, sampled mean {m}",
+                rank0 + 1
+            );
+        }
+    }
+
+    #[test]
+    fn empty_ranking_allocates_nothing() {
+        let alloc = VisitAllocator::new(bias(10, 5.0), AllocationMode::Expected);
+        let mut rng = StdRng::seed_from_u64(0);
+        let visits = alloc.allocate(&[], 4, &mut rng);
+        assert_eq!(visits, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn mode_and_bias_accessors() {
+        let alloc = VisitAllocator::new(bias(10, 5.0), AllocationMode::Sampled);
+        assert_eq!(alloc.mode(), AllocationMode::Sampled);
+        assert_eq!(alloc.bias().positions(), 10);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the attention model's invariants.
+
+use proptest::prelude::*;
+use rrp_attention::{generalized_harmonic, AllocationMode, RankBias, VisitAllocator};
+use rrp_model::new_rng;
+
+proptest! {
+    /// The generalized harmonic number is positive, monotone in `n`, and
+    /// bounded above by `n` (every term is at most 1).
+    #[test]
+    fn harmonic_monotone_and_bounded(n in 1usize..5_000, s in 0.5f64..3.0) {
+        let h_n = generalized_harmonic(n, s);
+        let h_n1 = generalized_harmonic(n + 1, s);
+        prop_assert!(h_n > 0.0);
+        prop_assert!(h_n1 > h_n);
+        prop_assert!(h_n <= n as f64 + 1e-9);
+    }
+
+    /// View probabilities over all rank positions always sum to 1 and decay
+    /// monotonically with rank.
+    #[test]
+    fn rank_bias_probabilities_are_a_distribution(
+        positions in 1usize..2_000,
+        exponent in 0.5f64..3.0,
+        budget in 0.1f64..10_000.0,
+    ) {
+        let bias = RankBias::new(exponent, positions, budget);
+        let probs = bias.probabilities_by_rank();
+        prop_assert_eq!(probs.len(), positions);
+        let sum: f64 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {}", sum);
+        for w in probs.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        // Visits scale the same distribution by the budget.
+        let visits: f64 = bias.visits_by_rank().iter().sum();
+        prop_assert!((visits - budget).abs() / budget < 1e-6);
+    }
+
+    /// Expected-value allocation conserves the visit budget and never
+    /// assigns visits to slots that are not ranked.
+    #[test]
+    fn expected_allocation_conserves_budget(
+        ranked in 1usize..300,
+        extra_slots in 0usize..50,
+        budget in 0.0f64..1_000.0,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let n_slots = ranked + extra_slots;
+        let bias = RankBias::altavista(ranked, budget);
+        let allocator = VisitAllocator::new(bias, AllocationMode::Expected);
+        // Rank the last `ranked` slots, leaving the first `extra_slots`
+        // unranked.
+        let ranking: Vec<usize> = (extra_slots..n_slots).collect();
+        let mut rng = new_rng(seed);
+        let visits = allocator.allocate(&ranking, n_slots, &mut rng);
+        prop_assert_eq!(visits.len(), n_slots);
+        let total: f64 = visits.iter().sum();
+        prop_assert!((total - budget).abs() < 1e-6 * budget.max(1.0));
+        for &v in &visits[..extra_slots] {
+            prop_assert_eq!(v, 0.0);
+        }
+    }
+
+    /// Sampled allocation distributes exactly the rounded integer budget.
+    #[test]
+    fn sampled_allocation_is_integral(
+        ranked in 1usize..200,
+        budget in 1.0f64..500.0,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let bias = RankBias::altavista(ranked, budget);
+        let allocator = VisitAllocator::new(bias, AllocationMode::Sampled);
+        let ranking: Vec<usize> = (0..ranked).collect();
+        let mut rng = new_rng(seed);
+        let visits = allocator.allocate(&ranking, ranked, &mut rng);
+        let total: f64 = visits.iter().sum();
+        prop_assert_eq!(total, budget.round());
+        prop_assert!(visits.iter().all(|v| v.fract() == 0.0 && *v >= 0.0));
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Ablation A1 of the paper; run with `cargo bench --bench ablation_policies`.
+//! Set `RRP_FULL_SWEEP=1` for the paper's full community sizes.
+
+fn main() {
+    let report = rrp_bench::run_figure("Ablation A1");
+    assert!(!report.series.is_empty(), "figure drivers always emit data");
+}

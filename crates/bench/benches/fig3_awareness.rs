@@ -1,0 +1,7 @@
+//! Regenerates Figure 3 of the paper; run with `cargo bench --bench fig3_awareness`.
+//! Set `RRP_FULL_SWEEP=1` for the paper's full community sizes.
+
+fn main() {
+    let report = rrp_bench::run_figure("Figure 3");
+    assert!(!report.series.is_empty(), "figure drivers always emit data");
+}

@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks of the building blocks: re-ranking a result
+//! list with the promotion engine, one simulated community day, the
+//! Theorem-1 awareness distribution, and PageRank on a synthetic graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrp_core::{Document, QueryContext, RankPromotionEngine};
+use rrp_model::{new_rng, CommunityConfig, PowerLawQuality, QualityDistribution};
+use rrp_ranking::{PageStats, PopularityRanking, RandomizedRankPromotion, RankingPolicy};
+use rrp_sim::{SimConfig, Simulation};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn corpus(n: usize) -> Vec<Document> {
+    let dist = PowerLawQuality::paper_default();
+    let mut rng = new_rng(7);
+    (0..n)
+        .map(|i| {
+            if i % 10 == 0 {
+                Document::unexplored(i as u64)
+            } else {
+                Document::established(i as u64, dist.sample(&mut rng).value()).with_age(i as u64)
+            }
+        })
+        .collect()
+}
+
+fn page_stats(n: usize) -> Vec<PageStats> {
+    let dist = PowerLawQuality::paper_default();
+    let mut rng = new_rng(9);
+    (0..n)
+        .map(|slot| {
+            let q = dist.sample(&mut rng).value();
+            let awareness = if slot % 10 == 0 { 0.0 } else { 0.5 };
+            PageStats::new(slot, rrp_model::PageId::new(slot as u64), awareness * q, awareness)
+                .with_age((slot % 365) as u64)
+                .with_quality(q)
+        })
+        .collect()
+}
+
+fn bench_engine_rerank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_rerank");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    for &n in &[100usize, 1_000, 10_000] {
+        let docs = corpus(n);
+        let engine = RankPromotionEngine::recommended();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &docs, |b, docs| {
+            let mut query = 0u64;
+            b.iter(|| {
+                query += 1;
+                black_box(engine.rerank(docs, QueryContext::new(query, 42)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ranking_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ranking_policy_10k_pages");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    let stats = page_stats(10_000);
+    let mut rng = new_rng(1);
+    group.bench_function("popularity", |b| {
+        b.iter(|| black_box(PopularityRanking.rank(&stats, &mut rng)))
+    });
+    let promo = RandomizedRankPromotion::recommended(2);
+    group.bench_function("selective_promotion", |b| {
+        b.iter(|| black_box(promo.rank(&stats, &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_simulation_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_day");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    let community = CommunityConfig::builder()
+        .scaled_to_pages(10_000)
+        .build()
+        .unwrap();
+    let mut sim = Simulation::new(
+        SimConfig::for_community(community, 3),
+        Box::new(RandomizedRankPromotion::recommended(1)),
+    )
+    .unwrap();
+    sim.run(30);
+    group.bench_function("10k_pages_selective", |b| b.iter(|| sim.run_day()));
+    group.finish();
+}
+
+fn bench_analytic_awareness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytic");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group.bench_function("awareness_distribution_m100", |b| {
+        b.iter(|| {
+            black_box(rrp_analytic::awareness_distribution(
+                |x| 0.001 + 0.5 * x,
+                0.4,
+                100,
+                1.0 / 547.5,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("webgraph");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    let mut rng = new_rng(11);
+    let graph = rrp_webgraph::preferential_attachment(10_000, 5, &mut rng);
+    group.bench_function("pagerank_10k_nodes", |b| {
+        b.iter(|| black_box(rrp_webgraph::pagerank(&graph, Default::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_rerank,
+    bench_ranking_policies,
+    bench_simulation_day,
+    bench_analytic_awareness,
+    bench_pagerank
+);
+criterion_main!(benches);

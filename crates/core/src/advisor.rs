@@ -1,0 +1,190 @@
+//! Parameter advice from the analytic model.
+//!
+//! The paper's recommendation (selective rule, `r = 0.1`, `k ∈ {1, 2}`) is
+//! robust across the community types it studied, but Section 7 shows the
+//! *benefit* of promotion varies a lot with community characteristics —
+//! very visit-rich communities gain little, visit-starved ones gain a lot.
+//! [`ParameterAdvisor`] evaluates the analytic model over a small grid of
+//! `(k, r)` settings for a concrete community and reports the best setting
+//! together with its predicted QPC, so an operator can decide whether
+//! promotion is worth enabling and how aggressively.
+
+use rrp_analytic::{AnalyticModel, QualityGroups, RankingModel, SolverOptions};
+use rrp_model::{CommunityConfig, PowerLawQuality};
+use rrp_ranking::{PromotionConfig, PromotionRule};
+use serde::{Deserialize, Serialize};
+
+/// One evaluated candidate configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidateOutcome {
+    /// Starting rank `k`.
+    pub start_rank: usize,
+    /// Degree of randomization `r`.
+    pub degree: f64,
+    /// Predicted normalized QPC under this configuration.
+    pub normalized_qpc: f64,
+}
+
+/// Advice produced by [`ParameterAdvisor::advise`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Advice {
+    /// Predicted normalized QPC of plain popularity ranking (the baseline).
+    pub baseline_qpc: f64,
+    /// Every candidate evaluated, in the order they were tried.
+    pub candidates: Vec<CandidateOutcome>,
+    /// The best candidate found.
+    pub best: CandidateOutcome,
+}
+
+impl Advice {
+    /// The promotion configuration corresponding to the best candidate.
+    pub fn recommended_config(&self) -> PromotionConfig {
+        PromotionConfig::new(PromotionRule::Selective, self.best.start_rank, self.best.degree)
+            .expect("grid candidates are valid")
+    }
+
+    /// Predicted relative QPC improvement of the best candidate over the
+    /// baseline.
+    pub fn predicted_improvement(&self) -> f64 {
+        if self.baseline_qpc <= 0.0 {
+            return 0.0;
+        }
+        self.best.normalized_qpc / self.baseline_qpc - 1.0
+    }
+}
+
+/// Evaluates candidate promotion settings for a community using the
+/// analytic model.
+#[derive(Debug, Clone)]
+pub struct ParameterAdvisor {
+    degrees: Vec<f64>,
+    start_ranks: Vec<usize>,
+    solver: SolverOptions,
+}
+
+impl Default for ParameterAdvisor {
+    fn default() -> Self {
+        ParameterAdvisor {
+            degrees: vec![0.05, 0.1, 0.2],
+            start_ranks: vec![1, 2],
+            solver: SolverOptions::default(),
+        }
+    }
+}
+
+impl ParameterAdvisor {
+    /// An advisor that evaluates the given degree and starting-rank grids.
+    pub fn with_grid(degrees: Vec<f64>, start_ranks: Vec<usize>) -> Self {
+        assert!(!degrees.is_empty(), "need at least one degree");
+        assert!(!start_ranks.is_empty(), "need at least one starting rank");
+        ParameterAdvisor {
+            degrees,
+            start_ranks,
+            solver: SolverOptions::default(),
+        }
+    }
+
+    /// Override the analytic solver options (e.g. fewer iterations for a
+    /// quicker, rougher answer).
+    pub fn with_solver_options(mut self, options: SolverOptions) -> Self {
+        self.solver = options;
+        self
+    }
+
+    /// Evaluate the grid for `community` (page quality assumed to follow
+    /// the paper's power-law distribution) and return the advice.
+    pub fn advise(&self, community: CommunityConfig) -> Result<Advice, String> {
+        community.validate().map_err(|e| e.to_string())?;
+        let groups =
+            QualityGroups::from_distribution(&PowerLawQuality::paper_default(), community.pages());
+
+        let baseline_qpc = AnalyticModel::new(community, groups.clone(), RankingModel::NonRandomized)?
+            .with_options(self.solver)
+            .solve()
+            .normalized_qpc();
+
+        let mut candidates = Vec::new();
+        for &start_rank in &self.start_ranks {
+            for &degree in &self.degrees {
+                let model = RankingModel::Selective { start_rank, degree };
+                let solved = AnalyticModel::new(community, groups.clone(), model)?
+                    .with_options(self.solver)
+                    .solve();
+                candidates.push(CandidateOutcome {
+                    start_rank,
+                    degree,
+                    normalized_qpc: solved.normalized_qpc(),
+                });
+            }
+        }
+        let best = candidates
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                a.normalized_qpc
+                    .partial_cmp(&b.normalized_qpc)
+                    .expect("QPC is finite")
+            })
+            .expect("grid is non-empty");
+        Ok(Advice {
+            baseline_qpc,
+            candidates,
+            best,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entrenched_community() -> CommunityConfig {
+        // Paper-default proportions, shrunk for test speed: visit-starved,
+        // so promotion should clearly help.
+        CommunityConfig::builder()
+            .pages(2_000)
+            .users(200)
+            .monitored_users(20)
+            .total_visits_per_day(200.0)
+            .expected_lifetime_days(547.5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn advisor_finds_promotion_beneficial_for_entrenched_communities() {
+        let advice = ParameterAdvisor::default()
+            .advise(entrenched_community())
+            .unwrap();
+        assert_eq!(advice.candidates.len(), 6);
+        assert!(advice.best.normalized_qpc > advice.baseline_qpc);
+        assert!(advice.predicted_improvement() > 0.05);
+        let config = advice.recommended_config();
+        assert!(config.degree > 0.0);
+        assert!(config.start_rank >= 1);
+    }
+
+    #[test]
+    fn custom_grid_is_respected() {
+        let advisor = ParameterAdvisor::with_grid(vec![0.1], vec![2]);
+        let advice = advisor.advise(entrenched_community()).unwrap();
+        assert_eq!(advice.candidates.len(), 1);
+        assert_eq!(advice.best.start_rank, 2);
+        assert!((advice.best.degree - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_community_is_rejected() {
+        let bad = CommunityConfig::builder().monitored_users(10_000);
+        // Builder itself rejects it; construct via paper_default then break it
+        // is not possible without unsafe, so validate the advisor's error path
+        // through the builder error instead.
+        assert!(bad.build().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one degree")]
+    fn empty_grid_panics() {
+        ParameterAdvisor::with_grid(vec![], vec![1]);
+    }
+}

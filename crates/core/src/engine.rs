@@ -1,0 +1,209 @@
+//! The embeddable rank-promotion engine.
+//!
+//! [`RankPromotionEngine`] is the piece a production search engine would
+//! actually adopt: it takes the engine's own ranked candidates (documents
+//! with popularity scores and an "unexplored" flag) and re-orders them
+//! according to the paper's randomized rank-promotion scheme. The
+//! randomization is a pure function of `(engine seed, query, session)`, so
+//! a user re-running the same query in the same session sees a stable list,
+//! while different users explore different promoted documents.
+
+use crate::document::{Document, QueryContext};
+use rrp_model::new_rng;
+use rrp_ranking::{PageStats, PromotionConfig, RandomizedRankPromotion, RankingPolicy};
+use rrp_model::PageId;
+use serde::{Deserialize, Serialize};
+
+/// Re-ranks query results with randomized rank promotion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankPromotionEngine {
+    config: PromotionConfig,
+    /// Engine-level seed mixed into every query's randomization.
+    seed: u64,
+}
+
+impl RankPromotionEngine {
+    /// Build an engine with an explicit promotion configuration.
+    pub fn new(config: PromotionConfig) -> Self {
+        RankPromotionEngine { config, seed: 0 }
+    }
+
+    /// The paper's recommended configuration (Section 6.4): selective
+    /// promotion of unexplored documents, 10% randomization, top result
+    /// protected (`k = 2`).
+    pub fn recommended() -> Self {
+        RankPromotionEngine::new(PromotionConfig::recommended(2))
+    }
+
+    /// Set the engine-level seed (e.g. rotated daily so that promoted
+    /// positions change over time even for identical sessions).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The promotion configuration in use.
+    pub fn config(&self) -> PromotionConfig {
+        self.config
+    }
+
+    /// Re-rank `documents` for one query evaluation, returning document ids
+    /// in final display order (rank 1 first).
+    ///
+    /// The input order does not matter; popularity and the unexplored flag
+    /// drive the result. Duplicated ids are allowed (they are treated as
+    /// distinct result slots).
+    pub fn rerank(&self, documents: &[Document], context: QueryContext) -> Vec<u64> {
+        let stats: Vec<PageStats> = documents
+            .iter()
+            .enumerate()
+            .map(|(slot, d)| PageStats {
+                slot,
+                page: PageId::new(d.id),
+                popularity: d.popularity.max(0.0),
+                // Only the zero/non-zero distinction matters to the
+                // selective rule.
+                awareness: if d.is_unexplored { 0.0 } else { 1.0 },
+                age_days: d.age_days,
+                quality: 0.0,
+            })
+            .collect();
+        let policy = RandomizedRankPromotion::new(self.config);
+        let mut rng = new_rng(context.seed(self.seed));
+        policy
+            .rank(&stats, &mut rng)
+            .into_iter()
+            .map(|slot| documents[slot].id)
+            .collect()
+    }
+
+    /// Convenience wrapper: re-rank and return `(rank, document)` pairs.
+    pub fn rerank_documents<'a>(
+        &self,
+        documents: &'a [Document],
+        context: QueryContext,
+    ) -> Vec<(usize, &'a Document)> {
+        let by_id: std::collections::HashMap<u64, &Document> =
+            documents.iter().map(|d| (d.id, d)).collect();
+        self.rerank(documents, context)
+            .into_iter()
+            .enumerate()
+            .map(|(idx, id)| (idx + 1, by_id[&id]))
+            .collect()
+    }
+}
+
+impl Default for RankPromotionEngine {
+    fn default() -> Self {
+        RankPromotionEngine::recommended()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrp_ranking::PromotionRule;
+
+    fn corpus() -> Vec<Document> {
+        let mut docs: Vec<Document> = (0..20)
+            .map(|i| Document::established(i, 1.0 - i as f64 * 0.04).with_age(100))
+            .collect();
+        docs.extend((20..30).map(Document::unexplored));
+        docs
+    }
+
+    #[test]
+    fn recommended_engine_protects_the_top_result() {
+        let engine = RankPromotionEngine::recommended();
+        for q in 0..50u64 {
+            let order = engine.rerank(&corpus(), QueryContext::new(q, q * 31));
+            assert_eq!(order[0], 0, "top result must never be perturbed with k=2");
+            assert_eq!(order.len(), 30);
+        }
+    }
+
+    #[test]
+    fn output_is_a_permutation_of_input_ids() {
+        let engine = RankPromotionEngine::recommended();
+        let mut order = engine.rerank(&corpus(), QueryContext::new(1, 2));
+        order.sort_unstable();
+        let expected: Vec<u64> = (0..30).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn same_session_same_order_different_sessions_differ() {
+        let engine = RankPromotionEngine::new(
+            PromotionConfig::new(PromotionRule::Selective, 1, 0.5).unwrap(),
+        );
+        let ctx = QueryContext::from_strings("swimming", "alice");
+        let a = engine.rerank(&corpus(), ctx);
+        let b = engine.rerank(&corpus(), ctx);
+        assert_eq!(a, b, "same query + session must be stable");
+        let other = engine.rerank(&corpus(), QueryContext::from_strings("swimming", "bob"));
+        assert_ne!(a, other, "different sessions should explore differently");
+    }
+
+    #[test]
+    fn unexplored_documents_sometimes_reach_the_top_ten() {
+        let engine = RankPromotionEngine::recommended();
+        let mut promoted_in_top10 = 0;
+        let trials = 200;
+        for q in 0..trials {
+            let order = engine.rerank(&corpus(), QueryContext::new(q, 7));
+            if order.iter().take(10).any(|&id| id >= 20) {
+                promoted_in_top10 += 1;
+            }
+        }
+        // With r = 0.1 roughly one result in ten is promoted, so most
+        // queries should show at least one unexplored document in the top
+        // ten.
+        assert!(
+            promoted_in_top10 > trials / 3,
+            "promoted docs reached the top ten in only {promoted_in_top10}/{trials} queries"
+        );
+    }
+
+    #[test]
+    fn zero_degree_engine_reduces_to_popularity_order() {
+        let engine = RankPromotionEngine::new(
+            PromotionConfig::new(PromotionRule::Selective, 1, 0.0).unwrap(),
+        );
+        let order = engine.rerank(&corpus(), QueryContext::new(3, 4));
+        // Established documents keep strict popularity order at the top…
+        let expected_head: Vec<u64> = (0..20).collect();
+        assert_eq!(&order[..20], expected_head.as_slice());
+        // …and with r = 0 the unexplored pool ends up at the bottom (in the
+        // pool's random order, since the coin never selects it earlier).
+        let mut tail: Vec<u64> = order[20..].to_vec();
+        tail.sort_unstable();
+        let expected_tail: Vec<u64> = (20..30).collect();
+        assert_eq!(tail, expected_tail);
+    }
+
+    #[test]
+    fn engine_seed_changes_the_shuffle() {
+        let base = RankPromotionEngine::recommended().with_seed(1);
+        let rotated = RankPromotionEngine::recommended().with_seed(2);
+        let ctx = QueryContext::new(9, 9);
+        assert_ne!(base.rerank(&corpus(), ctx), rotated.rerank(&corpus(), ctx));
+        assert_eq!(base.config(), rotated.config());
+    }
+
+    #[test]
+    fn rerank_documents_pairs_ranks_with_documents() {
+        let engine = RankPromotionEngine::default();
+        let docs = corpus();
+        let ranked = engine.rerank_documents(&docs, QueryContext::new(0, 0));
+        assert_eq!(ranked.len(), docs.len());
+        assert_eq!(ranked[0].0, 1);
+        assert_eq!(ranked[0].1.id, 0);
+        assert_eq!(ranked.last().unwrap().0, docs.len());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let engine = RankPromotionEngine::recommended();
+        assert!(engine.rerank(&[], QueryContext::new(0, 0)).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 8 — mixed surfing and searching.
+
+use crate::options::{ExperimentOptions, Scale};
+use crate::report::{FigureReport, Series};
+use crate::runners::simulate_qpc;
+use crate::sweep::parallel_map;
+use rrp_analytic::RankingModel;
+
+/// Reproduce Figure 8: absolute QPC as the fraction of browsing done by
+/// random surfing (`x`) varies from 0 (pure search) to 1 (pure surfing),
+/// for nonrandomized ranking and selective promotion with k = 1 and k = 2.
+///
+/// As in the paper, *absolute* QPC is reported because the ideal achievable
+/// QPC itself changes with `x`.
+pub fn figure8(options: &ExperimentOptions) -> FigureReport {
+    let community = options.default_community();
+    let surf_fractions: Vec<f64> = match options.scale {
+        Scale::Tiny => vec![0.0, 0.5, 1.0],
+        Scale::Quick => vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+        Scale::Full => vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+    };
+    let methods = [
+        ("No randomization", RankingModel::NonRandomized),
+        (
+            "Selective randomization (k=1)",
+            RankingModel::Selective {
+                start_rank: 1,
+                degree: 0.1,
+            },
+        ),
+        (
+            "Selective randomization (k=2)",
+            RankingModel::Selective {
+                start_rank: 2,
+                degree: 0.1,
+            },
+        ),
+    ];
+
+    let mut jobs = Vec::new();
+    for (m_idx, (name, model)) in methods.iter().enumerate() {
+        for (x_idx, &x) in surf_fractions.iter().enumerate() {
+            jobs.push((*name, *model, x, (m_idx * 31 + x_idx) as u64));
+        }
+    }
+    let results = parallel_map(jobs, |&(name, model, x, job)| {
+        let metrics = simulate_qpc(community, model, x, options, 800 + job);
+        (name, x, metrics.absolute_qpc)
+    });
+
+    let mut report = FigureReport::new(
+        "Figure 8",
+        "Influence of the extent of random surfing",
+        "fraction of random surfing (x)",
+        "absolute QPC",
+    );
+    for (name, _) in methods {
+        let series: Vec<(f64, f64)> = results
+            .iter()
+            .filter(|&&(n, ..)| n == name)
+            .map(|&(_, x, q)| (x, q))
+            .collect();
+        report.push_series(Series::new(name, series));
+    }
+    report.push_note(
+        "absolute (not normalized) QPC, as in the paper: the ideal QPC varies with x",
+    );
+    report.push_note(
+        "paper expectation: randomized promotion is at least as good as nonrandomized ranking \
+         for every x; a little random surfing helps nonrandomized ranking (it explores unpopular \
+         pages via teleportation) but too much hurts everyone",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8_has_three_methods_over_the_surf_grid() {
+        let report = figure8(&ExperimentOptions::tiny(8));
+        assert_eq!(report.series.len(), 3);
+        for series in &report.series {
+            assert_eq!(series.points.len(), 3);
+            for &(x, qpc) in &series.points {
+                assert!((0.0..=1.0).contains(&x));
+                assert!(qpc > 0.0 && qpc <= 0.4 + 1e-9, "absolute QPC {qpc}");
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Shared plumbing for the figure drivers: building policies from the
+//! analytic [`RankingModel`] description, running simulations, and running
+//! the analytic solver — so every figure measures "analysis" and
+//! "simulation" on exactly the same community and ranking description.
+
+use crate::options::ExperimentOptions;
+use rrp_analytic::{AnalyticModel, QualityGroups, RankingModel, SolvedModel};
+use rrp_model::{CommunityConfig, PowerLawQuality, SeedSequence};
+use rrp_ranking::{
+    PopularityRanking, PromotionConfig, PromotionRule, RandomizedRankPromotion, RankingPolicy,
+};
+use rrp_sim::{SimConfig, SimMetrics, Simulation, TbpResult};
+
+/// Build the simulator ranking policy corresponding to an analytic ranking
+/// description.
+pub fn policy_for(model: RankingModel) -> Box<dyn RankingPolicy> {
+    match model {
+        RankingModel::NonRandomized => Box::new(PopularityRanking),
+        RankingModel::Selective { start_rank, degree } => {
+            Box::new(RandomizedRankPromotion::new(
+                PromotionConfig::new(PromotionRule::Selective, start_rank, degree)
+                    .expect("figure drivers use valid parameters"),
+            ))
+        }
+        RankingModel::Uniform { start_rank, degree } => Box::new(RandomizedRankPromotion::new(
+            PromotionConfig::new(PromotionRule::Uniform, start_rank, degree)
+                .expect("figure drivers use valid parameters"),
+        )),
+    }
+}
+
+/// Build a simulation of `community` under `model`, with the paper's
+/// power-law quality distribution.
+pub fn build_simulation(
+    community: CommunityConfig,
+    model: RankingModel,
+    surf_fraction: f64,
+    seed: u64,
+) -> Simulation {
+    let config = SimConfig::for_community(community, seed).with_surf_fraction(surf_fraction);
+    Simulation::new(config, policy_for(model)).expect("figure drivers use valid configurations")
+}
+
+/// Run one simulation and return its QPC metrics, averaging over
+/// `options.repetitions()` independent seeds.
+pub fn simulate_qpc(
+    community: CommunityConfig,
+    model: RankingModel,
+    surf_fraction: f64,
+    options: &ExperimentOptions,
+    stream: u64,
+) -> SimMetrics {
+    let seeds = SeedSequence::new(options.seed).child_sequence(stream);
+    let repetitions = options.repetitions();
+    let mut accumulated: Option<SimMetrics> = None;
+    for rep in 0..repetitions {
+        let mut sim = build_simulation(community, model, surf_fraction, seeds.child_seed(rep as u64));
+        let metrics = sim.run_windows(options.warmup_days(), options.measure_days());
+        accumulated = Some(match accumulated {
+            None => metrics,
+            Some(prev) => SimMetrics {
+                days_measured: prev.days_measured + metrics.days_measured,
+                absolute_qpc: prev.absolute_qpc + metrics.absolute_qpc,
+                ideal_qpc: prev.ideal_qpc + metrics.ideal_qpc,
+                normalized_qpc: prev.normalized_qpc + metrics.normalized_qpc,
+                mean_zero_awareness_fraction: prev.mean_zero_awareness_fraction
+                    + metrics.mean_zero_awareness_fraction,
+            },
+        });
+    }
+    let total = accumulated.expect("at least one repetition");
+    let k = repetitions as f64;
+    SimMetrics {
+        days_measured: total.days_measured / repetitions as u64,
+        absolute_qpc: total.absolute_qpc / k,
+        ideal_qpc: total.ideal_qpc / k,
+        normalized_qpc: total.normalized_qpc / k,
+        mean_zero_awareness_fraction: total.mean_zero_awareness_fraction / k,
+    }
+}
+
+/// Measure simulated TBP for the best page of `community` under `model`.
+pub fn simulate_tbp(
+    community: CommunityConfig,
+    model: RankingModel,
+    options: &ExperimentOptions,
+    stream: u64,
+) -> TbpResult {
+    let seeds = SeedSequence::new(options.seed).child_sequence(stream);
+    let mut sim = build_simulation(community, model, 0.0, seeds.child_seed(0));
+    sim.run(options.warmup_days());
+    sim.measure_tbp(options.tbp_trials(), options.tbp_max_days())
+}
+
+/// Solve the analytic model for `community` under `model`.
+pub fn solve_analytic(community: CommunityConfig, model: RankingModel) -> SolvedModel {
+    let groups =
+        QualityGroups::from_distribution(&PowerLawQuality::paper_default(), community.pages());
+    AnalyticModel::new(community, groups, model)
+        .expect("figure drivers use valid configurations")
+        .solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_mapping_uses_the_right_rule() {
+        assert_eq!(policy_for(RankingModel::NonRandomized).name(), "no randomization");
+        let selective = policy_for(RankingModel::Selective {
+            start_rank: 2,
+            degree: 0.1,
+        });
+        assert!(selective.name().contains("selective"));
+        let uniform = policy_for(RankingModel::Uniform {
+            start_rank: 1,
+            degree: 0.3,
+        });
+        assert!(uniform.name().contains("uniform"));
+    }
+
+    #[test]
+    fn simulate_qpc_tiny_run_produces_sane_metrics() {
+        let options = ExperimentOptions::tiny(11);
+        let metrics = simulate_qpc(
+            options.default_community(),
+            RankingModel::NonRandomized,
+            0.0,
+            &options,
+            0,
+        );
+        assert!(metrics.absolute_qpc > 0.0);
+        assert!(metrics.normalized_qpc > 0.0 && metrics.normalized_qpc <= 1.05);
+        assert_eq!(metrics.days_measured, options.measure_days());
+    }
+
+    #[test]
+    fn solve_analytic_tiny_community() {
+        let options = ExperimentOptions::tiny(1);
+        let solved = solve_analytic(options.default_community(), RankingModel::NonRandomized);
+        let qpc = solved.normalized_qpc();
+        assert!(qpc > 0.0 && qpc <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn simulate_tbp_tiny_run_reports_trials() {
+        let options = ExperimentOptions::tiny(5);
+        let result = simulate_tbp(
+            options.default_community(),
+            RankingModel::Selective {
+                start_rank: 1,
+                degree: 0.5,
+            },
+            &options,
+            3,
+        );
+        assert_eq!(result.trials, options.tbp_trials());
+        assert!(result.mean_days > 0.0);
+    }
+}

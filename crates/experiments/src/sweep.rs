@@ -1,0 +1,105 @@
+//! Parallel parameter sweeps.
+//!
+//! Most figures evaluate many independent (community, policy, parameter)
+//! combinations; each combination is an independent simulation or analytic
+//! solve, so they parallelise trivially across cores. The helper here uses
+//! scoped threads (via `crossbeam`) so the closure can borrow from the
+//! caller without `'static` bounds.
+
+use parking_lot::Mutex;
+
+/// Apply `f` to every item, running up to `num_cpus` items concurrently,
+/// and return the results in input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    if workers <= 1 {
+        return items.iter().map(|item| f(item)).collect();
+    }
+
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next: Mutex<usize> = Mutex::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let index = {
+                    let mut guard = next.lock();
+                    let i = *guard;
+                    if i >= n {
+                        break;
+                    }
+                    *guard += 1;
+                    i
+                };
+                let result = f(&items[index]);
+                results.lock()[index] = Some(result);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, |&x| x * x);
+        assert_eq!(out.len(), 100);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..57).collect();
+        let out = parallel_map(items, |&x| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            x + 1
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 57);
+        assert_eq!(out[56], 57);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn closure_can_borrow_caller_state() {
+        let offset = 10_u64;
+        let out = parallel_map(vec![1_u64, 2, 3], |&x| x + offset);
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn single_item_uses_sequential_path() {
+        let out = parallel_map(vec![41_u64], |&x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+}

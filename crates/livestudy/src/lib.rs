@@ -1,0 +1,43 @@
+//! # rrp-livestudy — reproduction of the live "jokes site" user study
+//!
+//! Appendix A of *"Shuffling a Stacked Deck"* describes a 45-day study with
+//! 962 volunteers browsing a site of jokes and quotations, split into a
+//! control group (strict ranking by funny-vote popularity) and a treatment
+//! group (never-viewed items promoted in random order starting at rank 21).
+//! The paper's Figure 1 reports that the treatment group's funny-vote ratio
+//! was ≈ 60% higher.
+//!
+//! Real volunteers are obviously unavailable to a reproduction, so this
+//! crate substitutes a stochastic user-behaviour model that preserves the
+//! mechanisms the paper identifies as responsible for the effect:
+//!
+//! * item funniness follows the same heavy-tailed distribution as the
+//!   paper's page quality (power law, max 0.4);
+//! * volunteers view items with the `rank^(-3/2)` attention bias that the
+//!   paper measured for its own participants;
+//! * a viewed item is rated with fixed probability, and rated "funny" with
+//!   probability equal to its funniness;
+//! * content rotates exactly as in the study (30-day lifetimes, replacement
+//!   by an item of equal funniness, initial lifetimes uniform in `[1, 30]`).
+//!
+//! ```
+//! use rrp_livestudy::{LiveStudy, StudyConfig};
+//!
+//! let mut config = StudyConfig::paper_default(42);
+//! config.items = 200;          // smaller pool so the doc test is fast
+//! config.participants = 300;
+//! let outcome = LiveStudy::new(config).unwrap().run();
+//! assert!(outcome.control.total > 0);
+//! assert!(outcome.promoted.total > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod items;
+pub mod study;
+
+pub use config::StudyConfig;
+pub use items::{GroupItemStats, Item, ItemPool};
+pub use study::{Group, LiveStudy, StudyOutcome, VoteTally};

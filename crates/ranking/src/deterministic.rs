@@ -1,0 +1,151 @@
+//! Baseline ranking policies that involve no rank promotion.
+//!
+//! * [`PopularityRanking`] — the standard search-engine behaviour the paper
+//!   calls "nonrandomized ranking": strictly descending popularity.
+//! * [`QualityOracleRanking`] — the hypothetical ideal that ranks by
+//!   intrinsic quality; it defines the QPC = 1.0 normalisation used in
+//!   Figures 5–7.
+//! * [`FullyRandomRanking`] — the opposite extreme: a uniformly random
+//!   permutation each query, corresponding to `F(x) = v/n` in Section 5.
+
+use crate::policy::RankingPolicy;
+use crate::stats::{popularity_order, PageStats};
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+/// Strict deterministic ranking by descending popularity (ties broken by
+/// age, then slot index).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PopularityRanking;
+
+impl RankingPolicy for PopularityRanking {
+    fn rank(&self, pages: &[PageStats], _rng: &mut dyn RngCore) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..pages.len()).collect();
+        order.sort_by(|&a, &b| popularity_order(&pages[a], &pages[b]));
+        order.into_iter().map(|i| pages[i].slot).collect()
+    }
+
+    fn name(&self) -> String {
+        "no randomization".to_owned()
+    }
+}
+
+/// Hypothetical ideal ranking by descending intrinsic quality.
+///
+/// No real engine can implement this (quality is unobservable); it exists to
+/// compute the theoretical upper bound on quality-per-click against which
+/// all other policies are normalised.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QualityOracleRanking;
+
+impl RankingPolicy for QualityOracleRanking {
+    fn rank(&self, pages: &[PageStats], _rng: &mut dyn RngCore) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..pages.len()).collect();
+        order.sort_by(|&a, &b| {
+            pages[b]
+                .quality
+                .partial_cmp(&pages[a].quality)
+                .expect("quality is never NaN")
+                .then_with(|| pages[a].slot.cmp(&pages[b].slot))
+        });
+        order.into_iter().map(|i| pages[i].slot).collect()
+    }
+
+    fn name(&self) -> String {
+        "quality oracle".to_owned()
+    }
+}
+
+/// Uniformly random ranking: every permutation is equally likely, each
+/// query. Corresponds to the completely random case `F(x) = v · 1/n`
+/// discussed below Equation 2 of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FullyRandomRanking;
+
+impl RankingPolicy for FullyRandomRanking {
+    fn rank(&self, pages: &[PageStats], rng: &mut dyn RngCore) -> Vec<usize> {
+        let mut order: Vec<usize> = pages.iter().map(|p| p.slot).collect();
+        order.shuffle(rng);
+        order
+    }
+
+    fn name(&self) -> String {
+        "fully random".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::is_permutation;
+    use rrp_model::{new_rng, PageId};
+
+    fn pages() -> Vec<PageStats> {
+        vec![
+            PageStats::new(0, PageId::new(0), 0.05, 0.5).with_quality(0.40),
+            PageStats::new(1, PageId::new(1), 0.30, 0.9).with_quality(0.30),
+            PageStats::new(2, PageId::new(2), 0.00, 0.0).with_quality(0.39),
+            PageStats::new(3, PageId::new(3), 0.10, 0.4).with_quality(0.01),
+        ]
+    }
+
+    #[test]
+    fn popularity_ranking_is_descending_popularity() {
+        let mut rng = new_rng(0);
+        let order = PopularityRanking.rank(&pages(), &mut rng);
+        assert_eq!(order, vec![1, 3, 0, 2]);
+        assert!(is_permutation(&order, 4));
+        assert_eq!(PopularityRanking.name(), "no randomization");
+    }
+
+    #[test]
+    fn quality_oracle_ignores_popularity() {
+        let mut rng = new_rng(0);
+        let order = QualityOracleRanking.rank(&pages(), &mut rng);
+        assert_eq!(order, vec![0, 2, 1, 3]);
+        assert!(QualityOracleRanking.name().contains("oracle"));
+    }
+
+    #[test]
+    fn fully_random_is_a_permutation_and_varies() {
+        let mut rng = new_rng(1);
+        let policy = FullyRandomRanking;
+        let a = policy.rank(&pages(), &mut rng);
+        assert!(is_permutation(&a, 4));
+        // Over many draws every slot must appear at rank 1 at least once.
+        let mut seen_first = [false; 4];
+        for _ in 0..200 {
+            let o = policy.rank(&pages(), &mut rng);
+            seen_first[o[0]] = true;
+        }
+        assert!(seen_first.iter().all(|&s| s), "random ranking should explore all first slots");
+    }
+
+    #[test]
+    fn deterministic_policies_ignore_rng_state() {
+        let mut rng_a = new_rng(1);
+        let mut rng_b = new_rng(999);
+        assert_eq!(
+            PopularityRanking.rank(&pages(), &mut rng_a),
+            PopularityRanking.rank(&pages(), &mut rng_b)
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_empty_ranking() {
+        let mut rng = new_rng(0);
+        assert!(PopularityRanking.rank(&[], &mut rng).is_empty());
+        assert!(FullyRandomRanking.rank(&[], &mut rng).is_empty());
+        assert!(QualityOracleRanking.rank(&[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn ranking_returns_slot_indices_not_positions() {
+        // Slots need not be 0..n in order of the input slice.
+        let mut ps = pages();
+        ps.reverse();
+        let mut rng = new_rng(0);
+        let order = PopularityRanking.rank(&ps, &mut rng);
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+}

@@ -1,0 +1,57 @@
+//! The [`RankingPolicy`] trait: from page statistics to a result ordering.
+
+use crate::stats::PageStats;
+use rand::RngCore;
+
+/// A ranking policy orders the pages of a community (equivalently, the
+/// result set of the single query the community model assumes) into a
+/// result list.
+///
+/// The output is a permutation of the *slot indices* of the input: the page
+/// at `output[0]` is shown at rank 1, `output[1]` at rank 2, and so on.
+/// Policies that involve randomness draw it from the supplied RNG so that
+/// simulations are reproducible.
+pub trait RankingPolicy: Send + Sync {
+    /// Produce the result ordering for one query / one simulation day.
+    fn rank(&self, pages: &[PageStats], rng: &mut dyn RngCore) -> Vec<usize>;
+
+    /// A short human-readable name used in experiment reports
+    /// (e.g. `"no randomization"`, `"selective (r=0.1, k=1)"`).
+    fn name(&self) -> String;
+}
+
+/// Verify that `ordering` is a permutation of `0..n`. Used by debug
+/// assertions in the simulator and by the property tests of every policy.
+pub fn is_permutation(ordering: &[usize], n: usize) -> bool {
+    if ordering.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &slot in ordering {
+        if slot >= n || seen[slot] {
+            return false;
+        }
+        seen[slot] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_check_accepts_valid() {
+        assert!(is_permutation(&[2, 0, 1], 3));
+        assert!(is_permutation(&[], 0));
+        assert!(is_permutation(&[0], 1));
+    }
+
+    #[test]
+    fn permutation_check_rejects_invalid() {
+        assert!(!is_permutation(&[0, 0, 1], 3), "duplicate");
+        assert!(!is_permutation(&[0, 1], 3), "too short");
+        assert!(!is_permutation(&[0, 1, 3], 3), "out of range");
+        assert!(!is_permutation(&[0, 1, 2, 2], 3), "too long");
+    }
+}

@@ -1,0 +1,246 @@
+//! The randomized rank-promotion policy (Section 4 of the paper).
+//!
+//! [`RandomizedRankPromotion`] combines the pieces defined elsewhere in this
+//! crate:
+//!
+//! 1. select the promotion pool `P_p` according to the configured
+//!    [`PromotionRule`] (uniform with probability `r`, or all
+//!    zero-awareness pages);
+//! 2. shuffle the pool into a random order `L_p`;
+//! 3. rank the remaining pages deterministically by descending popularity
+//!    into `L_d`;
+//! 4. merge the two lists with the coin-flip procedure of
+//!    [`merge_promoted`](crate::merge::merge_promoted), protecting the top
+//!    `k − 1` deterministic results.
+
+use crate::merge::merge_promoted;
+use crate::policy::RankingPolicy;
+use crate::promotion::{PromotionConfig, PromotionRule};
+use crate::stats::{popularity_order, PageStats};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore};
+
+/// The paper's randomized rank-promotion ranking policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomizedRankPromotion {
+    config: PromotionConfig,
+}
+
+impl RandomizedRankPromotion {
+    /// Build the policy from a validated configuration.
+    pub fn new(config: PromotionConfig) -> Self {
+        RandomizedRankPromotion { config }
+    }
+
+    /// The paper's recommended recipe: selective promotion, `r = 0.1`,
+    /// starting at rank `start_rank` (1 or 2).
+    pub fn recommended(start_rank: usize) -> Self {
+        RandomizedRankPromotion::new(PromotionConfig::recommended(start_rank))
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> PromotionConfig {
+        self.config
+    }
+
+    /// Split the input into (promotion pool, deterministic remainder),
+    /// returning indices into `pages`.
+    fn split_pool(&self, pages: &[PageStats], rng: &mut dyn RngCore) -> (Vec<usize>, Vec<usize>) {
+        let mut pool = Vec::new();
+        let mut rest = Vec::new();
+        match self.config.rule {
+            PromotionRule::Selective => {
+                for (i, p) in pages.iter().enumerate() {
+                    if p.is_unexplored() {
+                        pool.push(i);
+                    } else {
+                        rest.push(i);
+                    }
+                }
+            }
+            PromotionRule::Uniform => {
+                for (i, _) in pages.iter().enumerate() {
+                    if rng.gen::<f64>() < self.config.degree {
+                        pool.push(i);
+                    } else {
+                        rest.push(i);
+                    }
+                }
+            }
+        }
+        (pool, rest)
+    }
+}
+
+impl RankingPolicy for RandomizedRankPromotion {
+    fn rank(&self, pages: &[PageStats], rng: &mut dyn RngCore) -> Vec<usize> {
+        let (mut pool, mut rest) = self.split_pool(pages, rng);
+
+        // L_p: the promotion pool in random order.
+        pool.shuffle(rng);
+
+        // L_d: remaining pages in descending popularity order.
+        rest.sort_by(|&a, &b| popularity_order(&pages[a], &pages[b]));
+
+        // Map from indices into `pages` to slot indices.
+        let lp: Vec<usize> = pool.into_iter().map(|i| pages[i].slot).collect();
+        let ld: Vec<usize> = rest.into_iter().map(|i| pages[i].slot).collect();
+
+        merge_promoted(&ld, &lp, self.config.start_rank, self.config.degree, rng)
+    }
+
+    fn name(&self) -> String {
+        self.config.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::is_permutation;
+    use rrp_model::{new_rng, PageId};
+
+    /// 10 pages: slots 0..5 are established (popularity descending with
+    /// slot), slots 5..10 have zero awareness.
+    fn pages() -> Vec<PageStats> {
+        (0..10)
+            .map(|slot| {
+                let (pop, aw) = if slot < 5 {
+                    (0.5 - slot as f64 * 0.1, 0.8)
+                } else {
+                    (0.0, 0.0)
+                };
+                PageStats::new(slot, PageId::new(slot as u64), pop, aw).with_age(10)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn output_is_always_a_permutation() {
+        let policy = RandomizedRankPromotion::recommended(2);
+        for seed in 0..100 {
+            let mut rng = new_rng(seed);
+            let order = policy.rank(&pages(), &mut rng);
+            assert!(is_permutation(&order, 10));
+        }
+    }
+
+    #[test]
+    fn selective_pool_is_exactly_zero_awareness_pages() {
+        let policy = RandomizedRankPromotion::new(
+            PromotionConfig::new(PromotionRule::Selective, 1, 0.5).unwrap(),
+        );
+        let ps = pages();
+        let mut rng = new_rng(7);
+        let (pool, rest) = policy.split_pool(&ps, &mut rng);
+        let pool_slots: Vec<usize> = pool.iter().map(|&i| ps[i].slot).collect();
+        assert_eq!(pool_slots, vec![5, 6, 7, 8, 9]);
+        assert_eq!(rest.len(), 5);
+    }
+
+    #[test]
+    fn uniform_pool_size_tracks_degree() {
+        let policy = RandomizedRankPromotion::new(
+            PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap(),
+        );
+        let ps: Vec<PageStats> = (0..10_000)
+            .map(|s| PageStats::new(s, PageId::new(s as u64), 0.1, 0.5))
+            .collect();
+        let mut rng = new_rng(11);
+        let (pool, rest) = policy.split_pool(&ps, &mut rng);
+        let fraction = pool.len() as f64 / ps.len() as f64;
+        assert!((fraction - 0.3).abs() < 0.03, "pool fraction {fraction}");
+        assert_eq!(pool.len() + rest.len(), ps.len());
+    }
+
+    #[test]
+    fn k2_protects_the_top_result() {
+        let policy = RandomizedRankPromotion::new(
+            PromotionConfig::new(PromotionRule::Selective, 2, 0.9).unwrap(),
+        );
+        for seed in 0..50 {
+            let mut rng = new_rng(seed);
+            let order = policy.rank(&pages(), &mut rng);
+            assert_eq!(order[0], 0, "slot 0 has the highest popularity and k=2 protects it");
+        }
+    }
+
+    #[test]
+    fn k1_can_displace_the_top_result() {
+        let policy = RandomizedRankPromotion::new(
+            PromotionConfig::new(PromotionRule::Selective, 1, 0.9).unwrap(),
+        );
+        let mut displaced = false;
+        for seed in 0..50 {
+            let mut rng = new_rng(seed);
+            let order = policy.rank(&pages(), &mut rng);
+            if order[0] != 0 {
+                displaced = true;
+                break;
+            }
+        }
+        assert!(displaced, "with k=1 and r=0.9 the top slot should sometimes be displaced");
+    }
+
+    #[test]
+    fn zero_degree_selective_still_appends_pool_at_bottom() {
+        // With r = 0 no coin flip ever picks the pool, so unexplored pages
+        // end up after all established pages — equivalent to deterministic
+        // ranking with zero-popularity pages last.
+        let policy = RandomizedRankPromotion::new(
+            PromotionConfig::new(PromotionRule::Selective, 1, 0.0).unwrap(),
+        );
+        let mut rng = new_rng(5);
+        let order = policy.rank(&pages(), &mut rng);
+        assert_eq!(&order[..5], &[0, 1, 2, 3, 4]);
+        let mut tail: Vec<usize> = order[5..].to_vec();
+        tail.sort_unstable();
+        assert_eq!(tail, vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn established_pages_keep_relative_order() {
+        let policy = RandomizedRankPromotion::recommended(1);
+        for seed in 0..20 {
+            let mut rng = new_rng(seed);
+            let order = policy.rank(&pages(), &mut rng);
+            let positions: Vec<usize> = (0..5)
+                .map(|slot| order.iter().position(|&s| s == slot).unwrap())
+                .collect();
+            assert!(
+                positions.windows(2).all(|w| w[0] < w[1]),
+                "established pages must stay in popularity order"
+            );
+        }
+    }
+
+    #[test]
+    fn unexplored_pages_reach_top_ten_with_full_randomization() {
+        // With r=1 and k=1 all zero-awareness pages are placed before the
+        // established pages.
+        let policy = RandomizedRankPromotion::new(
+            PromotionConfig::new(PromotionRule::Selective, 1, 1.0).unwrap(),
+        );
+        let mut rng = new_rng(2);
+        let order = policy.rank(&pages(), &mut rng);
+        let mut head: Vec<usize> = order[..5].to_vec();
+        head.sort_unstable();
+        assert_eq!(head, vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn name_reports_configuration() {
+        let policy = RandomizedRankPromotion::recommended(2);
+        let name = policy.name();
+        assert!(name.contains("selective"));
+        assert!(name.contains("k=2"));
+        assert_eq!(policy.config().degree, 0.1);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let policy = RandomizedRankPromotion::recommended(1);
+        let mut rng = new_rng(0);
+        assert!(policy.rank(&[], &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! The per-page statistics a ranking policy is allowed to see.
+//!
+//! A real search engine ranks pages using measured popularity (in-links,
+//! PageRank, toolbar traffic) — never intrinsic quality, which is
+//! unobservable. [`PageStats`] therefore carries popularity, awareness and
+//! age; intrinsic quality is included *only* so that the hypothetical
+//! quality-oracle baseline (the paper's normalisation for QPC = 1.0) can be
+//! expressed, and honest policies must not read it.
+
+use rrp_model::PageId;
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of one page as seen by the ranking function at query time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PageStats {
+    /// Dense slot index of the page inside the community (`0..n`).
+    pub slot: usize,
+    /// Identifier of the page currently occupying the slot.
+    pub page: PageId,
+    /// Measured popularity `P(p, t) ∈ [0, 1]` among monitored users.
+    pub popularity: f64,
+    /// Awareness `A(p, t) ∈ [0, 1]` among monitored users. The selective
+    /// promotion rule uses `awareness == 0` as its membership test.
+    pub awareness: f64,
+    /// Age of the page in days (used only to break popularity ties, older
+    /// pages winning, as in the paper's live study).
+    pub age_days: u64,
+    /// Intrinsic quality `Q(p)`. Only the quality-oracle baseline may use
+    /// this field; popularity-based policies must ignore it.
+    pub quality: f64,
+}
+
+impl PageStats {
+    /// Convenience constructor for tests and simple callers.
+    pub fn new(slot: usize, page: PageId, popularity: f64, awareness: f64) -> Self {
+        PageStats {
+            slot,
+            page,
+            popularity,
+            awareness,
+            age_days: 0,
+            quality: 0.0,
+        }
+    }
+
+    /// Whether the page has never been visited by any monitored user
+    /// (`A(p, t) = 0`), i.e. it is a candidate for selective promotion.
+    #[inline]
+    pub fn is_unexplored(&self) -> bool {
+        self.awareness == 0.0
+    }
+
+    /// Builder-style setter for the page age.
+    pub fn with_age(mut self, age_days: u64) -> Self {
+        self.age_days = age_days;
+        self
+    }
+
+    /// Builder-style setter for intrinsic quality (oracle baseline only).
+    pub fn with_quality(mut self, quality: f64) -> Self {
+        self.quality = quality;
+        self
+    }
+}
+
+/// Compare two pages for deterministic popularity ranking: higher popularity
+/// first, then older pages, then lower slot index (a stable, total order).
+pub fn popularity_order(a: &PageStats, b: &PageStats) -> std::cmp::Ordering {
+    b.popularity
+        .partial_cmp(&a.popularity)
+        .expect("popularity is never NaN")
+        .then_with(|| b.age_days.cmp(&a.age_days))
+        .then_with(|| a.slot.cmp(&b.slot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(slot: usize, pop: f64, age: u64) -> PageStats {
+        PageStats::new(slot, PageId::new(slot as u64), pop, if pop > 0.0 { 0.5 } else { 0.0 })
+            .with_age(age)
+    }
+
+    #[test]
+    fn unexplored_means_zero_awareness() {
+        let p = PageStats::new(0, PageId::new(0), 0.0, 0.0);
+        assert!(p.is_unexplored());
+        let q = PageStats::new(1, PageId::new(1), 0.1, 0.2);
+        assert!(!q.is_unexplored());
+    }
+
+    #[test]
+    fn popularity_order_sorts_descending() {
+        let mut pages = vec![page(0, 0.1, 0), page(1, 0.9, 0), page(2, 0.5, 0)];
+        pages.sort_by(popularity_order);
+        let slots: Vec<usize> = pages.iter().map(|p| p.slot).collect();
+        assert_eq!(slots, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_age_then_slot() {
+        let mut pages = vec![page(3, 0.5, 10), page(1, 0.5, 30), page(2, 0.5, 30)];
+        pages.sort_by(popularity_order);
+        let slots: Vec<usize> = pages.iter().map(|p| p.slot).collect();
+        // Same popularity: older first (age 30 before age 10); equal age:
+        // lower slot first.
+        assert_eq!(slots, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let p = PageStats::new(4, PageId::new(9), 0.2, 0.1)
+            .with_age(17)
+            .with_quality(0.4);
+        assert_eq!(p.age_days, 17);
+        assert_eq!(p.quality, 0.4);
+        assert_eq!(p.slot, 4);
+        assert_eq!(p.page, PageId::new(9));
+    }
+}

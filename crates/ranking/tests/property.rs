@@ -1,0 +1,156 @@
+//! Property-based tests of the ranking policies.
+//!
+//! The central invariant: every policy emits a permutation of the input
+//! slots — no page is ever dropped or duplicated — and the protected prefix
+//! of the randomized policy always equals the deterministic prefix.
+
+use proptest::prelude::*;
+use rrp_model::{new_rng, PageId};
+use rrp_ranking::{
+    is_permutation, merge_promoted, FullyRandomRanking, PageStats, PopularityRanking,
+    PromotionConfig, PromotionRule, QualityOracleRanking, RandomizedRankPromotion, RankingPolicy,
+};
+
+/// Strategy producing an arbitrary page population of size 1..=120.
+fn arb_pages() -> impl Strategy<Value = Vec<PageStats>> {
+    prop::collection::vec((0.0f64..=1.0, prop::bool::ANY, 0u64..1000), 1..120).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(slot, (quality, explored, age))| {
+                let awareness = if explored { 0.5 } else { 0.0 };
+                PageStats::new(slot, PageId::new(slot as u64), quality * awareness, awareness)
+                    .with_age(age)
+                    .with_quality(quality)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn every_policy_emits_a_permutation(
+        pages in arb_pages(),
+        seed in proptest::num::u64::ANY,
+        rule in prop_oneof![Just(PromotionRule::Uniform), Just(PromotionRule::Selective)],
+        degree in 0.0f64..=1.0,
+        k in 1usize..30,
+    ) {
+        let n = pages.len();
+        let mut rng = new_rng(seed);
+
+        let det = PopularityRanking.rank(&pages, &mut rng);
+        prop_assert!(is_permutation(&det, n));
+
+        let oracle = QualityOracleRanking.rank(&pages, &mut rng);
+        prop_assert!(is_permutation(&oracle, n));
+
+        let random = FullyRandomRanking.rank(&pages, &mut rng);
+        prop_assert!(is_permutation(&random, n));
+
+        let promo = RandomizedRankPromotion::new(
+            PromotionConfig::new(rule, k, degree).unwrap(),
+        );
+        let promoted = promo.rank(&pages, &mut rng);
+        prop_assert!(is_permutation(&promoted, n));
+    }
+
+    #[test]
+    fn deterministic_ranking_is_sorted_by_popularity(
+        pages in arb_pages(),
+        seed in proptest::num::u64::ANY,
+    ) {
+        let mut rng = new_rng(seed);
+        let order = PopularityRanking.rank(&pages, &mut rng);
+        let by_slot: std::collections::HashMap<usize, &PageStats> =
+            pages.iter().map(|p| (p.slot, p)).collect();
+        for w in order.windows(2) {
+            prop_assert!(
+                by_slot[&w[0]].popularity >= by_slot[&w[1]].popularity,
+                "popularity must be nonincreasing down the result list"
+            );
+        }
+    }
+
+    #[test]
+    fn selective_promotion_protects_top_k_minus_1(
+        pages in arb_pages(),
+        seed in proptest::num::u64::ANY,
+        degree in 0.0f64..=1.0,
+        k in 1usize..20,
+    ) {
+        let mut rng_det = new_rng(seed);
+        let det = PopularityRanking.rank(&pages, &mut rng_det);
+
+        let promo = RandomizedRankPromotion::new(
+            PromotionConfig::new(PromotionRule::Selective, k, degree).unwrap(),
+        );
+        let mut rng = new_rng(seed.wrapping_add(1));
+        let promoted = promo.rank(&pages, &mut rng);
+
+        // The selective pool contains only zero-awareness (zero-popularity)
+        // pages, so the deterministic prefix of explored pages is identical.
+        let explored_count = pages.iter().filter(|p| !p.is_unexplored()).count();
+        let protected = (k - 1).min(explored_count);
+        prop_assert_eq!(&det[..protected], &promoted[..protected]);
+    }
+
+    #[test]
+    fn merge_is_a_permutation_of_its_inputs(
+        d_len in 0usize..200,
+        p_len in 0usize..200,
+        k in 1usize..40,
+        degree in 0.0f64..=1.0,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let ld: Vec<usize> = (0..d_len).collect();
+        let lp: Vec<usize> = (d_len..d_len + p_len).collect();
+        let mut rng = new_rng(seed);
+        let merged = merge_promoted(&ld, &lp, k, degree, &mut rng);
+        prop_assert!(is_permutation(&merged, d_len + p_len));
+    }
+
+    #[test]
+    fn merge_preserves_relative_order_of_each_list(
+        d_len in 1usize..100,
+        p_len in 1usize..100,
+        degree in 0.0f64..=1.0,
+        seed in proptest::num::u64::ANY,
+    ) {
+        let ld: Vec<usize> = (0..d_len).collect();
+        let lp: Vec<usize> = (d_len..d_len + p_len).collect();
+        let mut rng = new_rng(seed);
+        let merged = merge_promoted(&ld, &lp, 1, degree, &mut rng);
+        let pos = |x: usize| merged.iter().position(|&y| y == x).unwrap();
+        for w in ld.windows(2) {
+            prop_assert!(pos(w[0]) < pos(w[1]));
+        }
+        for w in lp.windows(2) {
+            prop_assert!(pos(w[0]) < pos(w[1]));
+        }
+    }
+
+    #[test]
+    fn oracle_never_ranks_lower_quality_above_higher(
+        pages in arb_pages(),
+        seed in proptest::num::u64::ANY,
+    ) {
+        let mut rng = new_rng(seed);
+        let order = QualityOracleRanking.rank(&pages, &mut rng);
+        let by_slot: std::collections::HashMap<usize, &PageStats> =
+            pages.iter().map(|p| (p.slot, p)).collect();
+        for w in order.windows(2) {
+            prop_assert!(by_slot[&w[0]].quality >= by_slot[&w[1]].quality);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_ranking(
+        pages in arb_pages(),
+        seed in proptest::num::u64::ANY,
+    ) {
+        let policy = RandomizedRankPromotion::recommended(2);
+        let mut a = new_rng(seed);
+        let mut b = new_rng(seed);
+        prop_assert_eq!(policy.rank(&pages, &mut a), policy.rank(&pages, &mut b));
+    }
+}

@@ -1,0 +1,235 @@
+//! Synthetic Web-graph generators.
+//!
+//! The paper's entrenchment story is rooted in the rich-get-richer dynamics
+//! of the Web link graph (see also Chakrabarti, Frieze & Vera, SODA 2005, on
+//! how search engines affect preferential attachment). These generators
+//! produce graphs whose in-degree distribution has the heavy tail that makes
+//! in-degree / PageRank popularity so skewed:
+//!
+//! * [`preferential_attachment`] — each new node links to `m` existing
+//!   nodes chosen with probability proportional to (in-degree + 1);
+//! * [`copy_model`] — each new node copies the out-links of a random
+//!   existing node with probability `1 − β`, otherwise links uniformly;
+//! * [`uniform_random`] — an Erdős–Rényi style baseline with no
+//!   preferential attachment (used to contrast the popularity skew).
+
+use crate::graph::{DiGraph, GraphBuilder};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generate a preferential-attachment digraph with `nodes` nodes, each new
+/// node creating `links_per_node` out-links to earlier nodes.
+///
+/// The first `links_per_node + 1` nodes form a small seed clique so early
+/// choices are well defined.
+pub fn preferential_attachment<R: Rng + ?Sized>(
+    nodes: usize,
+    links_per_node: usize,
+    rng: &mut R,
+) -> DiGraph {
+    assert!(links_per_node >= 1, "need at least one link per node");
+    let mut builder = GraphBuilder::with_nodes(nodes);
+    if nodes == 0 {
+        return builder.build();
+    }
+    // Target pool: node v appears (in-degree(v) + 1) times, giving the
+    // "+1" smoothing that lets brand-new nodes attract links at all.
+    let mut pool: Vec<usize> = Vec::with_capacity(nodes * (links_per_node + 1));
+    let seed = (links_per_node + 1).min(nodes);
+    for v in 0..seed {
+        for w in 0..seed {
+            if v != w {
+                builder.add_edge(v, w);
+                pool.push(w);
+            }
+        }
+        pool.push(v);
+    }
+    for v in seed..nodes {
+        let mut chosen = Vec::with_capacity(links_per_node);
+        for _ in 0..links_per_node {
+            // Sample from the pool (preferential) and deduplicate lazily.
+            let mut target = pool[rng.gen_range(0..pool.len())];
+            let mut guard = 0;
+            while (target == v || chosen.contains(&target)) && guard < 32 {
+                target = pool[rng.gen_range(0..pool.len())];
+                guard += 1;
+            }
+            if target == v || chosen.contains(&target) {
+                continue;
+            }
+            builder.add_edge(v, target);
+            pool.push(target);
+            chosen.push(target);
+        }
+        pool.push(v);
+    }
+    builder.build()
+}
+
+/// Generate a copy-model digraph: each new node picks a random "prototype"
+/// among earlier nodes and, for each of `links_per_node` link slots, copies
+/// the prototype's corresponding out-link with probability `1 − beta` or
+/// links to a uniformly random earlier node with probability `beta`.
+pub fn copy_model<R: Rng + ?Sized>(
+    nodes: usize,
+    links_per_node: usize,
+    beta: f64,
+    rng: &mut R,
+) -> DiGraph {
+    assert!(links_per_node >= 1, "need at least one link per node");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+    let mut builder = GraphBuilder::with_nodes(nodes);
+    if nodes == 0 {
+        return builder.build();
+    }
+    let mut out_links: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+    let seed = (links_per_node + 1).min(nodes);
+    for v in 0..seed {
+        for w in 0..seed {
+            if v != w {
+                builder.add_edge(v, w);
+                out_links[v].push(w);
+            }
+        }
+    }
+    for v in seed..nodes {
+        let prototype = rng.gen_range(0..v);
+        for slot in 0..links_per_node {
+            let target = if rng.gen::<f64>() < beta || out_links[prototype].is_empty() {
+                rng.gen_range(0..v)
+            } else {
+                let proto_links = &out_links[prototype];
+                proto_links[slot % proto_links.len()]
+            };
+            if target != v {
+                builder.add_edge(v, target);
+                out_links[v].push(target);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Uniform random digraph: every node links to `links_per_node` distinct
+/// targets chosen uniformly at random (no preferential attachment).
+pub fn uniform_random<R: Rng + ?Sized>(
+    nodes: usize,
+    links_per_node: usize,
+    rng: &mut R,
+) -> DiGraph {
+    let mut builder = GraphBuilder::with_nodes(nodes);
+    if nodes <= 1 {
+        return builder.build();
+    }
+    let all: Vec<usize> = (0..nodes).collect();
+    for v in 0..nodes {
+        let mut targets = all.clone();
+        targets.retain(|&t| t != v);
+        targets.shuffle(rng);
+        for &t in targets.iter().take(links_per_node) {
+            builder.add_edge(v, t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrp_model::new_rng;
+
+    #[test]
+    fn preferential_attachment_sizes() {
+        let mut rng = new_rng(1);
+        let g = preferential_attachment(500, 3, &mut rng);
+        assert_eq!(g.node_count(), 500);
+        assert!(g.edge_count() > 500, "every non-seed node adds up to 3 edges");
+        assert!(g.edge_count() <= 500 * 3 + 12);
+    }
+
+    #[test]
+    fn preferential_attachment_has_heavy_tail() {
+        let mut rng = new_rng(2);
+        let g = preferential_attachment(2_000, 3, &mut rng);
+        let mut in_degs: Vec<usize> = g.in_degrees().to_vec();
+        in_degs.sort_unstable_by(|a, b| b.cmp(a));
+        let max = in_degs[0];
+        let median = in_degs[in_degs.len() / 2];
+        assert!(
+            max >= 10 * median.max(1),
+            "rich-get-richer: max in-degree {max} should dwarf median {median}"
+        );
+    }
+
+    #[test]
+    fn uniform_random_has_no_heavy_tail() {
+        let mut rng = new_rng(3);
+        let g = uniform_random(2_000, 3, &mut rng);
+        let max = *g.in_degrees().iter().max().unwrap();
+        // Max of 2000 Binomial(2000, 3/1999) draws is far below a
+        // preferential-attachment hub.
+        assert!(max < 20, "uniform graph max in-degree {max} should be small");
+        assert_eq!(g.edge_count(), 2_000 * 3);
+    }
+
+    #[test]
+    fn copy_model_sizes_and_determinism() {
+        let mut rng = new_rng(4);
+        let g = copy_model(1_000, 2, 0.2, &mut rng);
+        assert_eq!(g.node_count(), 1_000);
+        assert!(g.edge_count() > 1_000);
+        let mut rng2 = new_rng(4);
+        let g2 = copy_model(1_000, 2, 0.2, &mut rng2);
+        assert_eq!(g.edge_count(), g2.edge_count(), "same seed, same graph");
+    }
+
+    #[test]
+    fn copy_model_concentrates_links_more_than_uniform() {
+        let mut rng = new_rng(5);
+        let copy = copy_model(2_000, 3, 0.1, &mut rng);
+        let uniform = uniform_random(2_000, 3, &mut rng);
+        let max_copy = *copy.in_degrees().iter().max().unwrap();
+        let max_uni = *uniform.in_degrees().iter().max().unwrap();
+        assert!(
+            max_copy > max_uni,
+            "copy model hub {max_copy} should exceed uniform hub {max_uni}"
+        );
+    }
+
+    #[test]
+    fn no_self_loops_in_generated_graphs() {
+        let mut rng = new_rng(6);
+        for g in [
+            preferential_attachment(300, 2, &mut rng),
+            copy_model(300, 2, 0.3, &mut rng),
+            uniform_random(300, 2, &mut rng),
+        ] {
+            assert!(g.edges().all(|(a, b)| a != b), "self loop found");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let mut rng = new_rng(7);
+        assert_eq!(preferential_attachment(0, 2, &mut rng).node_count(), 0);
+        assert_eq!(copy_model(0, 2, 0.5, &mut rng).node_count(), 0);
+        assert_eq!(uniform_random(1, 2, &mut rng).edge_count(), 0);
+        let g = preferential_attachment(2, 3, &mut rng);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn preferential_attachment_requires_links() {
+        let mut rng = new_rng(0);
+        preferential_attachment(10, 0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in")]
+    fn copy_model_validates_beta() {
+        let mut rng = new_rng(0);
+        copy_model(10, 2, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,234 @@
+//! A compact directed-graph representation for Web-graph experiments.
+//!
+//! The paper's popularity measures (in-degree, PageRank) are defined over
+//! the Web link graph. Rather than depending on an external graph library,
+//! this module provides the small substrate the workspace needs:
+//!
+//! * [`GraphBuilder`] — incremental edge insertion while generating
+//!   synthetic graphs;
+//! * [`DiGraph`] — a frozen CSR (compressed sparse row) representation with
+//!   O(1) out-neighbour slices and precomputed in-degrees, which is all that
+//!   PageRank and the random surfer need.
+
+use serde::{Deserialize, Serialize};
+
+/// Node identifier inside a [`DiGraph`]; dense `0..node_count`.
+pub type NodeId = usize;
+
+/// Mutable edge-list builder.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GraphBuilder {
+    nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Create a builder with `nodes` isolated nodes.
+    pub fn with_nodes(nodes: usize) -> Self {
+        GraphBuilder {
+            nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add one node and return its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = self.nodes;
+        self.nodes += 1;
+        id
+    }
+
+    /// Current node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Current edge count (parallel edges are kept).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a directed edge `from → to`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint does not exist.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        assert!(from < self.nodes, "edge source {from} out of range");
+        assert!(to < self.nodes, "edge target {to} out of range");
+        self.edges.push((from, to));
+    }
+
+    /// Freeze into a CSR [`DiGraph`].
+    pub fn build(self) -> DiGraph {
+        DiGraph::from_edges(self.nodes, &self.edges)
+    }
+}
+
+/// Immutable directed graph in CSR form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` with v's out-neighbours.
+    offsets: Vec<usize>,
+    /// Concatenated out-neighbour lists.
+    targets: Vec<NodeId>,
+    /// In-degree of every node.
+    in_degrees: Vec<usize>,
+}
+
+impl DiGraph {
+    /// Build from an explicit edge list over `nodes` nodes.
+    pub fn from_edges(nodes: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut out_degree = vec![0usize; nodes];
+        let mut in_degrees = vec![0usize; nodes];
+        for &(from, to) in edges {
+            assert!(from < nodes && to < nodes, "edge ({from}, {to}) out of range");
+            out_degree[from] += 1;
+            in_degrees[to] += 1;
+        }
+        let mut offsets = Vec::with_capacity(nodes + 1);
+        offsets.push(0);
+        for v in 0..nodes {
+            offsets.push(offsets[v] + out_degree[v]);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0usize; edges.len()];
+        for &(from, to) in edges {
+            targets[cursor[from]] = to;
+            cursor[from] += 1;
+        }
+        DiGraph {
+            offsets,
+            targets,
+            in_degrees,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbours of `v` as a slice.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_degrees[v]
+    }
+
+    /// In-degrees of all nodes (the simplest popularity measure the paper
+    /// mentions).
+    pub fn in_degrees(&self) -> &[usize] {
+        &self.in_degrees
+    }
+
+    /// Iterate over all edges `(from, to)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.node_count()).flat_map(move |v| {
+            self.out_neighbors(v).iter().map(move |&t| (v, t))
+        })
+    }
+
+    /// Nodes with no outgoing links ("dangling" nodes for PageRank).
+    pub fn dangling_nodes(&self) -> Vec<NodeId> {
+        (0..self.node_count())
+            .filter(|&v| self.out_degree(v) == 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn builder_counts_nodes_and_edges() {
+        let mut b = GraphBuilder::with_nodes(2);
+        let c = b.add_node();
+        assert_eq!(c, 2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        assert_eq!(b.node_count(), 3);
+        assert_eq!(b.edge_count(), 2);
+        let g = b.build();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_dangling_endpoint() {
+        let mut b = GraphBuilder::with_nodes(1);
+        b.add_edge(0, 5);
+    }
+
+    #[test]
+    fn csr_neighbors_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(3), &[] as &[usize]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_degrees(), &[0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn edges_iterator_matches_input() {
+        let g = diamond();
+        let mut edges: Vec<(usize, usize)> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn dangling_nodes_have_no_outlinks() {
+        let g = diamond();
+        assert_eq!(g.dangling_nodes(), vec![3]);
+    }
+
+    #[test]
+    fn parallel_edges_are_preserved() {
+        let g = DiGraph::from_edges(2, &[(0, 1), (0, 1)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.in_degree(1), 2);
+        assert_eq!(g.out_neighbors(0), &[1, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(0, &[]);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.dangling_nodes().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_validates_range() {
+        DiGraph::from_edges(2, &[(0, 2)]);
+    }
+}

@@ -1,0 +1,265 @@
+//! PageRank by power iteration.
+//!
+//! PageRank is one of the popularity measures the paper names in its first
+//! paragraph and the one its quality distribution is calibrated against
+//! (Section 6.1). The random-surfer teleportation probability `c` is the
+//! same constant that appears in the mixed surfing model of Section 8
+//! (typically 0.15).
+
+use crate::graph::DiGraph;
+use serde::{Deserialize, Serialize};
+
+/// Options controlling the power iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PageRankOptions {
+    /// Teleportation probability `c` (the paper's Section 8 constant;
+    /// 0.15 following Jeh & Widom).
+    pub teleportation: f64,
+    /// Maximum number of power iterations.
+    pub max_iterations: usize,
+    /// L1 convergence tolerance between successive iterations.
+    pub tolerance: f64,
+}
+
+impl Default for PageRankOptions {
+    fn default() -> Self {
+        PageRankOptions {
+            teleportation: 0.15,
+            max_iterations: 200,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// Result of a PageRank computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageRankResult {
+    /// Final score vector (sums to 1).
+    pub scores: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached before the iteration cap.
+    pub converged: bool,
+}
+
+/// Compute PageRank scores for every node of `graph`.
+///
+/// Dangling nodes (no out-links) redistribute their mass uniformly, the
+/// standard fix that keeps the scores a probability distribution.
+pub fn pagerank(graph: &DiGraph, options: PageRankOptions) -> PageRankResult {
+    let n = graph.node_count();
+    if n == 0 {
+        return PageRankResult {
+            scores: Vec::new(),
+            iterations: 0,
+            converged: true,
+        };
+    }
+    assert!(
+        (0.0..=1.0).contains(&options.teleportation),
+        "teleportation probability must be in [0, 1]"
+    );
+    let c = options.teleportation;
+    let uniform = 1.0 / n as f64;
+    let mut scores = vec![uniform; n];
+    let mut next = vec![0.0; n];
+    let dangling = graph.dangling_nodes();
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < options.max_iterations {
+        iterations += 1;
+        next.iter_mut().for_each(|x| *x = 0.0);
+
+        // Mass from dangling nodes is spread uniformly.
+        let dangling_mass: f64 = dangling.iter().map(|&v| scores[v]).sum();
+
+        for v in 0..n {
+            let out = graph.out_degree(v);
+            if out == 0 {
+                continue;
+            }
+            let share = scores[v] / out as f64;
+            for &t in graph.out_neighbors(v) {
+                next[t] += share;
+            }
+        }
+
+        let mut delta = 0.0;
+        for v in 0..n {
+            let rank = c * uniform + (1.0 - c) * (next[v] + dangling_mass * uniform);
+            delta += (rank - scores[v]).abs();
+            next[v] = rank;
+        }
+        std::mem::swap(&mut scores, &mut next);
+
+        if delta < options.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    PageRankResult {
+        scores,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{preferential_attachment, uniform_random};
+    use rrp_model::new_rng;
+
+    fn assert_distribution(scores: &[f64]) {
+        let sum: f64 = scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-8, "scores must sum to 1, got {sum}");
+        assert!(scores.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn empty_graph_is_trivial() {
+        let g = DiGraph::from_edges(0, &[]);
+        let r = pagerank(&g, PageRankOptions::default());
+        assert!(r.scores.is_empty());
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn isolated_nodes_share_rank_equally() {
+        let g = DiGraph::from_edges(4, &[]);
+        let r = pagerank(&g, PageRankOptions::default());
+        assert_distribution(&r.scores);
+        for &s in &r.scores {
+            assert!((s - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn symmetric_cycle_gives_equal_scores() {
+        // 0 -> 1 -> 2 -> 0
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let r = pagerank(&g, PageRankOptions::default());
+        assert!(r.converged);
+        assert_distribution(&r.scores);
+        for &s in &r.scores {
+            assert!((s - 1.0 / 3.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn sink_of_a_star_gets_the_highest_score() {
+        // Nodes 1..=4 all link to 0.
+        let g = DiGraph::from_edges(5, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let r = pagerank(&g, PageRankOptions::default());
+        assert_distribution(&r.scores);
+        for v in 1..5 {
+            assert!(r.scores[0] > r.scores[v]);
+        }
+    }
+
+    #[test]
+    fn known_two_node_solution() {
+        // 0 -> 1 only. With damping d = 1 - c:
+        // pr(0) = c/2, pr(1) = c/2 + (1-c)*(pr(0) + pr(0_dangling... )
+        // Easier: verify against an independent fixed-point computed by
+        // solving the 2x2 system numerically with many iterations.
+        let g = DiGraph::from_edges(2, &[(0, 1)]);
+        let r = pagerank(
+            &g,
+            PageRankOptions {
+                tolerance: 1e-14,
+                max_iterations: 10_000,
+                ..PageRankOptions::default()
+            },
+        );
+        assert_distribution(&r.scores);
+        assert!(r.converged);
+        // Node 1 receives everything node 0 has, plus teleportation, so it
+        // must outrank node 0.
+        assert!(r.scores[1] > r.scores[0]);
+        // Fixed point check: recompute one iteration by hand and confirm it
+        // is (numerically) unchanged.
+        let c = 0.15;
+        let dangling_mass = r.scores[1]; // node 1 has no out-links
+        let expected0 = c * 0.5 + (1.0 - c) * (dangling_mass * 0.5);
+        let expected1 = c * 0.5 + (1.0 - c) * (r.scores[0] + dangling_mass * 0.5);
+        assert!((expected0 - r.scores[0]).abs() < 1e-9);
+        assert!((expected1 - r.scores[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preferential_attachment_produces_skewed_pagerank() {
+        let mut rng = new_rng(8);
+        let g = preferential_attachment(3_000, 3, &mut rng);
+        let r = pagerank(&g, PageRankOptions::default());
+        assert!(r.converged);
+        assert_distribution(&r.scores);
+        let mut sorted = r.scores.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top_1pct: f64 = sorted.iter().take(30).sum();
+        assert!(
+            top_1pct > 0.05,
+            "top 1% of pages should hold a disproportionate share, got {top_1pct}"
+        );
+    }
+
+    #[test]
+    fn uniform_graph_is_much_flatter() {
+        let mut rng = new_rng(9);
+        let g = uniform_random(3_000, 3, &mut rng);
+        let r = pagerank(&g, PageRankOptions::default());
+        let max = r.scores.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 5.0 / 3_000.0, "no node should dominate, max {max}");
+    }
+
+    #[test]
+    fn higher_teleportation_flattens_scores() {
+        let g = DiGraph::from_edges(5, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let low = pagerank(
+            &g,
+            PageRankOptions {
+                teleportation: 0.05,
+                ..PageRankOptions::default()
+            },
+        );
+        let high = pagerank(
+            &g,
+            PageRankOptions {
+                teleportation: 0.9,
+                ..PageRankOptions::default()
+            },
+        );
+        assert!(low.scores[0] > high.scores[0]);
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let mut rng = new_rng(10);
+        let g = preferential_attachment(500, 2, &mut rng);
+        let r = pagerank(
+            &g,
+            PageRankOptions {
+                max_iterations: 2,
+                tolerance: 0.0,
+                ..PageRankOptions::default()
+            },
+        );
+        assert_eq!(r.iterations, 2);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "teleportation probability")]
+    fn invalid_teleportation_panics() {
+        let g = DiGraph::from_edges(2, &[(0, 1)]);
+        pagerank(
+            &g,
+            PageRankOptions {
+                teleportation: 1.5,
+                ..PageRankOptions::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Turning graph measures into the popularity scores the ranking layer
+//! expects.
+//!
+//! The paper treats "popularity" abstractly (in-degree, PageRank, visit
+//! counts, …). This module normalises any of those raw measures into the
+//! `[0, 1]` popularity scale used by `rrp-ranking`/`rrp-sim`, and provides
+//! a convenience that computes all three classic measures for a graph.
+
+use crate::graph::DiGraph;
+use crate::pagerank::{pagerank, PageRankOptions};
+use serde::{Deserialize, Serialize};
+
+/// Which graph-derived popularity measure to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PopularityMeasure {
+    /// Number of in-links.
+    InDegree,
+    /// PageRank score with the default options.
+    PageRank,
+}
+
+/// All popularity measures computed for one graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphPopularity {
+    /// Raw in-degree per node.
+    pub in_degree: Vec<usize>,
+    /// PageRank score per node (sums to 1).
+    pub pagerank: Vec<f64>,
+}
+
+impl GraphPopularity {
+    /// Compute every supported measure for `graph`.
+    pub fn compute(graph: &DiGraph) -> Self {
+        GraphPopularity {
+            in_degree: graph.in_degrees().to_vec(),
+            pagerank: pagerank(graph, PageRankOptions::default()).scores,
+        }
+    }
+
+    /// The selected measure normalised to `[0, 1]` by dividing by the
+    /// maximum (an empty graph yields an empty vector; an all-zero measure
+    /// yields all zeros).
+    pub fn normalized(&self, measure: PopularityMeasure) -> Vec<f64> {
+        match measure {
+            PopularityMeasure::InDegree => {
+                normalize(&self.in_degree.iter().map(|&d| d as f64).collect::<Vec<_>>())
+            }
+            PopularityMeasure::PageRank => normalize(&self.pagerank),
+        }
+    }
+}
+
+/// Divide by the max value; all-zero input stays all zero.
+pub fn normalize(values: &[f64]) -> Vec<f64> {
+    let max = values.iter().cloned().fold(0.0_f64, f64::max);
+    if max <= 0.0 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|&v| (v / max).clamp(0.0, 1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::preferential_attachment;
+    use rrp_model::new_rng;
+
+    #[test]
+    fn normalize_handles_zero_and_scales_max_to_one() {
+        assert_eq!(normalize(&[]), Vec::<f64>::new());
+        assert_eq!(normalize(&[0.0, 0.0]), vec![0.0, 0.0]);
+        let n = normalize(&[1.0, 2.0, 4.0]);
+        assert_eq!(n, vec![0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn compute_produces_consistent_lengths() {
+        let mut rng = new_rng(1);
+        let g = preferential_attachment(500, 2, &mut rng);
+        let pop = GraphPopularity::compute(&g);
+        assert_eq!(pop.in_degree.len(), 500);
+        assert_eq!(pop.pagerank.len(), 500);
+        let norm = pop.normalized(PopularityMeasure::PageRank);
+        assert_eq!(norm.len(), 500);
+        assert!(norm.iter().cloned().fold(0.0_f64, f64::max) <= 1.0 + 1e-12);
+        assert!((norm.iter().cloned().fold(0.0_f64, f64::max) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indegree_and_pagerank_rank_hubs_similarly() {
+        let mut rng = new_rng(2);
+        let g = preferential_attachment(1_000, 3, &mut rng);
+        let pop = GraphPopularity::compute(&g);
+        let top_indeg = pop
+            .in_degree
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &d)| d)
+            .unwrap()
+            .0;
+        // The biggest in-degree hub should be in the PageRank top 10.
+        let mut by_pr: Vec<usize> = (0..1_000).collect();
+        by_pr.sort_by(|&a, &b| pop.pagerank[b].partial_cmp(&pop.pagerank[a]).unwrap());
+        let rank_of_hub = by_pr.iter().position(|&v| v == top_indeg).unwrap();
+        assert!(
+            rank_of_hub < 10,
+            "in-degree hub should also be a PageRank hub, found at rank {rank_of_hub}"
+        );
+    }
+
+    #[test]
+    fn normalized_in_degree_matches_manual_computation() {
+        let g = DiGraph::from_edges(3, &[(0, 2), (1, 2), (0, 1)]);
+        let pop = GraphPopularity::compute(&g);
+        let norm = pop.normalized(PopularityMeasure::InDegree);
+        assert_eq!(norm, vec![0.0, 0.5, 1.0]);
+    }
+}

@@ -1,0 +1,219 @@
+//! A random surfer over the link graph.
+//!
+//! Section 8 of the paper mixes search-driven visits with classic random
+//! surfing: with probability `1 − c` the surfer follows an out-link of the
+//! current page, with probability `c` ("teleportation") she jumps to a
+//! uniformly random page. Simulating the surfer and counting visits gives an
+//! empirical estimate of PageRank, which the tests use to cross-validate the
+//! power-iteration implementation — and which the mixed-browsing experiment
+//! uses as its browsing-traffic substrate.
+
+use crate::graph::{DiGraph, NodeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the random surfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurferOptions {
+    /// Teleportation probability `c` (0.15 by convention).
+    pub teleportation: f64,
+    /// Number of steps to simulate.
+    pub steps: usize,
+    /// Number of warm-up steps discarded before counting visits.
+    pub warmup: usize,
+}
+
+impl Default for SurferOptions {
+    fn default() -> Self {
+        SurferOptions {
+            teleportation: 0.15,
+            steps: 100_000,
+            warmup: 1_000,
+        }
+    }
+}
+
+/// Outcome of a random walk: per-node visit counts and frequencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurferResult {
+    /// Number of counted visits to each node.
+    pub visits: Vec<u64>,
+    /// Visit frequencies (sums to 1 when any step was counted).
+    pub frequencies: Vec<f64>,
+}
+
+/// Simulate a single random surfer for `options.steps` steps and return the
+/// visit statistics.
+pub fn random_surf<R: Rng + ?Sized>(
+    graph: &DiGraph,
+    options: SurferOptions,
+    rng: &mut R,
+) -> SurferResult {
+    let n = graph.node_count();
+    if n == 0 {
+        return SurferResult {
+            visits: Vec::new(),
+            frequencies: Vec::new(),
+        };
+    }
+    assert!(
+        (0.0..=1.0).contains(&options.teleportation),
+        "teleportation probability must be in [0, 1]"
+    );
+    let mut visits = vec![0u64; n];
+    let mut current: NodeId = rng.gen_range(0..n);
+    let total = options.warmup + options.steps;
+    for step in 0..total {
+        if step >= options.warmup {
+            visits[current] += 1;
+        }
+        let teleport = rng.gen::<f64>() < options.teleportation;
+        let neighbors = graph.out_neighbors(current);
+        current = if teleport || neighbors.is_empty() {
+            rng.gen_range(0..n)
+        } else {
+            neighbors[rng.gen_range(0..neighbors.len())]
+        };
+    }
+    let counted: u64 = visits.iter().sum();
+    let frequencies = if counted == 0 {
+        vec![0.0; n]
+    } else {
+        visits.iter().map(|&v| v as f64 / counted as f64).collect()
+    };
+    SurferResult {
+        visits,
+        frequencies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::preferential_attachment;
+    use crate::pagerank::{pagerank, PageRankOptions};
+    use rrp_model::new_rng;
+
+    #[test]
+    fn empty_graph_yields_empty_result() {
+        let g = DiGraph::from_edges(0, &[]);
+        let mut rng = new_rng(0);
+        let r = random_surf(&g, SurferOptions::default(), &mut rng);
+        assert!(r.visits.is_empty());
+        assert!(r.frequencies.is_empty());
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let mut rng = new_rng(1);
+        let r = random_surf(
+            &g,
+            SurferOptions {
+                steps: 20_000,
+                ..SurferOptions::default()
+            },
+            &mut rng,
+        );
+        let sum: f64 = r.frequencies.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(r.visits.iter().sum::<u64>(), 20_000);
+    }
+
+    #[test]
+    fn surfer_frequencies_approximate_pagerank() {
+        let mut rng = new_rng(2);
+        let g = preferential_attachment(200, 3, &mut rng);
+        let pr = pagerank(&g, PageRankOptions::default());
+        let surf = random_surf(
+            &g,
+            SurferOptions {
+                steps: 400_000,
+                warmup: 5_000,
+                ..SurferOptions::default()
+            },
+            &mut rng,
+        );
+        // Compare the top-10 PageRank pages: surfer frequency should be
+        // within 25% relative error for these well-visited nodes.
+        let mut order: Vec<usize> = (0..g.node_count()).collect();
+        order.sort_by(|&a, &b| pr.scores[b].partial_cmp(&pr.scores[a]).unwrap());
+        for &v in order.iter().take(10) {
+            let rel = (surf.frequencies[v] - pr.scores[v]).abs() / pr.scores[v];
+            assert!(
+                rel < 0.25,
+                "node {v}: surfer {:.5} vs pagerank {:.5} (rel err {rel:.3})",
+                surf.frequencies[v],
+                pr.scores[v]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_steps_counts_nothing() {
+        let g = DiGraph::from_edges(2, &[(0, 1)]);
+        let mut rng = new_rng(3);
+        let r = random_surf(
+            &g,
+            SurferOptions {
+                steps: 0,
+                warmup: 10,
+                ..SurferOptions::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(r.visits, vec![0, 0]);
+        assert_eq!(r.frequencies, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn dangling_nodes_teleport_instead_of_getting_stuck() {
+        // 0 -> 1, node 1 dangles; the walk must still visit node 0 again.
+        let g = DiGraph::from_edges(2, &[(0, 1)]);
+        let mut rng = new_rng(4);
+        let r = random_surf(
+            &g,
+            SurferOptions {
+                steps: 10_000,
+                warmup: 0,
+                ..SurferOptions::default()
+            },
+            &mut rng,
+        );
+        assert!(r.visits[0] > 1_000);
+        assert!(r.visits[1] > 1_000);
+    }
+
+    #[test]
+    fn full_teleportation_is_uniform() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut rng = new_rng(5);
+        let r = random_surf(
+            &g,
+            SurferOptions {
+                teleportation: 1.0,
+                steps: 40_000,
+                warmup: 0,
+            },
+            &mut rng,
+        );
+        for &f in &r.frequencies {
+            assert!((f - 0.25).abs() < 0.02, "frequency {f} should be ≈ 0.25");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "teleportation probability")]
+    fn invalid_teleportation_panics() {
+        let g = DiGraph::from_edges(2, &[(0, 1)]);
+        let mut rng = new_rng(0);
+        random_surf(
+            &g,
+            SurferOptions {
+                teleportation: -0.1,
+                ..SurferOptions::default()
+            },
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Compare the paper's analytical steady-state model against the simulator
+//! on the same community: quality-per-click and time-to-become-popular for
+//! nonrandomized ranking vs selective randomized promotion.
+//!
+//! Run with `cargo run --release --example analytic_vs_simulation`.
+
+use rrp_core::prelude::*;
+use rrp_core::sim::TBP_POPULARITY_THRESHOLD;
+
+fn main() {
+    let community = CommunityConfig::builder()
+        .scaled_to_pages(2_000)
+        .expected_lifetime_years(1.5)
+        .build()
+        .expect("valid community");
+    let groups = QualityGroups::from_distribution(
+        &PowerLawQuality::paper_default(),
+        community.pages(),
+    );
+
+    println!("popularity threshold for TBP: {TBP_POPULARITY_THRESHOLD} x quality\n");
+    println!(
+        "{:<28} {:>14} {:>14} {:>14} {:>14}",
+        "ranking", "QPC (analysis)", "QPC (sim)", "TBP (analysis)", "TBP (sim)"
+    );
+
+    let cases = [
+        ("no randomization", RankingModel::NonRandomized),
+        (
+            "selective (r=0.1, k=1)",
+            RankingModel::Selective {
+                start_rank: 1,
+                degree: 0.1,
+            },
+        ),
+        (
+            "selective (r=0.2, k=1)",
+            RankingModel::Selective {
+                start_rank: 1,
+                degree: 0.2,
+            },
+        ),
+    ];
+
+    for (name, model) in cases {
+        // Analysis: solve the fixed point of Section 5.
+        let solved = AnalyticModel::new(community, groups.clone(), model)
+            .expect("valid model")
+            .solve();
+        let qpc_analysis = solved.normalized_qpc();
+        let tbp_analysis = solved.expected_tbp(0.4);
+
+        // Simulation: same community, same ranking description.
+        let policy: Box<dyn RankingPolicy> = match model {
+            RankingModel::NonRandomized => Box::new(PopularityRanking),
+            RankingModel::Selective { start_rank, degree } => {
+                Box::new(RandomizedRankPromotion::new(
+                    PromotionConfig::new(PromotionRule::Selective, start_rank, degree).unwrap(),
+                ))
+            }
+            RankingModel::Uniform { start_rank, degree } => {
+                Box::new(RandomizedRankPromotion::new(
+                    PromotionConfig::new(PromotionRule::Uniform, start_rank, degree).unwrap(),
+                ))
+            }
+        };
+        let mut sim = Simulation::new(SimConfig::for_community(community, 7), policy)
+            .expect("valid simulation");
+        let metrics = sim.run_windows(1_100, 1_100);
+        let tbp_sim = sim.measure_tbp(2, 4_000);
+
+        println!(
+            "{:<28} {:>14.3} {:>14.3} {:>13.0}d {:>13.0}d",
+            name,
+            qpc_analysis,
+            metrics.normalized_qpc,
+            tbp_analysis.min(99_999.0),
+            tbp_sim.mean_days
+        );
+    }
+
+    println!();
+    println!("The analysis and the simulation agree on the shape: randomized rank promotion");
+    println!("raises quality-per-click and cuts the time for a new high-quality page to become");
+    println!("popular by orders of magnitude (paper, Figures 4-5). Simulated TBP is censored at");
+    println!("4,000 days per trial, so entrenched baselines report a lower bound.");
+}

@@ -1,0 +1,43 @@
+//! Quickstart: embed randomized rank promotion into a search pipeline.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use rrp_core::{Document, QueryContext, RankPromotionEngine};
+
+fn main() {
+    // Pretend these are the results your engine produced for the query
+    // "swimming", already scored by popularity (PageRank, clicks, ...).
+    // Two brand-new pages have no popularity signal yet.
+    let results = vec![
+        Document::established(1001, 0.93).with_age(900),
+        Document::established(1002, 0.71).with_age(740),
+        Document::established(1003, 0.44).with_age(1_200),
+        Document::established(1004, 0.31).with_age(400),
+        Document::established(1005, 0.12).with_age(210),
+        Document::established(1006, 0.05).with_age(95),
+        Document::unexplored(9001), // published yesterday
+        Document::unexplored(9002), // published this morning
+    ];
+
+    // The paper's recommendation: selective promotion of unexplored pages,
+    // 10% randomization, top result protected (k = 2).
+    let engine = RankPromotionEngine::recommended();
+
+    println!("promotion configuration: {}", engine.config().label());
+    println!();
+
+    // The shuffle is deterministic per (query, session): a user who reruns
+    // the query sees the same list, but different sessions explore
+    // different new pages.
+    for session in ["alice", "bob", "carol"] {
+        let ctx = QueryContext::from_strings("swimming", session);
+        let order = engine.rerank(&results, ctx);
+        println!("session {session:>6}: {order:?}");
+    }
+
+    println!();
+    println!("Note that document 1001 (the most popular result) is always at rank 1,");
+    println!("while the unexplored documents 9001/9002 occasionally appear in the list");
+    println!("at a randomized position — that is the controlled exploration that lets");
+    println!("new, high-quality pages prove their worth.");
+}
