@@ -119,7 +119,10 @@ where
     F: Fn(f64) -> f64,
 {
     assert!(monitored_users >= 1, "need at least one monitored user");
-    assert!(steps_per_day >= 1, "need at least one integration step per day");
+    assert!(
+        steps_per_day >= 1,
+        "need at least one integration step per day"
+    );
     let m = monitored_users as f64;
     let dt = 1.0 / steps_per_day as f64;
     let mut a: f64 = 0.0;
@@ -174,8 +177,12 @@ where
     let mut p = vec![0.0; m + 1];
     p[0] = 1.0;
     let mut out = Vec::with_capacity(days + 1);
-    let expected =
-        |p: &[f64]| -> f64 { p.iter().enumerate().map(|(i, &q)| q * i as f64 / m as f64).sum() };
+    let expected = |p: &[f64]| -> f64 {
+        p.iter()
+            .enumerate()
+            .map(|(i, &q)| q * i as f64 / m as f64)
+            .sum()
+    };
     out.push(expected(&p));
     for _ in 0..days {
         for _ in 0..substeps {
@@ -320,8 +327,12 @@ mod tests {
         let visit = |x: f64| 0.001 + 2.0 * x;
         let low = awareness_distribution(visit, 0.05, 100, LAMBDA);
         let high = awareness_distribution(visit, 0.4, 100, LAMBDA);
-        let mean =
-            |f: &[f64]| -> f64 { f.iter().enumerate().map(|(i, &p)| p * i as f64 / 100.0).sum() };
+        let mean = |f: &[f64]| -> f64 {
+            f.iter()
+                .enumerate()
+                .map(|(i, &p)| p * i as f64 / 100.0)
+                .sum()
+        };
         assert!(
             mean(&high) > mean(&low),
             "high quality mean {} should exceed low quality mean {}",
@@ -384,10 +395,7 @@ mod tests {
         let ode = awareness_trajectory(|_| 0.5, 0.4, 50, 400, 4);
         let chain = awareness_chain_trajectory(|_| 0.5, 0.4, 50, 400);
         for (day, (a, b)) in ode.iter().zip(&chain).enumerate() {
-            assert!(
-                (a - b).abs() < 0.02,
-                "day {day}: ode {a} vs chain {b}"
-            );
+            assert!((a - b).abs() < 0.02, "day {day}: ode {a} vs chain {b}");
         }
     }
 
@@ -410,7 +418,11 @@ mod tests {
         let visit = |x: f64| if x <= 0.0 { 1e-4 } else { 1.0 + 10.0 * x };
         let chain = awareness_chain_trajectory(visit, 0.4, 100, 200);
         let ode = awareness_trajectory(visit, 0.4, 100, 200, 4);
-        assert!(chain[200] < 0.1, "chain should still be waiting: {}", chain[200]);
+        assert!(
+            chain[200] < 0.1,
+            "chain should still be waiting: {}",
+            chain[200]
+        );
         assert!(ode[200] > 0.5, "ode races ahead: {}", ode[200]);
     }
 
@@ -421,14 +433,17 @@ mod tests {
         let m = 100usize;
         let threshold = 0.99;
         let target = (threshold * m as f64).ceil() as usize;
-        let expected: f64 = (0..target).map(|i| 1.0 / (v * (1.0 - i as f64 / m as f64))).sum();
+        let expected: f64 = (0..target)
+            .map(|i| 1.0 / (v * (1.0 - i as f64 / m as f64)))
+            .sum();
         let t = expected_hitting_time(|_| v, 0.4, m, threshold);
         assert!((t - expected).abs() < 1e-9);
     }
 
     #[test]
     fn hitting_time_reflects_zero_popularity_bottleneck() {
-        let entrenched = expected_hitting_time(|x| if x <= 0.0 { 1e-4 } else { 1.0 }, 0.4, 100, 0.99);
+        let entrenched =
+            expected_hitting_time(|x| if x <= 0.0 { 1e-4 } else { 1.0 }, 0.4, 100, 0.99);
         let promoted = expected_hitting_time(|x| if x <= 0.0 { 0.5 } else { 1.0 }, 0.4, 100, 0.99);
         assert!(entrenched > 10_000.0);
         assert!(promoted < 600.0);

@@ -39,8 +39,10 @@ pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<
             if factor == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            let (upper, lower) = a.split_at_mut(row);
+            let pivot_row = &upper[col][col..];
+            for (target, &source) in lower[0][col..].iter_mut().zip(pivot_row) {
+                *target -= factor * source;
             }
             b[row] -= factor * b[col];
         }
@@ -177,7 +179,9 @@ mod tests {
     fn polyfit_with_too_few_points_fails() {
         assert!(weighted_polyfit(&[1.0], &[2.0], &[1.0], 2).is_none());
         // Degenerate: all x identical -> singular normal equations.
-        assert!(weighted_polyfit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], &[1.0, 1.0, 1.0], 2).is_none());
+        assert!(
+            weighted_polyfit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], &[1.0, 1.0, 1.0], 2).is_none()
+        );
     }
 
     #[test]

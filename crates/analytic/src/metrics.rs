@@ -3,9 +3,7 @@
 //! (quality-per-click, Section 3.3), plus the popularity-evolution and
 //! visit-rate curves of Figures 2 and 4(a).
 
-use crate::awareness::{
-    awareness_chain_trajectory, awareness_distribution, expected_hitting_time,
-};
+use crate::awareness::{awareness_chain_trajectory, awareness_distribution, expected_hitting_time};
 use crate::solver::SolvedModel;
 use rrp_attention::RankBias;
 
@@ -160,7 +158,9 @@ mod tests {
             .unwrap();
         let dist = PowerLawQuality::paper_default();
         let groups = QualityGroups::from_distribution(&dist, 1_000);
-        AnalyticModel::new(community, groups, model).unwrap().solve()
+        AnalyticModel::new(community, groups, model)
+            .unwrap()
+            .solve()
     }
 
     #[test]
@@ -171,7 +171,10 @@ mod tests {
         let normalized = solved.normalized_qpc();
         assert!(absolute > 0.0 && absolute <= 0.4 + 1e-9);
         assert!(ideal > 0.0 && ideal <= 0.4 + 1e-9);
-        assert!(absolute <= ideal + 1e-9, "absolute {absolute} vs ideal {ideal}");
+        assert!(
+            absolute <= ideal + 1e-9,
+            "absolute {absolute} vs ideal {ideal}"
+        );
         assert!(normalized > 0.0 && normalized <= 1.0 + 1e-9);
     }
 
@@ -211,7 +214,9 @@ mod tests {
             .unwrap();
         let dist = PowerLawQuality::paper_default();
         let groups = QualityGroups::from_distribution(&dist, 2_000);
-        AnalyticModel::new(community, groups, model).unwrap().solve()
+        AnalyticModel::new(community, groups, model)
+            .unwrap()
+            .solve()
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl QualityGroups {
         let mut groups: Vec<QualityGroup> = Vec::new();
         let preserve = preserve_top.min(sorted.len());
         for &q in sorted.iter().take(preserve) {
-            groups.push(QualityGroup { quality: q, count: 1 });
+            groups.push(QualityGroup {
+                quality: q,
+                count: 1,
+            });
         }
 
         let rest = &sorted[preserve..];
@@ -111,7 +114,7 @@ impl QualityGroups {
     pub fn expanded_qualities(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.total_pages);
         for g in &self.groups {
-            out.extend(std::iter::repeat(g.quality).take(g.count));
+            out.extend(std::iter::repeat_n(g.quality, g.count));
         }
         out
     }

@@ -67,7 +67,9 @@ impl RankingModel {
                     return Err("start rank must be ≥ 1 (ranks are 1-based)".to_owned());
                 }
                 if !(0.0..=1.0).contains(&degree) || !degree.is_finite() {
-                    return Err(format!("degree of randomization {degree} must be in [0, 1]"));
+                    return Err(format!(
+                        "degree of randomization {degree} must be in [0, 1]"
+                    ));
                 }
                 Ok(())
             }
@@ -116,7 +118,11 @@ impl<'a> RankComputer<'a> {
         let mut suffix = Vec::with_capacity(groups.len());
         let mut z = 0.0;
         for (group, dist) in groups.iter().zip(awareness) {
-            assert_eq!(dist.len(), m + 1, "awareness distribution must have m+1 levels");
+            assert_eq!(
+                dist.len(),
+                m + 1,
+                "awareness distribution must have m+1 levels"
+            );
             let mut s = vec![0.0; m + 2];
             for i in (0..=m).rev() {
                 s[i] = s[i + 1] + dist[i];

@@ -151,9 +151,7 @@ impl AnalyticModel {
                 .groups
                 .groups()
                 .iter()
-                .map(|g| {
-                    awareness_distribution(|x| visit_function.eval(x), g.quality, m, lambda)
-                })
+                .map(|g| awareness_distribution(|x| visit_function.eval(x), g.quality, m, lambda))
                 .collect();
 
             // 2. Rank/visit computer for this iteration.
@@ -294,7 +292,11 @@ mod tests {
         let (community, groups) = small_community();
         let model = AnalyticModel::new(community, groups, RankingModel::NonRandomized).unwrap();
         let solved = model.solve();
-        assert!(solved.converged, "should converge in {} iterations", solved.iterations);
+        assert!(
+            solved.converged,
+            "should converge in {} iterations",
+            solved.iterations
+        );
         assert!(solved.zero_awareness_pages > 0.0);
         assert!(solved.zero_awareness_pages <= 1_000.0);
         // Awareness distributions are normalised.

@@ -54,7 +54,9 @@ fn tail_euler_maclaurin(a: usize, b: usize, s: f64) -> f64 {
     } else {
         (bf.powf(1.0 - s) - af.powf(1.0 - s)) / (1.0 - s)
     };
-    integral + 0.5 * (af.powf(-s) + bf.powf(-s)) + s / 12.0 * (af.powf(-s - 1.0) - bf.powf(-s - 1.0))
+    integral
+        + 0.5 * (af.powf(-s) + bf.powf(-s))
+        + s / 12.0 * (af.powf(-s - 1.0) - bf.powf(-s - 1.0))
 }
 
 /// The Riemann zeta value `ζ(3/2) ≈ 2.612375…`, the limit of
@@ -87,10 +89,7 @@ mod tests {
             for &s in &[0.5, 1.0, 1.5, 2.0] {
                 let fast = generalized_harmonic(n, s);
                 let slow = brute(n, s);
-                assert!(
-                    (fast - slow).abs() < 1e-9,
-                    "n={n} s={s}: {fast} vs {slow}"
-                );
+                assert!((fast - slow).abs() < 1e-9, "n={n} s={s}: {fast} vs {slow}");
             }
         }
     }
@@ -121,7 +120,10 @@ mod tests {
     fn converges_toward_zeta_three_halves() {
         let h = generalized_harmonic(10_000_000, 1.5);
         assert!(h < ZETA_3_2);
-        assert!(ZETA_3_2 - h < 1e-3, "H(1e7, 1.5) = {h} should be close to ζ(3/2)");
+        assert!(
+            ZETA_3_2 - h < 1e-3,
+            "H(1e7, 1.5) = {h} should be close to ζ(3/2)"
+        );
     }
 
     #[test]

@@ -101,7 +101,9 @@ impl RankBias {
 
     /// The full vector of expected visits by rank, `[rank 1, rank 2, …]`.
     pub fn visits_by_rank(&self) -> Vec<f64> {
-        (1..=self.positions).map(|r| self.visits_at_rank(r)).collect()
+        (1..=self.positions)
+            .map(|r| self.visits_at_rank(r))
+            .collect()
     }
 
     /// The full vector of view probabilities by rank; sums to 1.

@@ -31,16 +31,23 @@ fn page_stats(n: usize) -> Vec<PageStats> {
         .map(|slot| {
             let q = dist.sample(&mut rng).value();
             let awareness = if slot % 10 == 0 { 0.0 } else { 0.5 };
-            PageStats::new(slot, rrp_model::PageId::new(slot as u64), awareness * q, awareness)
-                .with_age((slot % 365) as u64)
-                .with_quality(q)
+            PageStats::new(
+                slot,
+                rrp_model::PageId::new(slot as u64),
+                awareness * q,
+                awareness,
+            )
+            .with_age((slot % 365) as u64)
+            .with_quality(q)
         })
         .collect()
 }
 
 fn bench_engine_rerank(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_rerank");
-    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(30);
     for &n in &[100usize, 1_000, 10_000] {
         let docs = corpus(n);
         let engine = RankPromotionEngine::recommended();
@@ -57,7 +64,9 @@ fn bench_engine_rerank(c: &mut Criterion) {
 
 fn bench_ranking_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("ranking_policy_10k_pages");
-    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(30);
     let stats = page_stats(10_000);
     let mut rng = new_rng(1);
     group.bench_function("popularity", |b| {
@@ -72,7 +81,9 @@ fn bench_ranking_policies(c: &mut Criterion) {
 
 fn bench_simulation_day(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation_day");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     let community = CommunityConfig::builder()
         .scaled_to_pages(10_000)
         .build()
@@ -89,7 +100,9 @@ fn bench_simulation_day(c: &mut Criterion) {
 
 fn bench_analytic_awareness(c: &mut Criterion) {
     let mut group = c.benchmark_group("analytic");
-    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(30);
     group.bench_function("awareness_distribution_m100", |b| {
         b.iter(|| {
             black_box(rrp_analytic::awareness_distribution(
@@ -105,7 +118,9 @@ fn bench_analytic_awareness(c: &mut Criterion) {
 
 fn bench_pagerank(c: &mut Criterion) {
     let mut group = c.benchmark_group("webgraph");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     let mut rng = new_rng(11);
     let graph = rrp_webgraph::preferential_attachment(10_000, 5, &mut rng);
     group.bench_function("pagerank_10k_nodes", |b| {

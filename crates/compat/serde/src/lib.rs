@@ -1,0 +1,476 @@
+//! A minimal, vendored stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the handful of external dependencies are vendored as small compatible
+//! subsets under `crates/compat/`. This crate provides the [`Serialize`] and
+//! [`Deserialize`] traits (re-exporting the derive macros of the same names
+//! from `serde_derive`), built on a simple self-describing [`Value`] data
+//! model instead of serde's visitor architecture. The companion
+//! `serde_json` crate renders [`Value`] to JSON text and parses it back,
+//! which is all the workspace uses serialization for.
+//!
+//! Supported derive features (the subset the workspace uses):
+//! `#[serde(transparent)]` on newtype structs, `#[serde(skip)]` on fields
+//! (skipped on serialize, `Default::default()` on deserialize), structs with
+//! named fields, unit structs, tuple structs, and enums with unit, newtype,
+//! tuple and struct variants (externally tagged, as in real serde).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing intermediate data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / Rust `Option::None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// A map with string keys, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Fetch an entry of a map value by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// View as a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// View as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(x) => Some(x),
+            Value::I64(x) => Some(x as f64),
+            Value::U64(x) => Some(x as f64),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(x) => Some(x),
+            Value::I64(x) if x >= 0 => Some(x as u64),
+            Value::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(x) => Some(x),
+            Value::U64(x) if x <= i64::MAX as u64 => Some(x as i64),
+            Value::F64(x) if x.fract() == 0.0 && x >= i64::MIN as f64 && x <= i64::MAX as f64 => {
+                Some(x as i64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        DeError(m.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can convert itself into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to the intermediate data model.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstruct from the intermediate data model.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = value.as_u64().ok_or_else(|| {
+                    DeError::msg(format!("expected unsigned integer, got {value:?}"))
+                })?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::msg(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = value.as_i64().ok_or_else(|| {
+                    DeError::msg(format!("expected signed integer, got {value:?}"))
+                })?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::msg(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                value
+                    .as_f64()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| DeError::msg(format!("expected number, got {value:?}")))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::msg(format!(
+                "expected single-char string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::msg(format!("expected array of {N} elements, got {len}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_seq()
+            .ok_or_else(|| DeError::msg(format!("expected sequence, got {value:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let seq = value
+                    .as_seq()
+                    .ok_or_else(|| DeError::msg(format!("expected tuple sequence, got {value:?}")))?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(DeError::msg(format!(
+                        "expected tuple of {expected} elements, got {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Render a map key as a string (JSON object keys are strings).
+fn key_to_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::U64(x) => x.to_string(),
+        Value::I64(x) => x.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Parse a map key back from its string form.
+trait FromKey: Sized {
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl FromKey for String {
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_from_key_num {
+    ($($t:ty),*) => {$(
+        impl FromKey for $t {
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse()
+                    .map_err(|_| DeError::msg(format!("invalid {} map key {key:?}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_from_key_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + FromKey + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_map()
+            .ok_or_else(|| DeError::msg(format!("expected map, got {value:?}")))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for BTreeMap<K, V>
+where
+    K: Deserialize + FromKey + Ord,
+    V: Deserialize,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_map()
+            .ok_or_else(|| DeError::msg(format!("expected map, got {value:?}")))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-5i32).to_value()).unwrap(), -5);
+        assert_eq!(f64::from_value(&0.25f64.to_value()).unwrap(), 0.25);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1.0f64, 2.0f64), (3.0, 4.0)];
+        let back: Vec<(f64, f64)> = Vec::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+        let none: Option<u64> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::U64(3).as_f64(), Some(3.0));
+        assert_eq!(Value::F64(3.0).as_u64(), Some(3));
+        assert_eq!(Value::F64(3.5).as_u64(), None);
+        assert_eq!(Value::I64(-1).as_u64(), None);
+    }
+
+    #[test]
+    fn map_lookup() {
+        let m = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(m.get("a"), Some(&Value::U64(1)));
+        assert_eq!(m.get("b"), None);
+    }
+}

@@ -1,0 +1,580 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the vendored minimal `serde` facade.
+//!
+//! The build environment has no crates.io access, so this proc-macro crate
+//! parses the item's token stream directly (no `syn`/`quote`) and emits
+//! implementations of the facade's `to_value`/`from_value` traits. It
+//! supports exactly the shapes this workspace derives on: non-generic
+//! structs (named, tuple, unit) and enums (unit, newtype, tuple and struct
+//! variants), plus the `#[serde(transparent)]` container attribute and the
+//! `#[serde(skip)]` / `#[serde(default)]` field attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the facade's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive the facade's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// A tiny structural model of the derived item.
+
+struct Field {
+    /// Named-field name, or tuple index rendered as a string.
+    name: String,
+    /// Skipped fields are omitted on serialize and defaulted on deserialize.
+    skip: bool,
+    /// Defaulted fields fall back to `Default::default()` when missing.
+    default: bool,
+}
+
+enum Shape {
+    Unit,
+    /// Tuple struct / tuple variant with `n` unnamed fields.
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Body {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing.
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Outer attributes and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if attr_is_serde_flag(g.stream(), "transparent") {
+                        transparent = true;
+                    }
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported, found `{name}<...>`");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => {
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Struct(Shape::Named(parse_named_fields(g.stream())))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Struct(Shape::Tuple(parse_tuple_fields(g.stream())))
+                }
+                // Unit struct: `struct Name;`
+                _ => Body::Struct(Shape::Unit),
+            }
+        }
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        transparent,
+        body,
+    }
+}
+
+/// Does `#[serde(...)]` attribute content contain the given flag word?
+fn attr_is_serde_flag(attr: TokenStream, flag: &str) -> bool {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.get(1) {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == flag)),
+        _ => false,
+    }
+}
+
+/// Parse named fields, tracking `#[serde(skip)]` / `#[serde(default)]`.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        let mut default = false;
+        // Field attributes.
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                skip |= attr_is_serde_flag(g.stream(), "skip");
+                default |= attr_is_serde_flag(g.stream(), "default");
+            }
+            i += 2;
+        }
+        // Visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        // Colon.
+        i += 1;
+        // Skip the type: everything until a comma at zero angle-bracket depth.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+/// Parse tuple-struct fields (only count and per-field attrs matter).
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    let mut any = false;
+    let mut skip = false;
+    let mut default = false;
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' && depth == 0 => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    skip |= attr_is_serde_flag(g.stream(), "skip");
+                    default |= attr_is_serde_flag(g.stream(), "default");
+                }
+                i += 1; // the group is consumed by the generic advance below
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields.push(Field {
+                    name: fields.len().to_string(),
+                    skip,
+                    default,
+                });
+                skip = false;
+                default = false;
+                any = false;
+                i += 1;
+                continue;
+            }
+            _ => any = true,
+        }
+        i += 1;
+    }
+    if any {
+        fields.push(Field {
+            name: fields.len().to_string(),
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Variant attributes.
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (as source text, parsed back into a token stream).
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(shape) => serialize_shape_expr(shape, item.transparent, "self.", None),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&serialize_variant_arm(name, v));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Serialize expression for a struct-like shape.
+///
+/// `access` is the prefix for reaching fields (`self.` for structs, empty
+/// for variant bindings). `variant` wraps the result in the externally
+/// tagged enum representation.
+fn serialize_shape_expr(
+    shape: &Shape,
+    transparent: bool,
+    access: &str,
+    variant: Option<&str>,
+) -> String {
+    let inner = match shape {
+        Shape::Unit => "::serde::Value::Map(::std::vec::Vec::new())".to_string(),
+        Shape::Tuple(fields) => {
+            let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if transparent || active.len() == 1 {
+                let f = active.first().expect("transparent/newtype needs a field");
+                format!(
+                    "::serde::Serialize::to_value(&{access}{})",
+                    binding(access, &f.name)
+                )
+            } else {
+                let items: Vec<String> = active
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "::serde::Serialize::to_value(&{access}{})",
+                            binding(access, &f.name)
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+        }
+        Shape::Named(fields) => {
+            if transparent {
+                let f = fields
+                    .iter()
+                    .find(|f| !f.skip)
+                    .expect("transparent needs a field");
+                format!("::serde::Serialize::to_value(&{access}{})", f.name)
+            } else {
+                let mut pushes = String::new();
+                for f in fields.iter().filter(|f| !f.skip) {
+                    pushes.push_str(&format!(
+                        "__fields.push((::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(&{access}{0})));",
+                        f.name
+                    ));
+                }
+                format!(
+                    "{{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                     = ::std::vec::Vec::new(); {pushes} ::serde::Value::Map(__fields) }}"
+                )
+            }
+        }
+    };
+    match variant {
+        None => inner,
+        Some(tag) => {
+            if matches!(shape, Shape::Unit) {
+                format!("::serde::Value::Str(::std::string::String::from(\"{tag}\"))")
+            } else {
+                format!(
+                    "::serde::Value::Map(vec![(::std::string::String::from(\"{tag}\"), {inner})])"
+                )
+            }
+        }
+    }
+}
+
+/// Tuple fields of variants are bound to `__fN` names; struct fields keep
+/// their own names; `self.` access uses the index/name directly.
+fn binding(access: &str, field: &str) -> String {
+    if access.is_empty() {
+        format!("__f{field}")
+    } else {
+        field.to_string()
+    }
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        Shape::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+        ),
+        Shape::Tuple(fields) => {
+            let binders: Vec<String> = (0..fields.len()).map(|i| format!("__f{i}")).collect();
+            let expr = serialize_shape_expr(&v.shape, false, "", Some(vname));
+            format!("{enum_name}::{vname}({}) => {expr},\n", binders.join(", "))
+        }
+        Shape::Named(fields) => {
+            let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let expr = serialize_shape_expr(&v.shape, false, "", Some(vname));
+            format!(
+                "{enum_name}::{vname} {{ {} }} => {expr},\n",
+                binders.join(", ")
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(shape) => {
+            deserialize_shape_expr(name, None, shape, item.transparent, "__value")
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{0}\" => return ::std::result::Result::Ok({name}::{0}),\n",
+                            v.name
+                        ));
+                    }
+                    shape => {
+                        let expr =
+                            deserialize_shape_expr(name, Some(&v.name), shape, false, "__inner");
+                        tagged_arms.push_str(&format!(
+                            "\"{0}\" => {{ let __inner = __v; return {expr}; }}\n",
+                            v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::Str(__s) = __value {{\n\
+                     match __s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let ::serde::Value::Map(__entries) = __value {{\n\
+                     if let ::std::option::Option::Some((__tag, __v)) = __entries.first() {{\n\
+                         match __tag.as_str() {{ {tagged_arms} _ => {{}} }}\n\
+                     }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::DeError::msg(format!(\n\
+                     \"unknown {name} variant: {{:?}}\", __value)))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Deserialize expression evaluating to `Result<Type, DeError>`.
+fn deserialize_shape_expr(
+    type_name: &str,
+    variant: Option<&str>,
+    shape: &Shape,
+    transparent: bool,
+    source: &str,
+) -> String {
+    let constructor = match variant {
+        None => type_name.to_string(),
+        Some(v) => format!("{type_name}::{v}"),
+    };
+    match shape {
+        Shape::Unit => format!("::std::result::Result::Ok({constructor})"),
+        Shape::Tuple(fields) => {
+            let active: Vec<(usize, &Field)> =
+                fields.iter().enumerate().filter(|(_, f)| !f.skip).collect();
+            if transparent || active.len() == 1 {
+                let mut args = Vec::new();
+                for f in fields {
+                    if f.skip {
+                        args.push("::std::default::Default::default()".to_string());
+                    } else {
+                        args.push(format!("::serde::Deserialize::from_value({source})?"));
+                    }
+                }
+                format!(
+                    "::std::result::Result::Ok({constructor}({}))",
+                    args.join(", ")
+                )
+            } else {
+                let mut args = Vec::new();
+                let mut idx = 0usize;
+                for f in fields {
+                    if f.skip {
+                        args.push("::std::default::Default::default()".to_string());
+                    } else {
+                        args.push(format!("::serde::Deserialize::from_value(&__seq[{idx}])?"));
+                        idx += 1;
+                    }
+                }
+                format!(
+                    "{{ let __seq = {source}.as_seq().ok_or_else(|| \
+                     ::serde::DeError::msg(\"expected sequence for {constructor}\"))?;\n\
+                     if __seq.len() != {count} {{ return ::std::result::Result::Err(\
+                     ::serde::DeError::msg(format!(\"expected {count} elements for {constructor}, got {{}}\", __seq.len()))); }}\n\
+                     ::std::result::Result::Ok({constructor}({args})) }}",
+                    count = active.len(),
+                    args = args.join(", ")
+                )
+            }
+        }
+        Shape::Named(fields) => {
+            if transparent {
+                let f = fields
+                    .iter()
+                    .find(|f| !f.skip)
+                    .expect("transparent needs a field");
+                let mut inits = Vec::new();
+                for field in fields {
+                    if field.name == f.name {
+                        inits.push(format!(
+                            "{}: ::serde::Deserialize::from_value({source})?",
+                            field.name
+                        ));
+                    } else {
+                        inits.push(format!(
+                            "{}: ::std::default::Default::default()",
+                            field.name
+                        ));
+                    }
+                }
+                format!(
+                    "::std::result::Result::Ok({constructor} {{ {} }})",
+                    inits.join(", ")
+                )
+            } else {
+                let mut inits = Vec::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push(format!("{}: ::std::default::Default::default()", f.name));
+                    } else if f.default {
+                        inits.push(format!(
+                            "{0}: match {source}.get(\"{0}\") {{\n\
+                                 ::std::option::Option::Some(__f) => ::serde::Deserialize::from_value(__f)?,\n\
+                                 ::std::option::Option::None => ::std::default::Default::default(),\n\
+                             }}",
+                            f.name
+                        ));
+                    } else {
+                        inits.push(format!(
+                            "{0}: ::serde::Deserialize::from_value({source}.get(\"{0}\")\
+                             .ok_or_else(|| ::serde::DeError::msg(\"missing field `{0}`\"))?)?",
+                            f.name
+                        ));
+                    }
+                }
+                format!(
+                    "::std::result::Result::Ok({constructor} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+        }
+    }
+}

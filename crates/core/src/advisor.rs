@@ -39,8 +39,12 @@ pub struct Advice {
 impl Advice {
     /// The promotion configuration corresponding to the best candidate.
     pub fn recommended_config(&self) -> PromotionConfig {
-        PromotionConfig::new(PromotionRule::Selective, self.best.start_rank, self.best.degree)
-            .expect("grid candidates are valid")
+        PromotionConfig::new(
+            PromotionRule::Selective,
+            self.best.start_rank,
+            self.best.degree,
+        )
+        .expect("grid candidates are valid")
     }
 
     /// Predicted relative QPC improvement of the best candidate over the
@@ -98,10 +102,11 @@ impl ParameterAdvisor {
         let groups =
             QualityGroups::from_distribution(&PowerLawQuality::paper_default(), community.pages());
 
-        let baseline_qpc = AnalyticModel::new(community, groups.clone(), RankingModel::NonRandomized)?
-            .with_options(self.solver)
-            .solve()
-            .normalized_qpc();
+        let baseline_qpc =
+            AnalyticModel::new(community, groups.clone(), RankingModel::NonRandomized)?
+                .with_options(self.solver)
+                .solve()
+                .normalized_qpc();
 
         let mut candidates = Vec::new();
         for &start_rank in &self.start_ranks {

@@ -10,8 +10,8 @@
 
 use crate::document::{Document, QueryContext};
 use rrp_model::new_rng;
-use rrp_ranking::{PageStats, PromotionConfig, RandomizedRankPromotion, RankingPolicy};
 use rrp_model::PageId;
+use rrp_ranking::{PageStats, PromotionConfig, RandomizedRankPromotion, RankingPolicy};
 use serde::{Deserialize, Serialize};
 
 /// Re-ranks query results with randomized rank promotion.
@@ -47,13 +47,12 @@ impl RankPromotionEngine {
         self.config
     }
 
-    /// Re-rank `documents` for one query evaluation, returning document ids
-    /// in final display order (rank 1 first).
-    ///
-    /// The input order does not matter; popularity and the unexplored flag
-    /// drive the result. Duplicated ids are allowed (they are treated as
-    /// distinct result slots).
-    pub fn rerank(&self, documents: &[Document], context: QueryContext) -> Vec<u64> {
+    /// Re-rank `documents` for one query evaluation, returning input *slot*
+    /// indices in final display order (rank 1 first). This is the primitive
+    /// behind [`rerank`](Self::rerank) and
+    /// [`rerank_documents`](Self::rerank_documents); use it when the host
+    /// engine keeps its own per-slot payloads.
+    pub fn rerank_slots(&self, documents: &[Document], context: QueryContext) -> Vec<usize> {
         let stats: Vec<PageStats> = documents
             .iter()
             .enumerate()
@@ -70,25 +69,36 @@ impl RankPromotionEngine {
             .collect();
         let policy = RandomizedRankPromotion::new(self.config);
         let mut rng = new_rng(context.seed(self.seed));
-        policy
-            .rank(&stats, &mut rng)
+        policy.rank(&stats, &mut rng)
+    }
+
+    /// Re-rank `documents` for one query evaluation, returning document ids
+    /// in final display order (rank 1 first).
+    ///
+    /// The input order does not matter; popularity and the unexplored flag
+    /// drive the result. Duplicated ids are allowed (they are treated as
+    /// distinct result slots).
+    pub fn rerank(&self, documents: &[Document], context: QueryContext) -> Vec<u64> {
+        self.rerank_slots(documents, context)
             .into_iter()
             .map(|slot| documents[slot].id)
             .collect()
     }
 
     /// Convenience wrapper: re-rank and return `(rank, document)` pairs.
+    ///
+    /// Pairs by result slot, not by id, so duplicated ids keep the same
+    /// "distinct result slots" contract as [`rerank`](Self::rerank): each
+    /// input document appears exactly once, at its promoted rank.
     pub fn rerank_documents<'a>(
         &self,
         documents: &'a [Document],
         context: QueryContext,
     ) -> Vec<(usize, &'a Document)> {
-        let by_id: std::collections::HashMap<u64, &Document> =
-            documents.iter().map(|d| (d.id, d)).collect();
-        self.rerank(documents, context)
+        self.rerank_slots(documents, context)
             .into_iter()
             .enumerate()
-            .map(|(idx, id)| (idx + 1, by_id[&id]))
+            .map(|(idx, slot)| (idx + 1, &documents[slot]))
             .collect()
     }
 }
@@ -205,5 +215,62 @@ mod tests {
     fn empty_input_is_fine() {
         let engine = RankPromotionEngine::recommended();
         assert!(engine.rerank(&[], QueryContext::new(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn rerank_documents_keeps_duplicate_ids_as_distinct_slots() {
+        // Two established results and one unexplored result share id 7 —
+        // hosts may legitimately surface the same document id in several
+        // result slots. Pairing by id used to collapse them onto one
+        // &Document; pairing by slot must keep all three distinct.
+        let docs = vec![
+            Document::established(7, 0.9).with_age(50),
+            Document::established(7, 0.3).with_age(10),
+            Document::established(3, 0.6).with_age(30),
+            Document::unexplored(7),
+            Document::unexplored(9),
+        ];
+        let engine = RankPromotionEngine::new(
+            PromotionConfig::new(PromotionRule::Selective, 1, 0.5).unwrap(),
+        );
+        let ranked = engine.rerank_documents(&docs, QueryContext::new(4, 2));
+
+        assert_eq!(ranked.len(), docs.len(), "no slot may be dropped");
+        let ranks: Vec<usize> = ranked.iter().map(|&(rank, _)| rank).collect();
+        assert_eq!(ranks, vec![1, 2, 3, 4, 5]);
+        // Every input slot appears exactly once: compare by address, since
+        // ids are intentionally ambiguous.
+        let mut seen: Vec<*const Document> =
+            ranked.iter().map(|&(_, d)| d as *const Document).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            docs.len(),
+            "duplicate ids must stay distinct slots"
+        );
+        // The slot order matches rerank()'s id order exactly.
+        let ids: Vec<u64> = ranked.iter().map(|&(_, d)| d.id).collect();
+        assert_eq!(ids, engine.rerank(&docs, QueryContext::new(4, 2)));
+        // And the popularity-distinct duplicates keep their own payloads:
+        // the 0.9-popularity copy of id 7 outranks the 0.3-popularity copy.
+        let pos_of = |popularity: f64| {
+            ranked
+                .iter()
+                .find(|&&(_, d)| d.id == 7 && (d.popularity - popularity).abs() < 1e-12)
+                .map(|&(rank, _)| rank)
+                .unwrap()
+        };
+        assert!(pos_of(0.9) < pos_of(0.3));
+    }
+
+    #[test]
+    fn rerank_slots_is_the_common_primitive() {
+        let docs = corpus();
+        let ctx = QueryContext::new(11, 5);
+        let engine = RankPromotionEngine::recommended();
+        let slots = engine.rerank_slots(&docs, ctx);
+        let ids: Vec<u64> = slots.iter().map(|&s| docs[s].id).collect();
+        assert_eq!(ids, engine.rerank(&docs, ctx));
     }
 }

@@ -12,8 +12,8 @@
 
 use crate::options::ExperimentOptions;
 use crate::report::{FigureReport, Series};
+use crate::runner::SweepExecutor;
 use crate::runners::solve_analytic;
-use crate::sweep::parallel_map;
 use rrp_analytic::{AnalyticModel, QualityGroups, RankingModel, SolverOptions};
 use rrp_model::{PowerLawQuality, SeedSequence};
 use rrp_ranking::{
@@ -37,12 +37,17 @@ pub fn ablation_policies(options: &ExperimentOptions) -> FigureReport {
         (4, "Quality oracle"),
     ];
 
-    let results = parallel_map(policies, |&(idx, name)| {
-        let config = SimConfig::for_community(community, seeds.child_seed(idx as u64));
-        let mut sim = Simulation::new(config, build_policy(idx)).expect("valid config");
-        let metrics = sim.run_windows(options.warmup_days(), options.measure_days());
-        (name, metrics.normalized_qpc)
-    });
+    let executor = SweepExecutor::new("Ablation A1");
+    let results = executor.run(
+        policies,
+        |&(_, name)| name.to_string(),
+        |&(idx, name), stream| {
+            let config = SimConfig::for_community(community, seeds.child_seed(stream));
+            let mut sim = Simulation::new(config, build_policy(idx)).expect("valid config");
+            let metrics = sim.run_windows(options.warmup_days(), options.measure_days());
+            (name, metrics.normalized_qpc)
+        },
+    );
 
     let mut report = FigureReport::new(
         "Ablation A1",
@@ -83,23 +88,28 @@ pub fn ablation_solver_damping(options: &ExperimentOptions) -> FigureReport {
     let groups =
         QualityGroups::from_distribution(&PowerLawQuality::paper_default(), community.pages());
 
-    let results = parallel_map(dampings.to_vec(), |&damping| {
-        let solved = AnalyticModel::new(
-            community,
-            groups.clone(),
-            RankingModel::Selective {
-                start_rank: 1,
-                degree: 0.1,
-            },
-        )
-        .expect("valid model")
-        .with_options(SolverOptions {
-            damping,
-            ..SolverOptions::default()
-        })
-        .solve();
-        (damping, solved.normalized_qpc(), solved.converged)
-    });
+    let executor = SweepExecutor::new("Ablation A2");
+    let results = executor.run(
+        dampings.to_vec(),
+        |&damping| format!("damping={damping}"),
+        |&damping, _stream| {
+            let solved = AnalyticModel::new(
+                community,
+                groups.clone(),
+                RankingModel::Selective {
+                    start_rank: 1,
+                    degree: 0.1,
+                },
+            )
+            .expect("valid model")
+            .with_options(SolverOptions {
+                damping,
+                ..SolverOptions::default()
+            })
+            .solve();
+            (damping, solved.normalized_qpc(), solved.converged)
+        },
+    );
 
     let baseline = solve_analytic(community, RankingModel::NonRandomized).normalized_qpc();
 

@@ -3,6 +3,7 @@
 
 use crate::options::{ExperimentOptions, Scale};
 use crate::report::{FigureReport, Series};
+use crate::runner::SweepExecutor;
 use rrp_livestudy::{LiveStudy, StudyConfig};
 use rrp_model::SeedSequence;
 
@@ -23,15 +24,23 @@ pub fn figure1(options: &ExperimentOptions) -> FigureReport {
         Scale::Full => 12,
     };
 
+    let executor = SweepExecutor::new("Figure 1");
+    let outcomes = executor.run(
+        (0..repetitions).collect(),
+        |rep| format!("repetition={rep}"),
+        |_, stream| {
+            let config = StudyConfig::paper_default(seeds.child_seed(stream));
+            let outcome = LiveStudy::new(config)
+                .expect("study configuration is valid")
+                .run();
+            (outcome.control.ratio(), outcome.promoted.ratio())
+        },
+    );
     let mut control = 0.0;
     let mut promoted = 0.0;
-    for rep in 0..repetitions {
-        let config = StudyConfig::paper_default(seeds.child_seed(rep as u64));
-        let outcome = LiveStudy::new(config)
-            .expect("study configuration is valid")
-            .run();
-        control += outcome.control.ratio() / repetitions as f64;
-        promoted += outcome.promoted.ratio() / repetitions as f64;
+    for (control_ratio, promoted_ratio) in &outcomes {
+        control += control_ratio / repetitions as f64;
+        promoted += promoted_ratio / repetitions as f64;
     }
     let improvement = if control > 0.0 {
         promoted / control - 1.0

@@ -2,8 +2,8 @@
 
 use crate::options::{ExperimentOptions, Scale};
 use crate::report::{FigureReport, Series};
+use crate::runner::SweepExecutor;
 use crate::runners::simulate_qpc;
-use crate::sweep::parallel_map;
 use rrp_analytic::RankingModel;
 
 /// Reproduce Figure 8: absolute QPC as the fraction of browsing done by
@@ -38,15 +38,20 @@ pub fn figure8(options: &ExperimentOptions) -> FigureReport {
     ];
 
     let mut jobs = Vec::new();
-    for (m_idx, (name, model)) in methods.iter().enumerate() {
-        for (x_idx, &x) in surf_fractions.iter().enumerate() {
-            jobs.push((*name, *model, x, (m_idx * 31 + x_idx) as u64));
+    for (name, model) in &methods {
+        for &x in &surf_fractions {
+            jobs.push((*name, *model, x));
         }
     }
-    let results = parallel_map(jobs, |&(name, model, x, job)| {
-        let metrics = simulate_qpc(community, model, x, options, 800 + job);
-        (name, x, metrics.absolute_qpc)
-    });
+    let executor = SweepExecutor::new("Figure 8");
+    let results = executor.run(
+        jobs,
+        |&(name, _, x)| format!("{name} x={x}"),
+        |&(name, model, x), stream| {
+            let metrics = simulate_qpc(community, model, x, options, stream);
+            (name, x, metrics.absolute_qpc)
+        },
+    );
 
     let mut report = FigureReport::new(
         "Figure 8",
@@ -62,9 +67,7 @@ pub fn figure8(options: &ExperimentOptions) -> FigureReport {
             .collect();
         report.push_series(Series::new(name, series));
     }
-    report.push_note(
-        "absolute (not normalized) QPC, as in the paper: the ideal QPC varies with x",
-    );
+    report.push_note("absolute (not normalized) QPC, as in the paper: the ideal QPC varies with x");
     report.push_note(
         "paper expectation: randomized promotion is at least as good as nonrandomized ranking \
          for every x; a little random surfing helps nonrandomized ranking (it explores unpopular \

@@ -3,8 +3,8 @@
 
 use crate::options::{ExperimentOptions, Scale};
 use crate::report::{FigureReport, Series};
+use crate::runner::SweepExecutor;
 use crate::runners::{simulate_qpc, solve_analytic};
-use crate::sweep::parallel_map;
 use rrp_analytic::RankingModel;
 
 /// Reproduce Figure 5: normalized QPC vs degree of randomization `r`
@@ -18,29 +18,39 @@ pub fn figure5(options: &ExperimentOptions) -> FigureReport {
         Scale::Full => vec![0.0, 0.02, 0.05, 0.1, 0.15, 0.2],
     };
 
+    // Both rules degenerate to the same NonRandomized model at r = 0, so
+    // that cell is swept once and shared by both curves below.
     let mut jobs = Vec::new();
     for &degree in &degrees {
-        for rule in ["Selective", "Uniform"] {
-            jobs.push((rule, degree));
+        if degree == 0.0 {
+            jobs.push(("Baseline", degree));
+        } else {
+            for rule in ["Selective", "Uniform"] {
+                jobs.push((rule, degree));
+            }
         }
     }
-    let results = parallel_map(jobs, |&(rule, degree)| {
-        let model = match (rule, degree) {
-            (_, d) if d == 0.0 => RankingModel::NonRandomized,
-            ("Selective", d) => RankingModel::Selective {
-                start_rank: 1,
-                degree: d,
-            },
-            (_, d) => RankingModel::Uniform {
-                start_rank: 1,
-                degree: d,
-            },
-        };
-        let analytic = solve_analytic(community, model).normalized_qpc();
-        let sim = simulate_qpc(community, model, 0.0, options, 50 + (degree * 1000.0) as u64)
-            .normalized_qpc;
-        (rule.to_string(), degree, analytic, sim)
-    });
+    let executor = SweepExecutor::new("Figure 5");
+    let results = executor.run(
+        jobs,
+        |&(rule, degree)| format!("rule={rule} r={degree}"),
+        |&(rule, degree), stream| {
+            let model = match rule {
+                "Baseline" => RankingModel::NonRandomized,
+                "Selective" => RankingModel::Selective {
+                    start_rank: 1,
+                    degree,
+                },
+                _ => RankingModel::Uniform {
+                    start_rank: 1,
+                    degree,
+                },
+            };
+            let analytic = solve_analytic(community, model).normalized_qpc();
+            let sim = simulate_qpc(community, model, 0.0, options, stream).normalized_qpc;
+            (rule, degree, analytic, sim)
+        },
+    );
 
     let mut report = FigureReport::new(
         "Figure 5",
@@ -49,14 +59,16 @@ pub fn figure5(options: &ExperimentOptions) -> FigureReport {
         "normalized QPC",
     );
     for rule in ["Selective", "Uniform"] {
+        // Each curve includes the shared r = 0 baseline cell. Results come
+        // back in input order, which is ascending in degree.
         let analysis: Vec<(f64, f64)> = results
             .iter()
-            .filter(|(r, ..)| r == rule)
+            .filter(|&&(r, ..)| r == rule || r == "Baseline")
             .map(|&(_, d, a, _)| (d, a))
             .collect();
         let simulation: Vec<(f64, f64)> = results
             .iter()
-            .filter(|(r, ..)| r == rule)
+            .filter(|&&(r, ..)| r == rule || r == "Baseline")
             .map(|&(_, d, _, s)| (d, s))
             .collect();
         report.push_series(Series::new(format!("{rule} (analysis)"), analysis));
@@ -90,25 +102,23 @@ pub fn figure6(options: &ExperimentOptions) -> FigureReport {
             jobs.push((k, degree));
         }
     }
-    let results = parallel_map(jobs, |&(k, degree)| {
-        let model = if degree == 0.0 {
-            RankingModel::NonRandomized
-        } else {
-            RankingModel::Selective {
-                start_rank: k,
-                degree,
-            }
-        };
-        let qpc = simulate_qpc(
-            community,
-            model,
-            0.0,
-            options,
-            600 + k as u64 * 101 + (degree * 1000.0) as u64,
-        )
-        .normalized_qpc;
-        (k, degree, qpc)
-    });
+    let executor = SweepExecutor::new("Figure 6");
+    let results = executor.run(
+        jobs,
+        |&(k, degree)| format!("k={k} r={degree}"),
+        |&(k, degree), stream| {
+            let model = if degree == 0.0 {
+                RankingModel::NonRandomized
+            } else {
+                RankingModel::Selective {
+                    start_rank: k,
+                    degree,
+                }
+            };
+            let qpc = simulate_qpc(community, model, 0.0, options, stream).normalized_qpc;
+            (k, degree, qpc)
+        },
+    );
 
     let mut report = FigureReport::new(
         "Figure 6",
@@ -128,9 +138,8 @@ pub fn figure6(options: &ExperimentOptions) -> FigureReport {
         "paper expectation: for small k, around 10% randomization captures most of the benefit; \
          larger k needs larger r to reach the same QPC; very large r erodes quality again",
     );
-    report.push_note(
-        "paper recommendation (Section 6.4): selective promotion, r = 0.1, k ∈ {1, 2}",
-    );
+    report
+        .push_note("paper recommendation (Section 6.4): selective promotion, r = 0.1, k ∈ {1, 2}");
     report
 }
 

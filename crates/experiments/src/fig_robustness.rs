@@ -3,8 +3,8 @@
 
 use crate::options::{ExperimentOptions, Scale};
 use crate::report::{FigureReport, Series};
+use crate::runner::SweepExecutor;
 use crate::runners::simulate_qpc;
-use crate::sweep::parallel_map;
 use rrp_analytic::RankingModel;
 use rrp_model::CommunityConfig;
 
@@ -37,19 +37,23 @@ fn sweep_qpc(
     x_label: &str,
     points: Vec<(f64, CommunityConfig)>,
     options: &ExperimentOptions,
-    stream_base: u64,
     notes: &[&str],
 ) -> FigureReport {
     let mut jobs = Vec::new();
-    for (idx, (x, community)) in points.iter().enumerate() {
-        for (m_idx, (name, model)) in methods().into_iter().enumerate() {
-            jobs.push((*x, *community, name, model, (idx * 7 + m_idx) as u64));
+    for (x, community) in &points {
+        for (name, model) in methods() {
+            jobs.push((*x, *community, name, model));
         }
     }
-    let results = parallel_map(jobs, |&(x, community, name, model, job)| {
-        let qpc = simulate_qpc(community, model, 0.0, options, stream_base + job).normalized_qpc;
-        (name, x, qpc)
-    });
+    let executor = SweepExecutor::new(id);
+    let results = executor.run(
+        jobs,
+        |&(x, _, name, _)| format!("{name} x={x}"),
+        |&(x, community, name, model), stream| {
+            let qpc = simulate_qpc(community, model, 0.0, options, stream).normalized_qpc;
+            (name, x, qpc)
+        },
+    );
 
     let mut report = FigureReport::new(id, title, x_label, "normalized QPC");
     for (name, _) in methods() {
@@ -93,7 +97,6 @@ pub fn figure7a(options: &ExperimentOptions) -> FigureReport {
         "community size (n)",
         points,
         options,
-        700,
         &[
             "u/n = 10%, m/u = 10%, one visit per user per day, 1.5-year lifetimes",
             "paper expectation: QPC of nonrandomized ranking declines as the community grows; \
@@ -134,7 +137,6 @@ pub fn figure7b(options: &ExperimentOptions) -> FigureReport {
         "expected page lifetime (years)",
         points,
         options,
-        710,
         &[
             "paper expectation: longer-lived pages suffer less from entrenchment (baseline QPC \
              rises with lifetime), and the improvement from randomization is larger for \
@@ -176,7 +178,6 @@ pub fn figure7c(options: &ExperimentOptions) -> FigureReport {
         "total user visits per day (v_u)",
         points,
         options,
-        720,
         &[
             "v_u/u = 1 and m/u = 10% are held fixed while v_u varies; n is the default size",
             "paper expectation: popularity-based ranking fails when visits are very scarce; \
@@ -219,7 +220,6 @@ pub fn figure7d(options: &ExperimentOptions) -> FigureReport {
         "number of users (u)",
         points,
         options,
-        730,
         &[
             "the total number of visits per day is held fixed while the number of users making \
              them varies; m/u = 10%",

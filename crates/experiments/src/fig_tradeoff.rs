@@ -3,8 +3,8 @@
 
 use crate::options::{ExperimentOptions, Scale};
 use crate::report::{FigureReport, Series};
+use crate::runner::SweepExecutor;
 use crate::runners::{build_simulation, simulate_tbp, solve_analytic};
-use crate::sweep::parallel_map;
 use rrp_analytic::RankingModel;
 use rrp_model::SeedSequence;
 
@@ -50,12 +50,17 @@ pub fn figure2(options: &ExperimentOptions) -> FigureReport {
             },
         ),
     ];
-    let traces = parallel_map(models.to_vec(), |(name, model)| {
-        let mut sim = build_simulation(community, *model, 0.0, seeds.child_seed(model_stream(model)));
-        sim.run(options.warmup_days());
-        let trace = sim.trace_fresh_best_page(days);
-        (name.to_string(), trace)
-    });
+    let executor = SweepExecutor::new("Figure 2");
+    let traces = executor.run(
+        models.to_vec(),
+        |(name, _)| (*name).to_string(),
+        |(name, model), stream| {
+            let mut sim = build_simulation(community, *model, 0.0, seeds.child_seed(stream));
+            sim.run(options.warmup_days());
+            let trace = sim.trace_fresh_best_page(days);
+            (name.to_string(), trace)
+        },
+    );
 
     let mut report = FigureReport::new(
         "Figure 2",
@@ -76,14 +81,6 @@ pub fn figure2(options: &ExperimentOptions) -> FigureReport {
          promotion (exploitation loss)",
     );
     report
-}
-
-fn model_stream(model: &RankingModel) -> u64 {
-    match model {
-        RankingModel::NonRandomized => 0,
-        RankingModel::Selective { .. } => 1,
-        RankingModel::Uniform { .. } => 2,
-    }
 }
 
 /// Reproduce Figure 3: steady-state awareness distribution of the
@@ -108,9 +105,11 @@ pub fn figure3(options: &ExperimentOptions) -> FigureReport {
         "awareness",
         "probability",
     );
-    let solved = parallel_map(models.to_vec(), |(name, model)| {
-        (name.to_string(), solve_analytic(community, *model))
-    });
+    let solved = SweepExecutor::new("Figure 3").run(
+        models.to_vec(),
+        |(name, _)| (*name).to_string(),
+        |(name, model), _stream| (name.to_string(), solve_analytic(community, *model)),
+    );
     for (name, model) in solved {
         let quality = model.groups.max_quality();
         let dist = model.awareness_distribution_for(quality);
@@ -158,11 +157,15 @@ pub fn figure4a(options: &ExperimentOptions) -> FigureReport {
             },
         ),
     ];
-    let curves = parallel_map(models.to_vec(), |(name, model)| {
-        let solved = solve_analytic(community, *model);
-        let quality = solved.groups.max_quality();
-        (name.to_string(), solved.popularity_evolution(quality, days))
-    });
+    let curves = SweepExecutor::new("Figure 4(a)").run(
+        models.to_vec(),
+        |(name, _)| (*name).to_string(),
+        |(name, model), _stream| {
+            let solved = solve_analytic(community, *model);
+            let quality = solved.groups.max_quality();
+            (name.to_string(), solved.popularity_evolution(quality, days))
+        },
+    );
 
     let mut report = FigureReport::new(
         "Figure 4(a)",
@@ -212,11 +215,16 @@ pub fn figure4b(options: &ExperimentOptions) -> FigureReport {
         ));
     }
 
-    let results = parallel_map(jobs, |(rule, model, degree)| {
-        let analytic = solve_analytic(community, *model).expected_tbp(0.4);
-        let sim = simulate_tbp(community, *model, options, 40 + (degree * 100.0) as u64);
-        (rule.to_string(), *degree, analytic, sim.mean_days)
-    });
+    let executor = SweepExecutor::new("Figure 4(b)");
+    let results = executor.run(
+        jobs,
+        |(rule, _, degree)| format!("rule={rule} r={degree}"),
+        |(rule, model, degree), stream| {
+            let analytic = solve_analytic(community, *model).expected_tbp(0.4);
+            let sim = simulate_tbp(community, *model, options, stream);
+            (rule.to_string(), *degree, analytic, sim.mean_days)
+        },
+    );
 
     let mut report = FigureReport::new(
         "Figure 4(b)",
@@ -285,15 +293,7 @@ mod tests {
     fn figure4a_orders_the_three_schemes() {
         let report = figure4a(&ExperimentOptions::tiny(4));
         assert_eq!(report.series.len(), 3);
-        let at_end = |name: &str| {
-            report
-                .series_named(name)
-                .unwrap()
-                .points
-                .last()
-                .unwrap()
-                .1
-        };
+        let at_end = |name: &str| report.series_named(name).unwrap().points.last().unwrap().1;
         let selective = at_end("Selective randomization");
         let none = at_end("No randomization");
         assert!(

@@ -34,6 +34,7 @@ pub mod fig_robustness;
 pub mod fig_tradeoff;
 pub mod options;
 pub mod report;
+pub mod runner;
 pub mod runners;
 pub mod sweep;
 
@@ -45,13 +46,19 @@ pub use fig_robustness::{figure7a, figure7b, figure7c, figure7d};
 pub use fig_tradeoff::{figure2, figure3, figure4a, figure4b};
 pub use options::{ExperimentOptions, Scale};
 pub use report::{FigureReport, Series};
-pub use sweep::parallel_map;
+pub use runner::SweepExecutor;
+// `sweep::parallel_map` is deliberately not re-exported: drivers must go
+// through `SweepExecutor`, which owns per-cell stream derivation.
+pub use sweep::{parallel_map_with_workers, worker_threads};
+
+/// A figure driver: options in, reproduced figure out.
+pub type FigureDriver = fn(&ExperimentOptions) -> FigureReport;
 
 /// Every figure driver, paired with its identifier, in paper order. Useful
 /// for "run everything" binaries and for the EXPERIMENTS.md generator.
-pub fn all_figures() -> Vec<(&'static str, fn(&ExperimentOptions) -> FigureReport)> {
+pub fn all_figures() -> Vec<(&'static str, FigureDriver)> {
     vec![
-        ("Figure 1", figure1 as fn(&ExperimentOptions) -> FigureReport),
+        ("Figure 1", figure1 as FigureDriver),
         ("Figure 2", figure2),
         ("Figure 3", figure3),
         ("Figure 4(a)", figure4a),

@@ -165,7 +165,10 @@ mod tests {
     fn sample() -> FigureReport {
         let mut r = FigureReport::new("Figure X", "demo", "r", "QPC");
         r.push_series(Series::new("baseline", vec![(0.0, 0.5), (0.1, 0.5)]));
-        r.push_series(Series::new("promoted", vec![(0.0, 0.5), (0.1, 0.8), (0.2, 0.85)]));
+        r.push_series(Series::new(
+            "promoted",
+            vec![(0.0, 0.5), (0.1, 0.8), (0.2, 0.85)],
+        ));
         r.push_note("paper expectation: promoted > baseline");
         r
     }

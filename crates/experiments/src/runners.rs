@@ -16,12 +16,10 @@ use rrp_sim::{SimConfig, SimMetrics, Simulation, TbpResult};
 pub fn policy_for(model: RankingModel) -> Box<dyn RankingPolicy> {
     match model {
         RankingModel::NonRandomized => Box::new(PopularityRanking),
-        RankingModel::Selective { start_rank, degree } => {
-            Box::new(RandomizedRankPromotion::new(
-                PromotionConfig::new(PromotionRule::Selective, start_rank, degree)
-                    .expect("figure drivers use valid parameters"),
-            ))
-        }
+        RankingModel::Selective { start_rank, degree } => Box::new(RandomizedRankPromotion::new(
+            PromotionConfig::new(PromotionRule::Selective, start_rank, degree)
+                .expect("figure drivers use valid parameters"),
+        )),
         RankingModel::Uniform { start_rank, degree } => Box::new(RandomizedRankPromotion::new(
             PromotionConfig::new(PromotionRule::Uniform, start_rank, degree)
                 .expect("figure drivers use valid parameters"),
@@ -54,7 +52,12 @@ pub fn simulate_qpc(
     let repetitions = options.repetitions();
     let mut accumulated: Option<SimMetrics> = None;
     for rep in 0..repetitions {
-        let mut sim = build_simulation(community, model, surf_fraction, seeds.child_seed(rep as u64));
+        let mut sim = build_simulation(
+            community,
+            model,
+            surf_fraction,
+            seeds.child_seed(rep as u64),
+        );
         let metrics = sim.run_windows(options.warmup_days(), options.measure_days());
         accumulated = Some(match accumulated {
             None => metrics,
@@ -107,7 +110,10 @@ mod tests {
 
     #[test]
     fn policy_mapping_uses_the_right_rule() {
-        assert_eq!(policy_for(RankingModel::NonRandomized).name(), "no randomization");
+        assert_eq!(
+            policy_for(RankingModel::NonRandomized).name(),
+            "no randomization"
+        );
         let selective = policy_for(RankingModel::Selective {
             start_rank: 2,
             degree: 0.1,

@@ -3,14 +3,52 @@
 //! Most figures evaluate many independent (community, policy, parameter)
 //! combinations; each combination is an independent simulation or analytic
 //! solve, so they parallelise trivially across cores. The helper here uses
-//! scoped threads (via `crossbeam`) so the closure can borrow from the
-//! caller without `'static` bounds.
+//! `std::thread::scope` so the closure can borrow from the caller without
+//! `'static` bounds; no external thread-pool crate is needed.
+//!
+//! Determinism: `parallel_map` only schedules work — each cell's RNG seed is
+//! derived from stable identifiers (see [`crate::runner`]), never from the
+//! execution order — so the parallel and serial paths produce bit-identical
+//! results. The `parallel` cargo feature (default on) enables the threaded
+//! path; without it, or with `RRP_THREADS=1`, everything runs serially on
+//! the calling thread.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Apply `f` to every item, running up to `num_cpus` items concurrently,
-/// and return the results in input order.
+/// Number of worker threads the threaded path would use: `RRP_THREADS` if
+/// set, otherwise the available parallelism. Always 1 when the `parallel`
+/// feature is off — builds without it are fully serial regardless of the
+/// environment.
+pub fn worker_threads() -> usize {
+    if !cfg!(feature = "parallel") {
+        return 1;
+    }
+    if let Ok(threads) = std::env::var("RRP_THREADS") {
+        if let Ok(threads) = threads.parse::<usize>() {
+            return threads.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+/// Apply `f` to every item, running up to [`worker_threads`] items
+/// concurrently, and return the results in input order.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with_workers(items, worker_threads(), f)
+}
+
+/// [`parallel_map`] with an explicit worker count; `workers <= 1` runs
+/// serially on the calling thread. Exposed so determinism tests can compare
+/// the serial and threaded paths directly.
+pub fn parallel_map_with_workers<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -20,38 +58,30 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
+    let workers = workers.min(n);
     if workers <= 1 {
-        return items.iter().map(|item| f(item)).collect();
+        return items.iter().map(&f).collect();
     }
 
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next: Mutex<usize> = Mutex::new(0);
+    let next = AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let index = {
-                    let mut guard = next.lock();
-                    let i = *guard;
-                    if i >= n {
-                        break;
-                    }
-                    *guard += 1;
-                    i
-                };
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    break;
+                }
                 let result = f(&items[index]);
-                results.lock()[index] = Some(result);
+                results.lock().expect("sweep worker poisoned results")[index] = Some(result);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     results
         .into_inner()
+        .expect("sweep worker poisoned results")
         .into_iter()
         .map(|r| r.expect("every index was processed"))
         .collect()
@@ -101,5 +131,18 @@ mod tests {
     fn single_item_uses_sequential_path() {
         let out = parallel_map(vec![41_u64], |&x| x + 1);
         assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn serial_and_threaded_paths_agree() {
+        let items: Vec<u64> = (0..64).collect();
+        let serial = parallel_map_with_workers(items.clone(), 1, |&x| x.wrapping_mul(x) ^ 7);
+        let threaded = parallel_map_with_workers(items, 8, |&x| x.wrapping_mul(x) ^ 7);
+        assert_eq!(serial, threaded);
+    }
+
+    #[test]
+    fn worker_threads_is_positive() {
+        assert!(worker_threads() >= 1);
     }
 }

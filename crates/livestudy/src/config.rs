@@ -44,7 +44,12 @@ impl StudyConfig {
             duration_days: 45,
             measure_last_days: 15,
             participants: 962,
-            views_per_user: 15,
+            // The paper does not report per-session depth; jokes-site
+            // sessions browse deep. Depth also sets the treatment group's
+            // exploration budget (ranks ≥ 21 receive ~7% of rank-biased
+            // attention), and shallower sessions starve promoted items of
+            // the repeat views they need to climb the vote ranking.
+            views_per_user: 60,
             vote_probability: 0.5,
             promotion_insert_rank: 21,
             seed,
@@ -75,7 +80,9 @@ impl StudyConfig {
             });
         }
         if self.participants == 0 {
-            return Err(ModelError::ZeroCount { what: "participants" });
+            return Err(ModelError::ZeroCount {
+                what: "participants",
+            });
         }
         if self.views_per_user == 0 {
             return Err(ModelError::ZeroCount {

@@ -157,17 +157,9 @@ impl Default for CommunityConfig {
 /// Builder for [`CommunityConfig`]; every field defaults to the paper's
 /// default scenario, so experiments can vary one characteristic at a time
 /// exactly as Section 7 does.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CommunityConfigBuilder {
     config: CommunityConfig,
-}
-
-impl Default for CommunityConfigBuilder {
-    fn default() -> Self {
-        CommunityConfigBuilder {
-            config: CommunityConfig::paper_default(),
-        }
-    }
 }
 
 impl CommunityConfigBuilder {

@@ -88,7 +88,9 @@ impl PowerLawQuality {
             });
         }
         if !q_min.is_finite() || !q_max.is_finite() {
-            return Err(ModelError::NotFinite { what: "quality bound" });
+            return Err(ModelError::NotFinite {
+                what: "quality bound",
+            });
         }
         if q_min <= 0.0 {
             return Err(ModelError::InvalidDistribution {
@@ -100,7 +102,11 @@ impl PowerLawQuality {
                 reason: format!("need 0 < q_min < q_max <= 1, got q_min={q_min}, q_max={q_max}"),
             });
         }
-        Ok(PowerLawQuality { alpha, q_min, q_max })
+        Ok(PowerLawQuality {
+            alpha,
+            q_min,
+            q_max,
+        })
     }
 
     /// The paper's default: exponent 2.1, qualities in `[0.001, 0.4]`.
@@ -174,7 +180,11 @@ impl ZipfQuality {
         if population == 0 {
             return Err(ModelError::ZeroCount { what: "population" });
         }
-        Ok(ZipfQuality { s, q_max, population })
+        Ok(ZipfQuality {
+            s,
+            q_max,
+            population,
+        })
     }
 }
 
@@ -208,7 +218,9 @@ impl UniformQuality {
     /// Construct a uniform quality distribution on `[lo, hi] ⊆ [0, 1]`.
     pub fn new(lo: f64, hi: f64) -> ModelResult<Self> {
         if !lo.is_finite() || !hi.is_finite() {
-            return Err(ModelError::NotFinite { what: "quality bound" });
+            return Err(ModelError::NotFinite {
+                what: "quality bound",
+            });
         }
         if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
             return Err(ModelError::InvalidDistribution {
@@ -343,7 +355,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..10_000 {
             let q = d.sample(&mut rng).value();
-            assert!((0.001..=0.4 + 1e-12).contains(&q), "sample {q} out of bounds");
+            assert!(
+                (0.001..=0.4 + 1e-12).contains(&q),
+                "sample {q} out of bounds"
+            );
         }
     }
 
@@ -387,14 +402,20 @@ mod tests {
         let d = PowerLawQuality::paper_default();
         let qs = assign_qualities(&d, 1000);
         assert_eq!(qs.len(), 1000);
-        assert!((qs[0].value() - 0.4).abs() < 1e-9, "first page is the best page");
+        assert!(
+            (qs[0].value() - 0.4).abs() < 1e-9,
+            "first page is the best page"
+        );
         // Sorted descending.
         for w in qs.windows(2) {
             assert!(w[0] >= w[1]);
         }
         // Strictly fewer than 1% of pages have quality above 0.1.
         let high = qs.iter().filter(|q| q.value() > 0.1).count();
-        assert!(high < 10, "only a handful of high-quality pages, got {high}");
+        assert!(
+            high < 10,
+            "only a handful of high-quality pages, got {high}"
+        );
     }
 
     #[test]

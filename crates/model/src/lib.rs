@@ -52,5 +52,5 @@ pub use error::{ModelError, ModelResult};
 pub use ids::{PageId, PageIdGenerator, UserId};
 pub use lifetime::LifetimeModel;
 pub use scalar::{popularity, Awareness, Popularity, Quality};
-pub use seed::{new_rng, Rng64, SeedSequence};
+pub use seed::{new_rng, splitmix64, Rng64, SeedSequence};
 pub use time::{days_to_years, years_to_days, Day, SimClock, DAYS_PER_YEAR};

@@ -121,8 +121,10 @@ mod tests {
         let m = LifetimeModel::new(100.0).unwrap();
         let mut rng = StdRng::seed_from_u64(42);
         let samples = 50_000;
-        let mean: f64 =
-            (0..samples).map(|_| m.sample_lifetime_days(&mut rng)).sum::<f64>() / samples as f64;
+        let mean: f64 = (0..samples)
+            .map(|_| m.sample_lifetime_days(&mut rng))
+            .sum::<f64>()
+            / samples as f64;
         assert!(
             (mean - 100.0).abs() < 2.0,
             "empirical mean {mean} should be within 2 days of 100"

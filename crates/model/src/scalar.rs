@@ -226,7 +226,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_by_value() {
-        let mut v = vec![
+        let mut v = [
             Quality::new(0.9).unwrap(),
             Quality::new(0.1).unwrap(),
             Quality::new(0.5).unwrap(),

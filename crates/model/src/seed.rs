@@ -45,7 +45,10 @@ impl SeedSequence {
 
     /// Derive the `index`-th child seed.
     pub fn child_seed(&self, index: u64) -> u64 {
-        splitmix64(self.root.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index + 1)))
+        splitmix64(
+            self.root
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index + 1)),
+        )
     }
 
     /// Derive the `index`-th child RNG.
@@ -60,8 +63,11 @@ impl SeedSequence {
     }
 }
 
-/// SplitMix64 output function.
-fn splitmix64(mut z: u64) -> u64 {
+/// SplitMix64 output function — the workspace-standard mixer for deriving
+/// seeds and stream identifiers from hashes or indices. Exported so other
+/// crates (e.g. the sweep executor) share this exact mixing instead of
+/// duplicating the constants.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -86,7 +92,9 @@ mod tests {
     fn different_seeds_different_streams() {
         let mut a = new_rng(1);
         let mut b = new_rng(2);
-        let same = (0..100).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        let same = (0..100)
+            .filter(|_| a.gen::<u64>() == b.gen::<u64>())
+            .count();
         assert!(same < 5, "independent streams should rarely collide");
     }
 

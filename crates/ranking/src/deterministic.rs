@@ -118,7 +118,10 @@ mod tests {
             let o = policy.rank(&pages(), &mut rng);
             seen_first[o[0]] = true;
         }
-        assert!(seen_first.iter().all(|&s| s), "random ranking should explore all first slots");
+        assert!(
+            seen_first.iter().all(|&s| s),
+            "random ranking should explore all first slots"
+        );
     }
 
     #[test]

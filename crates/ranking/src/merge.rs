@@ -125,8 +125,14 @@ mod tests {
         let lp = vec![20, 21, 22];
         let mut rng = new_rng(9);
         let merged = merge_promoted(&ld, &lp, 1, 0.5, &mut rng);
-        let d_positions: Vec<usize> = ld.iter().map(|x| merged.iter().position(|y| y == x).unwrap()).collect();
-        let p_positions: Vec<usize> = lp.iter().map(|x| merged.iter().position(|y| y == x).unwrap()).collect();
+        let d_positions: Vec<usize> = ld
+            .iter()
+            .map(|x| merged.iter().position(|y| y == x).unwrap())
+            .collect();
+        let p_positions: Vec<usize> = lp
+            .iter()
+            .map(|x| merged.iter().position(|y| y == x).unwrap())
+            .collect();
         assert!(d_positions.windows(2).all(|w| w[0] < w[1]));
         assert!(p_positions.windows(2).all(|w| w[0] < w[1]));
     }

@@ -161,7 +161,10 @@ mod tests {
         for seed in 0..50 {
             let mut rng = new_rng(seed);
             let order = policy.rank(&pages(), &mut rng);
-            assert_eq!(order[0], 0, "slot 0 has the highest popularity and k=2 protects it");
+            assert_eq!(
+                order[0], 0,
+                "slot 0 has the highest popularity and k=2 protects it"
+            );
         }
     }
 
@@ -179,7 +182,10 @@ mod tests {
                 break;
             }
         }
-        assert!(displaced, "with k=1 and r=0.9 the top slot should sometimes be displaced");
+        assert!(
+            displaced,
+            "with k=1 and r=0.9 the top slot should sometimes be displaced"
+        );
     }
 
     #[test]

@@ -78,8 +78,13 @@ mod tests {
     use super::*;
 
     fn page(slot: usize, pop: f64, age: u64) -> PageStats {
-        PageStats::new(slot, PageId::new(slot as u64), pop, if pop > 0.0 { 0.5 } else { 0.0 })
-            .with_age(age)
+        PageStats::new(
+            slot,
+            PageId::new(slot as u64),
+            pop,
+            if pop > 0.0 { 0.5 } else { 0.0 },
+        )
+        .with_age(age)
     }
 
     #[test]
@@ -92,7 +97,7 @@ mod tests {
 
     #[test]
     fn popularity_order_sorts_descending() {
-        let mut pages = vec![page(0, 0.1, 0), page(1, 0.9, 0), page(2, 0.5, 0)];
+        let mut pages = [page(0, 0.1, 0), page(1, 0.9, 0), page(2, 0.5, 0)];
         pages.sort_by(popularity_order);
         let slots: Vec<usize> = pages.iter().map(|p| p.slot).collect();
         assert_eq!(slots, vec![1, 2, 0]);
@@ -100,7 +105,7 @@ mod tests {
 
     #[test]
     fn ties_break_by_age_then_slot() {
-        let mut pages = vec![page(3, 0.5, 10), page(1, 0.5, 30), page(2, 0.5, 30)];
+        let mut pages = [page(3, 0.5, 10), page(1, 0.5, 30), page(2, 0.5, 30)];
         pages.sort_by(popularity_order);
         let slots: Vec<usize> = pages.iter().map(|p| p.slot).collect();
         // Same popularity: older first (age 30 before age 10); equal age:

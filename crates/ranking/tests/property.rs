@@ -18,9 +18,14 @@ fn arb_pages() -> impl Strategy<Value = Vec<PageStats>> {
             .enumerate()
             .map(|(slot, (quality, explored, age))| {
                 let awareness = if explored { 0.5 } else { 0.0 };
-                PageStats::new(slot, PageId::new(slot as u64), quality * awareness, awareness)
-                    .with_age(age)
-                    .with_quality(quality)
+                PageStats::new(
+                    slot,
+                    PageId::new(slot as u64),
+                    quality * awareness,
+                    awareness,
+                )
+                .with_age(age)
+                .with_quality(quality)
             })
             .collect()
     })
@@ -152,5 +157,70 @@ proptest! {
         let mut a = new_rng(seed);
         let mut b = new_rng(seed);
         prop_assert_eq!(policy.rank(&pages, &mut a), policy.rank(&pages, &mut b));
+    }
+
+    /// For *any* valid promotion configuration — both rules, any starting
+    /// rank, any degree — the policy emits a permutation of the input
+    /// slots: no page is ever dropped or duplicated.
+    #[test]
+    fn arbitrary_config_always_emits_a_permutation(
+        pages in arb_pages(),
+        seed in proptest::num::u64::ANY,
+        rule in prop_oneof![Just(PromotionRule::Uniform), Just(PromotionRule::Selective)],
+        k in 1usize..200,
+        degree in 0.0f64..=1.0,
+    ) {
+        let config = PromotionConfig::new(rule, k, degree).unwrap();
+        let policy = RandomizedRankPromotion::new(config);
+        let mut rng = new_rng(seed);
+        let order = policy.rank(&pages, &mut rng);
+        prop_assert!(is_permutation(&order, pages.len()));
+    }
+
+    /// For *any* valid promotion configuration, ranks better than `k` are
+    /// never perturbed: the first `k − 1` positions of the randomized
+    /// result equal the deterministic popularity ranking of the pages that
+    /// stayed outside the promotion pool. (Pool membership itself depends
+    /// on the rule — zero-awareness pages for Selective, an `r`-biased coin
+    /// per page for Uniform — so the protected prefix is computed against
+    /// the policy's own non-pool ordering, reproduced from the same seed.)
+    #[test]
+    fn arbitrary_config_never_perturbs_ranks_below_k(
+        pages in arb_pages(),
+        seed in proptest::num::u64::ANY,
+        rule in prop_oneof![Just(PromotionRule::Uniform), Just(PromotionRule::Selective)],
+        k in 1usize..50,
+        degree in 0.0f64..=1.0,
+    ) {
+        let config = PromotionConfig::new(rule, k, degree).unwrap();
+        let policy = RandomizedRankPromotion::new(config);
+        let order = policy.rank(&pages, &mut new_rng(seed));
+
+        // Reproduce the policy's own pool split from the same seed: the
+        // Uniform rule consumes one coin flip per page, in input order,
+        // before anything else; the Selective rule consumes none.
+        let mut pool_rng = new_rng(seed);
+        let in_pool: Vec<bool> = match rule {
+            PromotionRule::Selective => pages.iter().map(|p| p.is_unexplored()).collect(),
+            PromotionRule::Uniform => pages
+                .iter()
+                .map(|_| rand::Rng::gen::<f64>(&mut pool_rng) < degree)
+                .collect(),
+        };
+        let mut non_pool: Vec<&PageStats> = pages
+            .iter()
+            .filter(|p| !in_pool[p.slot])
+            .collect();
+        non_pool.sort_by(|a, b| rrp_ranking::popularity_order(a, b));
+        let protected = (k - 1).min(non_pool.len());
+        let expected: Vec<usize> = non_pool[..protected].iter().map(|p| p.slot).collect();
+        prop_assert_eq!(
+            &order[..protected],
+            expected.as_slice(),
+            "ranks 1..k must hold the deterministic non-pool prefix (rule {:?}, k {}, r {})",
+            rule,
+            k,
+            degree
+        );
     }
 }

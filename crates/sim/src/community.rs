@@ -6,10 +6,10 @@
 //! [`PageId`] — exactly the stationarity device the paper uses to keep the
 //! quality distribution constant over time.
 
+use rand::Rng;
 use rrp_model::{
     CommunityConfig, Day, LifetimeModel, PageId, PageIdGenerator, Quality, QualityDistribution,
 };
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// One page slot: the live page currently occupying it.
@@ -73,11 +73,7 @@ impl PagePopulation {
 
     /// Create a population with explicit per-slot qualities.
     pub fn with_qualities(config: &CommunityConfig, qualities: &[Quality]) -> Self {
-        assert_eq!(
-            qualities.len(),
-            config.pages(),
-            "one quality per page slot"
-        );
+        assert_eq!(qualities.len(), config.pages(), "one quality per page slot");
         let lifetime = LifetimeModel::new(config.expected_lifetime_days())
             .expect("community config is validated");
         let mut ids = PageIdGenerator::new();

@@ -24,10 +24,10 @@
 use crate::community::PagePopulation;
 use crate::config::SimConfig;
 use crate::metrics::{QpcAccumulator, SimMetrics};
+use rand::Rng;
 use rrp_attention::RankBias;
 use rrp_model::{new_rng, Day, ModelResult, Quality, Rng64, SimClock};
 use rrp_ranking::{PageStats, RankingPolicy};
-use rand::Rng;
 
 /// The simulator.
 pub struct Simulation {
@@ -227,8 +227,7 @@ impl Simulation {
                     } else {
                         1.0 / n as f64
                     };
-                    let visits =
-                        surf * vu * ((1.0 - teleport) * link_share + teleport / n as f64);
+                    let visits = surf * vu * ((1.0 - teleport) * link_share + teleport / n as f64);
                     weighted += visits * s.quality;
                     visits_total += visits;
                 }
@@ -262,13 +261,16 @@ impl Simulation {
         };
         for _ in 0..monitored_visits {
             let slot = if self.rng.gen::<f64>() < surf {
-                // Random surfing: teleport or follow popularity.
-                if self.rng.gen::<f64>() < teleport || popularity_cdf.is_none() {
-                    self.rng.gen_range(0..n)
-                } else {
-                    let cdf = popularity_cdf.as_ref().expect("checked above");
-                    let u: f64 = self.rng.gen();
-                    ranking_independent_search(cdf, u)
+                // Random surfing: teleport or follow popularity. (The
+                // teleport coin is always drawn first so the RNG stream is
+                // independent of whether the CDF exists.)
+                let teleported = self.rng.gen::<f64>() < teleport;
+                match popularity_cdf.as_ref() {
+                    Some(cdf) if !teleported => {
+                        let u: f64 = self.rng.gen();
+                        ranking_independent_search(cdf, u)
+                    }
+                    _ => self.rng.gen_range(0..n),
                 }
             } else {
                 // Search: sample a rank position, then look up the page.
@@ -281,7 +283,8 @@ impl Simulation {
 
         // 4. Retire and replace pages.
         let protected = std::mem::take(&mut self.protected_slots);
-        self.population.retire_daily(today, &protected, &mut self.rng);
+        self.population
+            .retire_daily(today, &protected, &mut self.rng);
         self.protected_slots = protected;
 
         self.clock.tick();
@@ -384,7 +387,9 @@ fn cumulative(probabilities: &[f64]) -> Vec<f64> {
 mod tests {
     use super::*;
     use rrp_model::CommunityConfig;
-    use rrp_ranking::{PopularityRanking, PromotionConfig, QualityOracleRanking, RandomizedRankPromotion};
+    use rrp_ranking::{
+        PopularityRanking, PromotionConfig, QualityOracleRanking, RandomizedRankPromotion,
+    };
 
     fn tiny_config(seed: u64) -> SimConfig {
         SimConfig::for_community(
@@ -450,7 +455,11 @@ mod tests {
         assert!(metrics.mean_zero_awareness_fraction >= 0.0);
         sim.stop_measurement();
         sim.run(10);
-        assert_eq!(sim.metrics().days_measured, 50, "no accumulation after stop");
+        assert_eq!(
+            sim.metrics().days_measured,
+            50,
+            "no accumulation after stop"
+        );
     }
 
     #[test]

@@ -153,7 +153,10 @@ mod tests {
             base.mean_days
         );
         assert_eq!(promoted.trials, 3);
-        assert!(promoted.completed >= 1, "promoted probe should be discovered");
+        assert!(
+            promoted.completed >= 1,
+            "promoted probe should be discovered"
+        );
     }
 
     #[test]

@@ -85,11 +85,11 @@ pub fn copy_model<R: Rng + ?Sized>(
     }
     let mut out_links: Vec<Vec<usize>> = vec![Vec::new(); nodes];
     let seed = (links_per_node + 1).min(nodes);
-    for v in 0..seed {
+    for (v, links) in out_links.iter_mut().enumerate().take(seed) {
         for w in 0..seed {
             if v != w {
                 builder.add_edge(v, w);
-                out_links[v].push(w);
+                links.push(w);
             }
         }
     }
@@ -144,7 +144,10 @@ mod tests {
         let mut rng = new_rng(1);
         let g = preferential_attachment(500, 3, &mut rng);
         assert_eq!(g.node_count(), 500);
-        assert!(g.edge_count() > 500, "every non-seed node adds up to 3 edges");
+        assert!(
+            g.edge_count() > 500,
+            "every non-seed node adds up to 3 edges"
+        );
         assert!(g.edge_count() <= 500 * 3 + 12);
     }
 
@@ -169,7 +172,10 @@ mod tests {
         let max = *g.in_degrees().iter().max().unwrap();
         // Max of 2000 Binomial(2000, 3/1999) draws is far below a
         // preferential-attachment hub.
-        assert!(max < 20, "uniform graph max in-degree {max} should be small");
+        assert!(
+            max < 20,
+            "uniform graph max in-degree {max} should be small"
+        );
         assert_eq!(g.edge_count(), 2_000 * 3);
     }
 

@@ -81,7 +81,10 @@ impl DiGraph {
         let mut out_degree = vec![0usize; nodes];
         let mut in_degrees = vec![0usize; nodes];
         for &(from, to) in edges {
-            assert!(from < nodes && to < nodes, "edge ({from}, {to}) out of range");
+            assert!(
+                from < nodes && to < nodes,
+                "edge ({from}, {to}) out of range"
+            );
             out_degree[from] += 1;
             in_degrees[to] += 1;
         }
@@ -141,9 +144,7 @@ impl DiGraph {
 
     /// Iterate over all edges `(from, to)`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        (0..self.node_count()).flat_map(move |v| {
-            self.out_neighbors(v).iter().map(move |&t| (v, t))
-        })
+        (0..self.node_count()).flat_map(move |v| self.out_neighbors(v).iter().map(move |&t| (v, t)))
     }
 
     /// Nodes with no outgoing links ("dangling" nodes for PageRank).

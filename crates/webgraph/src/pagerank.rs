@@ -74,12 +74,12 @@ pub fn pagerank(graph: &DiGraph, options: PageRankOptions) -> PageRankResult {
         // Mass from dangling nodes is spread uniformly.
         let dangling_mass: f64 = dangling.iter().map(|&v| scores[v]).sum();
 
-        for v in 0..n {
+        for (v, &score) in scores.iter().enumerate() {
             let out = graph.out_degree(v);
             if out == 0 {
                 continue;
             }
-            let share = scores[v] / out as f64;
+            let share = score / out as f64;
             for &t in graph.out_neighbors(v) {
                 next[t] += share;
             }

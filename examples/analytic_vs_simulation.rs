@@ -13,10 +13,8 @@ fn main() {
         .expected_lifetime_years(1.5)
         .build()
         .expect("valid community");
-    let groups = QualityGroups::from_distribution(
-        &PowerLawQuality::paper_default(),
-        community.pages(),
-    );
+    let groups =
+        QualityGroups::from_distribution(&PowerLawQuality::paper_default(), community.pages());
 
     println!("popularity threshold for TBP: {TBP_POPULARITY_THRESHOLD} x quality\n");
     println!(
@@ -58,11 +56,9 @@ fn main() {
                     PromotionConfig::new(PromotionRule::Selective, start_rank, degree).unwrap(),
                 ))
             }
-            RankingModel::Uniform { start_rank, degree } => {
-                Box::new(RandomizedRankPromotion::new(
-                    PromotionConfig::new(PromotionRule::Uniform, start_rank, degree).unwrap(),
-                ))
-            }
+            RankingModel::Uniform { start_rank, degree } => Box::new(RandomizedRankPromotion::new(
+                PromotionConfig::new(PromotionRule::Uniform, start_rank, degree).unwrap(),
+            )),
         };
         let mut sim = Simulation::new(SimConfig::for_community(community, 7), policy)
             .expect("valid simulation");

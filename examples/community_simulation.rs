@@ -35,7 +35,10 @@ fn main() {
             "selective promotion (r=0.1, k=2)",
             Box::new(RandomizedRankPromotion::recommended(2)),
         ),
-        ("quality oracle (upper bound)", Box::new(QualityOracleRanking)),
+        (
+            "quality oracle (upper bound)",
+            Box::new(QualityOracleRanking),
+        ),
     ];
 
     println!(

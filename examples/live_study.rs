@@ -11,7 +11,10 @@ fn main() {
     let mut control_sum = 0.0;
     let mut promoted_sum = 0.0;
 
-    println!("running {} simulated 45-day studies (962 participants each)…\n", seeds.len());
+    println!(
+        "running {} simulated 45-day studies (962 participants each)…\n",
+        seeds.len()
+    );
     println!(
         "{:>6} {:>24} {:>24} {:>14}",
         "study", "ratio without promotion", "ratio with promotion", "improvement"

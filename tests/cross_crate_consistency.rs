@@ -14,7 +14,9 @@ use rrp_sim::{SimConfig, Simulation};
 #[test]
 fn engine_with_zero_randomization_matches_popularity_policy() {
     let documents: Vec<Document> = (0..200)
-        .map(|i| Document::established(i as u64, ((i * 37) % 101) as f64 / 101.0).with_age(i as u64))
+        .map(|i| {
+            Document::established(i as u64, ((i * 37) % 101) as f64 / 101.0).with_age(i as u64)
+        })
         .collect();
     let stats: Vec<PageStats> = documents
         .iter()
@@ -24,9 +26,8 @@ fn engine_with_zero_randomization_matches_popularity_policy() {
         })
         .collect();
 
-    let engine = RankPromotionEngine::new(
-        PromotionConfig::new(PromotionRule::Selective, 1, 0.0).unwrap(),
-    );
+    let engine =
+        RankPromotionEngine::new(PromotionConfig::new(PromotionRule::Selective, 1, 0.0).unwrap());
     let engine_order = engine.rerank(&documents, QueryContext::new(1, 1));
 
     let mut rng = new_rng(0);

@@ -1,0 +1,133 @@
+//! Workspace-level determinism guarantees.
+//!
+//! Three layers are pinned here:
+//!
+//! 1. **Golden vectors** — the exact rerank order for a fixed
+//!    `(engine seed, query, session)` and the exact first outputs of the
+//!    workspace RNG. If these change, every recorded experiment in the
+//!    repository silently stops being reproducible, so a change must be
+//!    deliberate (update the vectors in the same commit and say why).
+//! 2. **Serial ≡ parallel** — every figure driver routes its sweep through
+//!    `SweepExecutor`, whose per-cell seeds depend only on the cell's
+//!    identity. Running the same figure with 1 worker and with many workers
+//!    must produce byte-identical reports.
+//! 3. **Engine stability** — the same `(engine seed, query, session)`
+//!    produces the same order no matter how many times, or from how many
+//!    threads, it is evaluated.
+
+use rrp_core::{Document, QueryContext, RankPromotionEngine};
+use rrp_experiments::runner::SweepExecutor;
+use rrp_model::{new_rng, SeedSequence};
+use rrp_ranking::{PromotionConfig, PromotionRule};
+
+fn corpus() -> Vec<Document> {
+    let mut docs: Vec<Document> = (0..20)
+        .map(|i| Document::established(i, 1.0 - i as f64 * 0.04).with_age(100))
+        .collect();
+    docs.extend((20..30).map(Document::unexplored));
+    docs
+}
+
+/// Layer 1: the workspace RNG (ChaCha8 + SplitMix64 seeding) is pinned to
+/// exact outputs. These values were recorded from this implementation; they
+/// must never drift across platforms, Rust releases, or refactors.
+#[test]
+fn rng_golden_vector() {
+    use rand::Rng;
+    let mut rng = new_rng(123);
+    let observed: Vec<u64> = (0..4).map(|_| rng.gen::<u64>()).collect();
+    assert_eq!(observed, GOLDEN_RNG_123);
+
+    let seq = SeedSequence::new(42);
+    let observed: Vec<u64> = (0..4).map(|i| seq.child_seed(i)).collect();
+    assert_eq!(observed, GOLDEN_CHILD_SEEDS_42);
+}
+
+/// Layer 1: the exact rerank order of the documented corpus under the
+/// paper-recommended engine with seed 7, query 11, session 13.
+#[test]
+fn engine_rerank_golden_vector() {
+    let engine = RankPromotionEngine::recommended().with_seed(7);
+    let order = engine.rerank(&corpus(), QueryContext::new(11, 13));
+    assert_eq!(order, GOLDEN_RERANK_7_11_13);
+}
+
+/// Layer 2, at the executor level: worker count and grid enumeration order
+/// do not change any cell's derived stream, and therefore not its results.
+#[test]
+fn sweep_streams_are_schedule_independent() {
+    let cells: Vec<(usize, f64)> = [1usize, 2, 6]
+        .iter()
+        .flat_map(|&k| [0.0f64, 0.1, 0.2].iter().map(move |&r| (k, r)))
+        .collect();
+    let label = |&(k, r): &(usize, f64)| format!("k={k} r={r}");
+
+    let serial = SweepExecutor::new("Determinism probe").with_workers(1).run(
+        cells.clone(),
+        label,
+        |cell, stream| (*cell, stream),
+    );
+    let threaded = SweepExecutor::new("Determinism probe").with_workers(7).run(
+        cells.clone(),
+        label,
+        |cell, stream| (*cell, stream),
+    );
+    assert_eq!(serial, threaded);
+
+    // Reversing the grid enumeration permutes the output rows but must not
+    // change any cell's stream.
+    let mut reversed_cells = cells;
+    reversed_cells.reverse();
+    let mut reversed = SweepExecutor::new("Determinism probe").with_workers(7).run(
+        reversed_cells,
+        label,
+        |cell, stream| (*cell, stream),
+    );
+    reversed.reverse();
+    assert_eq!(serial, reversed);
+}
+
+/// Layer 3: rerank is a pure function of `(engine seed, query, session)` —
+/// stable across repeated evaluation and across threads.
+#[test]
+fn rerank_is_stable_across_threads() {
+    let engine =
+        RankPromotionEngine::new(PromotionConfig::new(PromotionRule::Selective, 2, 0.3).unwrap())
+            .with_seed(99);
+    let ctx = QueryContext::from_strings("stacked deck", "session-7");
+    let reference = engine.rerank(&corpus(), ctx);
+
+    let docs = corpus();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for _ in 0..50 {
+                    assert_eq!(engine.rerank(&docs, ctx), reference);
+                }
+            });
+        }
+    });
+}
+
+/// Golden outputs of `new_rng(123)`.
+const GOLDEN_RNG_123: [u64; 4] = [
+    17369494502333954609,
+    8906600561978300523,
+    11016226833398420403,
+    5554171481409164416,
+];
+
+/// Golden outputs of `SeedSequence::new(42).child_seed(0..4)`.
+const GOLDEN_CHILD_SEEDS_42: [u64; 4] = [
+    2949826092126892291,
+    5139283748462763858,
+    6349198060258255764,
+    701532786141963250,
+];
+
+/// Golden rerank order for the documented corpus, engine seed 7,
+/// `QueryContext::new(11, 13)`.
+const GOLDEN_RERANK_7_11_13: [u64; 30] = [
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 23, 22, 14, 15, 16, 27, 17, 18, 19, 26, 29, 25,
+    24, 21, 20, 28,
+];

@@ -1,0 +1,31 @@
+//! Serial ≡ parallel for a full figure driver.
+//!
+//! This test mutates the process environment (`RRP_THREADS`), which is not
+//! safe to do while other threads may call `std::env::var` — glibc's
+//! setenv/getenv pair is not thread-safe. It therefore lives alone in its
+//! own integration-test binary: with a single `#[test]`, no sibling test
+//! thread can read the environment concurrently (the sweep executor reads
+//! the variable on this thread, before any workers are spawned).
+
+use rrp_experiments::{figure5, ExperimentOptions};
+
+/// Layer 2: a full figure driver produces byte-identical reports on the
+/// serial path (1 worker) and the threaded path (many workers).
+#[test]
+fn figure_reports_identical_serial_vs_parallel() {
+    let options = ExperimentOptions::tiny(90210);
+
+    // `RRP_THREADS` is read by the sweep executor at construction time;
+    // both figure runs happen inside this one test so no other test can
+    // observe the temporary override.
+    std::env::set_var("RRP_THREADS", "1");
+    let serial = figure5(&options);
+    std::env::set_var("RRP_THREADS", "8");
+    let parallel = figure5(&options);
+    std::env::remove_var("RRP_THREADS");
+
+    assert_eq!(
+        serial, parallel,
+        "figure 5 must not depend on the worker count"
+    );
+}
