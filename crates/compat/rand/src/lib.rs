@@ -155,16 +155,36 @@ macro_rules! impl_int_range {
 impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 /// Uniform draw in `[0, span)` by rejection sampling (span ≤ 2^64 here).
+///
+/// The hot path runs entirely in `u64` arithmetic: a non-power-of-two span
+/// always fits in a `u64` (the only 2^64 span is a power of two), and
+/// `2^64 mod span` can be computed as `((u64::MAX % span) + 1) % span`
+/// without touching 128-bit division — the software `u128` modulo used to
+/// dominate Fisher–Yates shuffles. Draws, acceptance zone and outputs are
+/// bit-identical to the previous all-`u128` formulation.
 fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
     debug_assert!(span > 0);
     if span.is_power_of_two() {
         return (rng.next_u64() as u128) & (span - 1);
     }
-    let zone = (u64::MAX as u128 + 1) - ((u64::MAX as u128 + 1) % span);
+    let span = u64::try_from(span).expect("non-power-of-two span fits u64");
     loop {
-        let draw = rng.next_u64() as u128;
-        if draw < zone {
-            return draw % span;
+        let draw = rng.next_u64();
+        // The acceptance zone is [0, 2^64 - rem) with rem = 2^64 mod span,
+        // and rem < span — so a draw at or below `u64::MAX - span` is
+        // accepted for certain without computing the zone. Only the
+        // astronomically rare draws in the top `span` values (probability
+        // span/2^64) pay for the exact zone test. Accepted draws and
+        // rejections are identical to always computing the zone.
+        if draw <= u64::MAX - span {
+            return (draw % span) as u128;
+        }
+        // rem = 2^64 mod span; `u64::MAX % span` is already in [0, span),
+        // so the outer reduction is a branch rather than a division.
+        let r = (u64::MAX % span) + 1;
+        let rem = if r == span { 0 } else { r };
+        if draw <= u64::MAX - rem {
+            return (draw % span) as u128;
         }
     }
 }
@@ -340,6 +360,36 @@ mod tests {
             assert!((-5..=5).contains(&y));
             let z = rng.gen_range(0.25f64..0.75);
             assert!((0.25..0.75).contains(&z));
+        }
+    }
+
+    #[test]
+    fn uniform_draw_matches_u128_reference_formulation() {
+        // The u64 fast path must reproduce the original all-u128 rejection
+        // sampler draw for draw: same acceptance zone, same reduction.
+        fn reference<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+            if span.is_power_of_two() {
+                return (rng.next_u64() as u128) & (span - 1);
+            }
+            let zone = (u64::MAX as u128 + 1) - ((u64::MAX as u128 + 1) % span);
+            loop {
+                let draw = rng.next_u64() as u128;
+                if draw < zone {
+                    return draw % span;
+                }
+            }
+        }
+        for span in [1u128, 2, 3, 7, 10, 1 << 20, (1 << 20) + 1, u64::MAX as u128] {
+            let mut a = StdRng::seed_from_u64(99);
+            let mut b = StdRng::seed_from_u64(99);
+            for _ in 0..2_000 {
+                assert_eq!(
+                    uniform_u128(&mut a, span),
+                    reference(&mut b, span),
+                    "span {span}"
+                );
+            }
+            assert_eq!(a, b, "identical RNG stream consumption for span {span}");
         }
     }
 

@@ -11,8 +11,35 @@
 use crate::document::{Document, QueryContext};
 use rrp_model::new_rng;
 use rrp_model::PageId;
-use rrp_ranking::{PageStats, PromotionConfig, RandomizedRankPromotion, RankingPolicy};
+use rrp_ranking::{PageStats, PromotionConfig, RandomizedRankPromotion, RankBuffers};
 use serde::{Deserialize, Serialize};
+
+/// Reusable scratch state for the allocation-free rerank path.
+///
+/// One `RerankScratch` per caller (or per worker thread in a batch server)
+/// turns [`RankPromotionEngine::rerank_slots_into`] into an allocation-free
+/// operation after the first call: the per-document statistics snapshot and
+/// the ranking arena are rebuilt in place each time.
+#[derive(Debug, Default)]
+pub struct RerankScratch {
+    stats: Vec<PageStats>,
+    buffers: RankBuffers,
+}
+
+impl RerankScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        RerankScratch::default()
+    }
+
+    /// A scratch pre-grown for result lists of `n` documents.
+    pub fn with_capacity(n: usize) -> Self {
+        RerankScratch {
+            stats: Vec::with_capacity(n),
+            buffers: RankBuffers::with_capacity(n),
+        }
+    }
+}
 
 /// Re-ranks query results with randomized rank promotion.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -47,29 +74,77 @@ impl RankPromotionEngine {
         self.config
     }
 
+    /// The engine-level seed mixed into every query's randomization.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The canonical mapping from host-engine [`Document`]s to the
+    /// [`PageStats`] the ranking layer consumes, written into `stats`
+    /// (cleared first). Exposed so batch servers can build the snapshot
+    /// once and serve many queries from it; every rerank path in this crate
+    /// uses exactly this mapping.
+    pub fn document_stats(documents: &[Document], stats: &mut Vec<PageStats>) {
+        stats.clear();
+        stats.extend(documents.iter().enumerate().map(|(slot, d)| PageStats {
+            slot,
+            page: PageId::new(d.id),
+            popularity: d.popularity.max(0.0),
+            // Only the zero/non-zero distinction matters to the
+            // selective rule.
+            awareness: if d.is_unexplored { 0.0 } else { 1.0 },
+            age_days: d.age_days,
+            quality: 0.0,
+        }));
+    }
+
     /// Re-rank `documents` for one query evaluation, returning input *slot*
     /// indices in final display order (rank 1 first). This is the primitive
     /// behind [`rerank`](Self::rerank) and
     /// [`rerank_documents`](Self::rerank_documents); use it when the host
     /// engine keeps its own per-slot payloads.
     pub fn rerank_slots(&self, documents: &[Document], context: QueryContext) -> Vec<usize> {
-        let stats: Vec<PageStats> = documents
-            .iter()
-            .enumerate()
-            .map(|(slot, d)| PageStats {
-                slot,
-                page: PageId::new(d.id),
-                popularity: d.popularity.max(0.0),
-                // Only the zero/non-zero distinction matters to the
-                // selective rule.
-                awareness: if d.is_unexplored { 0.0 } else { 1.0 },
-                age_days: d.age_days,
-                quality: 0.0,
-            })
-            .collect();
+        let mut scratch = RerankScratch::new();
+        let mut out = Vec::with_capacity(documents.len());
+        self.rerank_slots_into(documents, context, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`rerank_slots`](Self::rerank_slots) through a reusable
+    /// [`RerankScratch`], writing the ordering into `out` (cleared first).
+    /// Allocation-free once the scratch has grown to the result-list size;
+    /// output is byte-identical to `rerank_slots`.
+    pub fn rerank_slots_into(
+        &self,
+        documents: &[Document],
+        context: QueryContext,
+        scratch: &mut RerankScratch,
+        out: &mut Vec<usize>,
+    ) {
+        Self::document_stats(documents, &mut scratch.stats);
         let policy = RandomizedRankPromotion::new(self.config);
         let mut rng = new_rng(context.seed(self.seed));
-        policy.rank(&stats, &mut rng)
+        policy.rank_into(&scratch.stats, &mut rng, &mut scratch.buffers, out);
+    }
+
+    /// Re-rank against a precomputed snapshot: `stats` built once by
+    /// [`document_stats`](Self::document_stats) and `sorted` holding the
+    /// slot indices in [`popularity_order`](rrp_ranking::popularity_order).
+    /// This is the batch-serving fast path — the `O(n log n)` popularity
+    /// sort is paid once per snapshot instead of once per query — and its
+    /// output is byte-identical to [`rerank_slots`](Self::rerank_slots) on
+    /// the same documents.
+    pub fn rerank_presorted_slots_into(
+        &self,
+        stats: &[PageStats],
+        sorted: &[usize],
+        context: QueryContext,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        let policy = RandomizedRankPromotion::new(self.config);
+        let mut rng = new_rng(context.seed(self.seed));
+        policy.rank_presorted_into(stats, sorted, &mut rng, buffers, out);
     }
 
     /// Re-rank `documents` for one query evaluation, returning document ids
@@ -272,5 +347,32 @@ mod tests {
         let slots = engine.rerank_slots(&docs, ctx);
         let ids: Vec<u64> = slots.iter().map(|&s| docs[s].id).collect();
         assert_eq!(ids, engine.rerank(&docs, ctx));
+    }
+
+    #[test]
+    fn scratch_and_presorted_paths_match_the_allocating_path() {
+        let docs = corpus();
+        let engine = RankPromotionEngine::recommended().with_seed(3);
+
+        // Snapshot built once, as a batch server would.
+        let mut stats = Vec::new();
+        RankPromotionEngine::document_stats(&docs, &mut stats);
+        let mut sorted: Vec<usize> = (0..stats.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| rrp_ranking::popularity_order(&stats[a], &stats[b]));
+
+        let mut scratch = RerankScratch::with_capacity(docs.len());
+        let mut buffers = RankBuffers::new();
+        let mut out = Vec::new();
+        for q in 0..50u64 {
+            let ctx = QueryContext::new(q, q ^ 0xABCD);
+            let expected = engine.rerank_slots(&docs, ctx);
+
+            engine.rerank_slots_into(&docs, ctx, &mut scratch, &mut out);
+            assert_eq!(out, expected, "scratch path, query {q}");
+
+            engine.rerank_presorted_slots_into(&stats, &sorted, ctx, &mut buffers, &mut out);
+            assert_eq!(out, expected, "presorted path, query {q}");
+        }
+        assert_eq!(engine.seed(), 3);
     }
 }

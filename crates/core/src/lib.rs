@@ -56,7 +56,7 @@ pub mod prelude;
 
 pub use advisor::{Advice, CandidateOutcome, ParameterAdvisor};
 pub use document::{Document, QueryContext};
-pub use engine::RankPromotionEngine;
+pub use engine::{RankPromotionEngine, RerankScratch};
 
 // Re-export the supporting crates under stable module names so downstream
 // users need a single dependency.

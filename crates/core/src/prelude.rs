@@ -9,8 +9,8 @@ pub use rrp_analytic::{AnalyticModel, QualityGroups, RankingModel, SolvedModel};
 pub use rrp_attention::RankBias;
 pub use rrp_model::{CommunityConfig, PowerLawQuality, Quality, QualityDistribution};
 pub use rrp_ranking::{
-    PageStats, PopularityRanking, PromotionConfig, PromotionRule, QualityOracleRanking,
-    RandomizedRankPromotion, RankingPolicy,
+    PageStats, PolicyKind, PopularityRanking, PromotionConfig, PromotionRule, QualityOracleRanking,
+    RandomizedRankPromotion, RankBuffers, RankingPolicy,
 };
 pub use rrp_sim::{SimConfig, SimMetrics, Simulation};
 

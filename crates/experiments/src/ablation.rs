@@ -16,10 +16,7 @@ use crate::runner::SweepExecutor;
 use crate::runners::solve_analytic;
 use rrp_analytic::{AnalyticModel, QualityGroups, RankingModel, SolverOptions};
 use rrp_model::{PowerLawQuality, SeedSequence};
-use rrp_ranking::{
-    FullyRandomRanking, PopularityRanking, PromotionConfig, PromotionRule, QualityOracleRanking,
-    RandomizedRankPromotion, RankingPolicy,
-};
+use rrp_ranking::{PolicyKind, PromotionConfig, PromotionRule};
 use rrp_sim::{SimConfig, Simulation};
 
 /// Compare the full spectrum of ranking policies on the default community
@@ -65,19 +62,15 @@ pub fn ablation_policies(options: &ExperimentOptions) -> FigureReport {
     report
 }
 
-/// Policies are stateless, so each worker rebuilds its own boxed instance
-/// from the ablation's policy index.
-fn build_policy(index: usize) -> Box<dyn RankingPolicy> {
+/// Policies are a few words of configuration, so each worker copies its own
+/// instance from the ablation's policy index.
+fn build_policy(index: usize) -> PolicyKind {
     match index {
-        0 => Box::new(FullyRandomRanking),
-        1 => Box::new(PopularityRanking),
-        2 => Box::new(RandomizedRankPromotion::new(
-            PromotionConfig::new(PromotionRule::Uniform, 1, 0.1).unwrap(),
-        )),
-        3 => Box::new(RandomizedRankPromotion::new(
-            PromotionConfig::new(PromotionRule::Selective, 1, 0.1).unwrap(),
-        )),
-        _ => Box::new(QualityOracleRanking),
+        0 => PolicyKind::FullyRandom,
+        1 => PolicyKind::Popularity,
+        2 => PolicyKind::promotion(PromotionConfig::new(PromotionRule::Uniform, 1, 0.1).unwrap()),
+        3 => PolicyKind::promotion(PromotionConfig::new(PromotionRule::Selective, 1, 0.1).unwrap()),
+        _ => PolicyKind::QualityOracle,
     }
 }
 

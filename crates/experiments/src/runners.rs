@@ -6,24 +6,22 @@
 use crate::options::ExperimentOptions;
 use rrp_analytic::{AnalyticModel, QualityGroups, RankingModel, SolvedModel};
 use rrp_model::{CommunityConfig, PowerLawQuality, SeedSequence};
-use rrp_ranking::{
-    PopularityRanking, PromotionConfig, PromotionRule, RandomizedRankPromotion, RankingPolicy,
-};
+use rrp_ranking::{PolicyKind, PromotionConfig, PromotionRule};
 use rrp_sim::{SimConfig, SimMetrics, Simulation, TbpResult};
 
 /// Build the simulator ranking policy corresponding to an analytic ranking
-/// description.
-pub fn policy_for(model: RankingModel) -> Box<dyn RankingPolicy> {
+/// description (statically dispatched — no boxing).
+pub fn policy_for(model: RankingModel) -> PolicyKind {
     match model {
-        RankingModel::NonRandomized => Box::new(PopularityRanking),
-        RankingModel::Selective { start_rank, degree } => Box::new(RandomizedRankPromotion::new(
+        RankingModel::NonRandomized => PolicyKind::Popularity,
+        RankingModel::Selective { start_rank, degree } => PolicyKind::promotion(
             PromotionConfig::new(PromotionRule::Selective, start_rank, degree)
                 .expect("figure drivers use valid parameters"),
-        )),
-        RankingModel::Uniform { start_rank, degree } => Box::new(RandomizedRankPromotion::new(
+        ),
+        RankingModel::Uniform { start_rank, degree } => PolicyKind::promotion(
             PromotionConfig::new(PromotionRule::Uniform, start_rank, degree)
                 .expect("figure drivers use valid parameters"),
-        )),
+        ),
     }
 }
 

@@ -1,0 +1,96 @@
+//! Reusable scratch buffers for the allocation-free ranking hot path.
+//!
+//! Every [`RankingPolicy::rank_into`](crate::RankingPolicy::rank_into) call
+//! needs a handful of intermediate lists (the promotion pool, the
+//! deterministic remainder, membership masks). Allocating them per call is
+//! what made the legacy [`rank`](crate::RankingPolicy::rank) path cost ~5
+//! heap round-trips per query; a [`RankBuffers`] owned by the caller and
+//! handed to every call amortises them to zero once the buffers have grown
+//! to the working-set size.
+//!
+//! The arena is deliberately *not* shared between threads: each worker in a
+//! batch-serving or sweep context owns one (`RankBuffers` is cheap to
+//! construct empty).
+
+/// Scratch arena reused across ranking calls.
+///
+/// Obtain one with [`RankBuffers::new`] (or `Default`), keep it alive for as
+/// many calls as you like, and pass it to
+/// [`RankingPolicy::rank_into`](crate::RankingPolicy::rank_into). Contents
+/// are meaningless between calls; only the capacity persists.
+#[derive(Debug, Default)]
+pub struct RankBuffers {
+    /// Promotion-pool entries (indices into the input, later slot indices).
+    pub(crate) pool: Vec<usize>,
+    /// Deterministic-remainder entries (indices, later slot indices).
+    pub(crate) rest: Vec<usize>,
+    /// Per-slot pool-membership mask (used by the presorted Uniform path).
+    pub(crate) mask: Vec<bool>,
+    /// Per-slot seen mask for permutation validation.
+    pub(crate) seen: Vec<bool>,
+}
+
+impl RankBuffers {
+    /// An empty arena; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        RankBuffers::default()
+    }
+
+    /// An arena pre-grown for inputs of `n` pages, so even the first call
+    /// does not allocate.
+    pub fn with_capacity(n: usize) -> Self {
+        RankBuffers {
+            pool: Vec::with_capacity(n),
+            rest: Vec::with_capacity(n),
+            mask: Vec::with_capacity(n),
+            seen: Vec::with_capacity(n),
+        }
+    }
+
+    /// Verify that `ordering` is a permutation of `0..n` using the arena's
+    /// scratch mask instead of a fresh allocation — the validation
+    /// counterpart of the allocation-free ranking path.
+    pub fn check_permutation(&mut self, ordering: &[usize], n: usize) -> bool {
+        crate::policy::is_permutation_with_scratch(ordering, n, &mut self.seen)
+    }
+
+    /// Reset the per-slot boolean mask to `n` entries of `false`.
+    pub(crate) fn reset_mask(&mut self, n: usize) {
+        self.mask.clear();
+        self.mask.resize(n, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_start_empty_and_grow() {
+        let mut bufs = RankBuffers::new();
+        assert!(bufs.pool.is_empty());
+        bufs.reset_mask(5);
+        assert_eq!(bufs.mask.len(), 5);
+        assert!(bufs.mask.iter().all(|&b| !b));
+        bufs.mask[3] = true;
+        bufs.reset_mask(3);
+        assert_eq!(bufs.mask, vec![false; 3]);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let bufs = RankBuffers::with_capacity(64);
+        assert!(bufs.pool.capacity() >= 64);
+        assert!(bufs.rest.capacity() >= 64);
+    }
+
+    #[test]
+    fn check_permutation_reuses_scratch() {
+        let mut bufs = RankBuffers::new();
+        assert!(bufs.check_permutation(&[2, 0, 1], 3));
+        assert!(!bufs.check_permutation(&[0, 0, 1], 3));
+        assert!(bufs.check_permutation(&[], 0));
+        // Scratch survives between checks without reallocation growth.
+        assert!(bufs.check_permutation(&[1, 0], 2));
+    }
+}

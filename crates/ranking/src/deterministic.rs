@@ -8,6 +8,7 @@
 //! * [`FullyRandomRanking`] — the opposite extreme: a uniformly random
 //!   permutation each query, corresponding to `F(x) = v/n` in Section 5.
 
+use crate::buffers::RankBuffers;
 use crate::policy::RankingPolicy;
 use crate::stats::{popularity_order, PageStats};
 use rand::seq::SliceRandom;
@@ -18,11 +19,31 @@ use rand::RngCore;
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PopularityRanking;
 
+impl PopularityRanking {
+    /// The deterministic ordering, written into `out` (cleared first) —
+    /// no RNG involved, shared by the trait impl and the enum dispatch.
+    pub fn rank_order_into(&self, pages: &[PageStats], out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..pages.len());
+        // `popularity_order` is a total order (slot index breaks all ties),
+        // so the allocation-free unstable sort yields the same permutation
+        // as a stable sort would.
+        out.sort_unstable_by(|&a, &b| popularity_order(&pages[a], &pages[b]));
+        for index in out.iter_mut() {
+            *index = pages[*index].slot;
+        }
+    }
+}
+
 impl RankingPolicy for PopularityRanking {
-    fn rank(&self, pages: &[PageStats], _rng: &mut dyn RngCore) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..pages.len()).collect();
-        order.sort_by(|&a, &b| popularity_order(&pages[a], &pages[b]));
-        order.into_iter().map(|i| pages[i].slot).collect()
+    fn rank_into(
+        &self,
+        pages: &[PageStats],
+        _rng: &mut dyn RngCore,
+        _buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        self.rank_order_into(pages, out);
     }
 
     fn name(&self) -> String {
@@ -38,17 +59,34 @@ impl RankingPolicy for PopularityRanking {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QualityOracleRanking;
 
-impl RankingPolicy for QualityOracleRanking {
-    fn rank(&self, pages: &[PageStats], _rng: &mut dyn RngCore) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..pages.len()).collect();
-        order.sort_by(|&a, &b| {
+impl QualityOracleRanking {
+    /// The quality ordering, written into `out` (cleared first) — no RNG
+    /// involved, shared by the trait impl and the enum dispatch.
+    pub fn rank_order_into(&self, pages: &[PageStats], out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..pages.len());
+        out.sort_unstable_by(|&a, &b| {
             pages[b]
                 .quality
                 .partial_cmp(&pages[a].quality)
                 .expect("quality is never NaN")
                 .then_with(|| pages[a].slot.cmp(&pages[b].slot))
         });
-        order.into_iter().map(|i| pages[i].slot).collect()
+        for index in out.iter_mut() {
+            *index = pages[*index].slot;
+        }
+    }
+}
+
+impl RankingPolicy for QualityOracleRanking {
+    fn rank_into(
+        &self,
+        pages: &[PageStats],
+        _rng: &mut dyn RngCore,
+        _buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        self.rank_order_into(pages, out);
     }
 
     fn name(&self) -> String {
@@ -62,11 +100,32 @@ impl RankingPolicy for QualityOracleRanking {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FullyRandomRanking;
 
+impl FullyRandomRanking {
+    /// The uniform shuffle, written into `out` (cleared first) — the one
+    /// definition of this policy's draw order, shared by the trait impl
+    /// and the enum dispatch. Generic over the RNG so concrete generators
+    /// inline.
+    pub fn shuffle_into<R: RngCore + ?Sized>(
+        &self,
+        pages: &[PageStats],
+        rng: &mut R,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        out.extend(pages.iter().map(|p| p.slot));
+        out.shuffle(rng);
+    }
+}
+
 impl RankingPolicy for FullyRandomRanking {
-    fn rank(&self, pages: &[PageStats], rng: &mut dyn RngCore) -> Vec<usize> {
-        let mut order: Vec<usize> = pages.iter().map(|p| p.slot).collect();
-        order.shuffle(rng);
-        order
+    fn rank_into(
+        &self,
+        pages: &[PageStats],
+        rng: &mut dyn RngCore,
+        _buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        self.shuffle_into(pages, rng, out);
     }
 
     fn name(&self) -> String {

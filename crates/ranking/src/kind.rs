@@ -1,0 +1,273 @@
+//! [`PolicyKind`] — a closed, copyable enum over every ranking policy in
+//! this crate.
+//!
+//! The simulator's day loop used to dispatch ranking through a
+//! `Box<dyn RankingPolicy>`; that is flexible but puts a vtable call (and a
+//! heap allocation per simulation) on the hottest path in the workspace.
+//! All policies the workspace actually runs are the four defined here, so a
+//! plain enum gives static dispatch, `Copy` semantics (policies are a few
+//! words of configuration), and exhaustive matching — while still
+//! implementing [`RankingPolicy`] for callers that want the trait.
+
+use crate::buffers::RankBuffers;
+use crate::deterministic::{FullyRandomRanking, PopularityRanking, QualityOracleRanking};
+use crate::policy::RankingPolicy;
+use crate::promotion::PromotionConfig;
+use crate::randomized::RandomizedRankPromotion;
+use crate::stats::PageStats;
+use rand::RngCore;
+
+/// A closed enum over the crate's ranking policies (static dispatch).
+///
+/// Construct it directly, via `From` on any concrete policy, or with
+/// [`PolicyKind::promotion`]. All methods forward to the corresponding
+/// policy and consume identical RNG draws, so swapping a boxed policy for a
+/// `PolicyKind` never changes simulation results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// Strict descending-popularity ranking ([`PopularityRanking`]).
+    Popularity,
+    /// The hypothetical quality-ordered ideal ([`QualityOracleRanking`]).
+    QualityOracle,
+    /// A uniformly random permutation per query ([`FullyRandomRanking`]).
+    FullyRandom,
+    /// The paper's randomized rank promotion ([`RandomizedRankPromotion`]).
+    Promotion(RandomizedRankPromotion),
+}
+
+impl PolicyKind {
+    /// Randomized rank promotion with the given configuration.
+    pub fn promotion(config: PromotionConfig) -> Self {
+        PolicyKind::Promotion(RandomizedRankPromotion::new(config))
+    }
+
+    /// The paper's recommended recipe: selective promotion, `r = 0.1`,
+    /// starting at `start_rank` (1 or 2).
+    pub fn recommended(start_rank: usize) -> Self {
+        PolicyKind::Promotion(RandomizedRankPromotion::recommended(start_rank))
+    }
+
+    /// Rank `pages` into `out` (see
+    /// [`RankingPolicy::rank_into`]) with a `match` instead of a vtable.
+    /// Generic over the RNG so concrete generators stay statically
+    /// dispatched through the enum.
+    pub fn rank_into<R: RngCore + ?Sized>(
+        &self,
+        pages: &[PageStats],
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        match self {
+            PolicyKind::Popularity => PopularityRanking.rank_order_into(pages, out),
+            PolicyKind::QualityOracle => QualityOracleRanking.rank_order_into(pages, out),
+            PolicyKind::FullyRandom => FullyRandomRanking.shuffle_into(pages, rng, out),
+            PolicyKind::Promotion(policy) => policy.rank_into(pages, rng, buffers, out),
+        }
+    }
+
+    /// Allocating convenience wrapper over [`rank_into`](Self::rank_into)
+    /// (the [`RankingPolicy`] provided method).
+    pub fn rank(&self, pages: &[PageStats], rng: &mut dyn RngCore) -> Vec<usize> {
+        RankingPolicy::rank(self, pages, rng)
+    }
+
+    /// Rank when the caller already maintains the full popularity order of
+    /// `pages` (see
+    /// [`RandomizedRankPromotion::rank_presorted_into`] for the contract:
+    /// `pages[i].slot == i` and `sorted` ordered by
+    /// [`popularity_order`](crate::popularity_order)).
+    ///
+    /// Policies that do not rank by popularity ignore `sorted`: the quality
+    /// oracle sorts by quality as usual, and fully-random ranking shuffles.
+    /// Output and RNG consumption are byte-identical to
+    /// [`rank_into`](Self::rank_into).
+    pub fn rank_presorted_into<R: RngCore + ?Sized>(
+        &self,
+        pages: &[PageStats],
+        sorted: &[usize],
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        match self {
+            PolicyKind::Popularity => {
+                debug_assert!(pages.iter().enumerate().all(|(i, p)| p.slot == i));
+                debug_assert_eq!(sorted.len(), pages.len());
+                debug_assert!(sorted.windows(2).all(|w| crate::popularity_order(
+                    &pages[w[0]],
+                    &pages[w[1]]
+                )
+                .is_lt()));
+                out.clear();
+                out.extend_from_slice(sorted);
+            }
+            PolicyKind::QualityOracle => QualityOracleRanking.rank_order_into(pages, out),
+            PolicyKind::FullyRandom => FullyRandomRanking.shuffle_into(pages, rng, out),
+            PolicyKind::Promotion(policy) => {
+                policy.rank_presorted_into(pages, sorted, rng, buffers, out)
+            }
+        }
+    }
+
+    /// The policy's report name (see [`RankingPolicy::name`]).
+    pub fn name(&self) -> String {
+        match self {
+            PolicyKind::Popularity => PopularityRanking.name(),
+            PolicyKind::QualityOracle => QualityOracleRanking.name(),
+            PolicyKind::FullyRandom => FullyRandomRanking.name(),
+            PolicyKind::Promotion(policy) => RankingPolicy::name(policy),
+        }
+    }
+}
+
+impl RankingPolicy for PolicyKind {
+    fn rank_into(
+        &self,
+        pages: &[PageStats],
+        rng: &mut dyn RngCore,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        PolicyKind::rank_into(self, pages, rng, buffers, out)
+    }
+
+    fn name(&self) -> String {
+        PolicyKind::name(self)
+    }
+}
+
+impl From<PopularityRanking> for PolicyKind {
+    fn from(_: PopularityRanking) -> Self {
+        PolicyKind::Popularity
+    }
+}
+
+impl From<QualityOracleRanking> for PolicyKind {
+    fn from(_: QualityOracleRanking) -> Self {
+        PolicyKind::QualityOracle
+    }
+}
+
+impl From<FullyRandomRanking> for PolicyKind {
+    fn from(_: FullyRandomRanking) -> Self {
+        PolicyKind::FullyRandom
+    }
+}
+
+impl From<RandomizedRankPromotion> for PolicyKind {
+    fn from(policy: RandomizedRankPromotion) -> Self {
+        PolicyKind::Promotion(policy)
+    }
+}
+
+impl From<PromotionConfig> for PolicyKind {
+    fn from(config: PromotionConfig) -> Self {
+        PolicyKind::promotion(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::is_permutation;
+    use crate::promotion::PromotionRule;
+    use crate::stats::popularity_order;
+    use rrp_model::{new_rng, PageId};
+
+    fn pages() -> Vec<PageStats> {
+        (0..30)
+            .map(|slot| {
+                let (pop, aw) = if slot % 3 == 0 {
+                    (0.0, 0.0)
+                } else {
+                    (1.0 - slot as f64 * 0.02, 0.5)
+                };
+                PageStats::new(slot, PageId::new(slot as u64), pop, aw)
+                    .with_age((slot % 7) as u64)
+                    .with_quality(1.0 - slot as f64 * 0.01)
+            })
+            .collect()
+    }
+
+    fn all_kinds() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::Popularity,
+            PolicyKind::QualityOracle,
+            PolicyKind::FullyRandom,
+            PolicyKind::recommended(2),
+            PolicyKind::promotion(PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn enum_dispatch_matches_concrete_policies() {
+        let ps = pages();
+        let concrete: Vec<Box<dyn RankingPolicy>> = vec![
+            Box::new(PopularityRanking),
+            Box::new(QualityOracleRanking),
+            Box::new(FullyRandomRanking),
+            Box::new(RandomizedRankPromotion::recommended(2)),
+            Box::new(RandomizedRankPromotion::new(
+                PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap(),
+            )),
+        ];
+        for (kind, boxed) in all_kinds().iter().zip(&concrete) {
+            for seed in 0..10 {
+                let mut rng_a = new_rng(seed);
+                let mut rng_b = new_rng(seed);
+                assert_eq!(
+                    kind.rank(&ps, &mut rng_a),
+                    boxed.rank(&ps, &mut rng_b),
+                    "{}",
+                    kind.name()
+                );
+            }
+            assert_eq!(kind.name(), boxed.name());
+        }
+    }
+
+    #[test]
+    fn presorted_path_matches_plain_path_for_every_kind() {
+        let ps = pages();
+        let mut sorted: Vec<usize> = (0..ps.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| popularity_order(&ps[a], &ps[b]));
+        let mut buffers = RankBuffers::new();
+        let mut out = Vec::new();
+        for kind in all_kinds() {
+            for seed in 0..10 {
+                let expected = kind.rank(&ps, &mut new_rng(seed));
+                kind.rank_presorted_into(&ps, &sorted, &mut new_rng(seed), &mut buffers, &mut out);
+                assert_eq!(out, expected, "{}", kind.name());
+                assert!(is_permutation(&out, ps.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn from_impls_map_to_the_right_variant() {
+        assert_eq!(PolicyKind::from(PopularityRanking), PolicyKind::Popularity);
+        assert_eq!(
+            PolicyKind::from(QualityOracleRanking),
+            PolicyKind::QualityOracle
+        );
+        assert_eq!(
+            PolicyKind::from(FullyRandomRanking),
+            PolicyKind::FullyRandom
+        );
+        let config = PromotionConfig::recommended(2);
+        assert_eq!(
+            PolicyKind::from(RandomizedRankPromotion::new(config)),
+            PolicyKind::promotion(config)
+        );
+        assert_eq!(PolicyKind::from(config), PolicyKind::recommended(2));
+    }
+
+    #[test]
+    fn kind_is_copy_and_small() {
+        let kind = PolicyKind::recommended(1);
+        let copy = kind;
+        assert_eq!(kind, copy);
+        assert!(std::mem::size_of::<PolicyKind>() <= 40);
+    }
+}

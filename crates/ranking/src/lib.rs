@@ -31,16 +31,20 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod buffers;
 pub mod deterministic;
+pub mod kind;
 pub mod merge;
 pub mod policy;
 pub mod promotion;
 pub mod randomized;
 pub mod stats;
 
+pub use buffers::RankBuffers;
 pub use deterministic::{FullyRandomRanking, PopularityRanking, QualityOracleRanking};
-pub use merge::merge_promoted;
-pub use policy::{is_permutation, RankingPolicy};
+pub use kind::PolicyKind;
+pub use merge::{merge_promoted, merge_promoted_into};
+pub use policy::{is_permutation, is_permutation_with_scratch, RankingPolicy};
 pub use promotion::{PromotionConfig, PromotionRule};
 pub use randomized::RandomizedRankPromotion;
 pub use stats::{popularity_order, PageStats};

@@ -36,11 +36,39 @@ pub fn merge_promoted(
     degree: f64,
     rng: &mut dyn RngCore,
 ) -> Vec<usize> {
+    let mut result = Vec::with_capacity(deterministic.len() + promoted.len());
+    merge_promoted_into(
+        deterministic,
+        promoted,
+        start_rank,
+        degree,
+        rng,
+        &mut result,
+    );
+    result
+}
+
+/// [`merge_promoted`] writing into a caller-supplied vector (cleared first)
+/// instead of allocating — the allocation-free primitive behind
+/// [`RankingPolicy::rank_into`](crate::RankingPolicy::rank_into).
+///
+/// Consumes exactly the same RNG draws as [`merge_promoted`], so the two
+/// produce byte-identical output from the same generator state. Generic
+/// over the RNG so concrete generators inline on the hot path.
+pub fn merge_promoted_into<R: RngCore + ?Sized>(
+    deterministic: &[usize],
+    promoted: &[usize],
+    start_rank: usize,
+    degree: f64,
+    rng: &mut R,
+    result: &mut Vec<usize>,
+) {
     debug_assert!(start_rank >= 1, "start rank is 1-based");
     debug_assert!((0.0..=1.0).contains(&degree), "degree must be in [0, 1]");
 
     let total = deterministic.len() + promoted.len();
-    let mut result = Vec::with_capacity(total);
+    result.clear();
+    result.reserve(total);
 
     let protected = (start_rank - 1).min(deterministic.len());
     let mut d_iter = deterministic.iter().copied();
@@ -49,25 +77,37 @@ pub fn merge_promoted(
     // Step 1: protected prefix straight from L_d, order preserved.
     result.extend(d_iter.by_ref().take(protected));
 
-    // Step 2: coin-flip merge for the remaining positions.
+    // Step 2: coin-flip merge for the remaining positions. Once either
+    // list is exhausted no more coins are flipped, so the remaining tail
+    // is appended in bulk — same output and RNG consumption as flipping
+    // element by element, minus the per-element bookkeeping.
     let mut d_next = d_iter.next();
     let mut p_next = p_iter.next();
-    while result.len() < total {
-        let take_promoted = match (d_next, p_next) {
-            (Some(_), Some(_)) => rng.gen::<f64>() < degree,
-            (None, Some(_)) => true,
-            (Some(_), None) => false,
+    loop {
+        match (d_next, p_next) {
+            (Some(d), Some(p)) => {
+                if rng.gen::<f64>() < degree {
+                    result.push(p);
+                    p_next = p_iter.next();
+                } else {
+                    result.push(d);
+                    d_next = d_iter.next();
+                }
+            }
+            (Some(d), None) => {
+                result.push(d);
+                result.extend(d_iter);
+                break;
+            }
+            (None, Some(p)) => {
+                result.push(p);
+                result.extend(p_iter);
+                break;
+            }
             (None, None) => break,
-        };
-        if take_promoted {
-            result.push(p_next.expect("checked above"));
-            p_next = p_iter.next();
-        } else {
-            result.push(d_next.expect("checked above"));
-            d_next = d_iter.next();
         }
     }
-    result
+    debug_assert_eq!(result.len(), total);
 }
 
 #[cfg(test)]
@@ -166,6 +206,22 @@ mod tests {
         let mut rng = new_rng(0);
         let merged = merge_promoted(&ld, &lp, 10, 0.5, &mut rng);
         assert_eq!(merged, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant_and_reuses_storage() {
+        let ld: Vec<usize> = (0..40).collect();
+        let lp: Vec<usize> = (40..60).collect();
+        let mut out = Vec::new();
+        for seed in 0..20 {
+            let mut rng_a = new_rng(seed);
+            let mut rng_b = new_rng(seed);
+            let expected = merge_promoted(&ld, &lp, 3, 0.4, &mut rng_a);
+            merge_promoted_into(&ld, &lp, 3, 0.4, &mut rng_b, &mut out);
+            assert_eq!(out, expected);
+        }
+        // The output vector keeps its capacity across calls.
+        assert!(out.capacity() >= 60);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The [`RankingPolicy`] trait: from page statistics to a result ordering.
 
+use crate::buffers::RankBuffers;
 use crate::stats::PageStats;
 use rand::RngCore;
 
@@ -11,9 +12,36 @@ use rand::RngCore;
 /// at `output[0]` is shown at rank 1, `output[1]` at rank 2, and so on.
 /// Policies that involve randomness draw it from the supplied RNG so that
 /// simulations are reproducible.
+///
+/// [`rank_into`](Self::rank_into) is the allocation-free primitive every
+/// policy implements; [`rank`](Self::rank) is a convenience wrapper that
+/// allocates a fresh arena and output vector per call. Both produce
+/// byte-identical orderings from the same RNG state.
 pub trait RankingPolicy: Send + Sync {
+    /// Produce the result ordering for one query / one simulation day,
+    /// writing it into `out` (cleared first) and drawing any scratch space
+    /// from `buffers`. Hot paths (the simulator day loop, batch serving)
+    /// reuse the same arena and output vector across calls so that ranking
+    /// never allocates after warm-up.
+    fn rank_into(
+        &self,
+        pages: &[PageStats],
+        rng: &mut dyn RngCore,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    );
+
     /// Produce the result ordering for one query / one simulation day.
-    fn rank(&self, pages: &[PageStats], rng: &mut dyn RngCore) -> Vec<usize>;
+    ///
+    /// Thin compatibility wrapper over [`rank_into`](Self::rank_into): it
+    /// allocates a fresh arena and output vector each call. Prefer
+    /// `rank_into` anywhere throughput matters.
+    fn rank(&self, pages: &[PageStats], rng: &mut dyn RngCore) -> Vec<usize> {
+        let mut buffers = RankBuffers::new();
+        let mut out = Vec::with_capacity(pages.len());
+        self.rank_into(pages, rng, &mut buffers, &mut out);
+        out
+    }
 
     /// A short human-readable name used in experiment reports
     /// (e.g. `"no randomization"`, `"selective (r=0.1, k=1)"`).
@@ -23,10 +51,18 @@ pub trait RankingPolicy: Send + Sync {
 /// Verify that `ordering` is a permutation of `0..n`. Used by debug
 /// assertions in the simulator and by the property tests of every policy.
 pub fn is_permutation(ordering: &[usize], n: usize) -> bool {
+    is_permutation_with_scratch(ordering, n, &mut Vec::new())
+}
+
+/// [`is_permutation`] with a caller-supplied scratch mask, so repeated
+/// validation (e.g. a debug assertion in a simulation day loop) does not
+/// allocate once the scratch has grown to `n` entries.
+pub fn is_permutation_with_scratch(ordering: &[usize], n: usize, seen: &mut Vec<bool>) -> bool {
     if ordering.len() != n {
         return false;
     }
-    let mut seen = vec![false; n];
+    seen.clear();
+    seen.resize(n, false);
     for &slot in ordering {
         if slot >= n || seen[slot] {
             return false;
@@ -53,5 +89,23 @@ mod tests {
         assert!(!is_permutation(&[0, 1], 3), "too short");
         assert!(!is_permutation(&[0, 1, 3], 3), "out of range");
         assert!(!is_permutation(&[0, 1, 2, 2], 3), "too long");
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_variant() {
+        let mut seen = Vec::new();
+        for (ordering, n) in [
+            (vec![2, 0, 1], 3),
+            (vec![0, 0, 1], 3),
+            (vec![0, 1], 3),
+            (vec![0, 1, 3], 3),
+            (vec![], 0),
+        ] {
+            assert_eq!(
+                is_permutation_with_scratch(&ordering, n, &mut seen),
+                is_permutation(&ordering, n),
+                "ordering {ordering:?}"
+            );
+        }
     }
 }

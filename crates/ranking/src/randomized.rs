@@ -13,7 +13,8 @@
 //!    [`merge_promoted`](crate::merge::merge_promoted), protecting the top
 //!    `k − 1` deterministic results.
 
-use crate::merge::merge_promoted;
+use crate::buffers::RankBuffers;
+use crate::merge::merge_promoted_into;
 use crate::policy::RankingPolicy;
 use crate::promotion::{PromotionConfig, PromotionRule};
 use crate::stats::{popularity_order, PageStats};
@@ -44,10 +45,28 @@ impl RandomizedRankPromotion {
     }
 
     /// Split the input into (promotion pool, deterministic remainder),
-    /// returning indices into `pages`.
+    /// returning indices into `pages`. Test-only convenience over
+    /// [`split_pool_into`](Self::split_pool_into).
+    #[cfg(test)]
     fn split_pool(&self, pages: &[PageStats], rng: &mut dyn RngCore) -> (Vec<usize>, Vec<usize>) {
         let mut pool = Vec::new();
         let mut rest = Vec::new();
+        self.split_pool_into(pages, rng, &mut pool, &mut rest);
+        (pool, rest)
+    }
+
+    /// [`split_pool`](Self::split_pool) writing into caller-supplied vectors
+    /// (cleared first). The Uniform rule draws one coin per page, in input
+    /// order; the Selective rule draws nothing.
+    fn split_pool_into<R: RngCore + ?Sized>(
+        &self,
+        pages: &[PageStats],
+        rng: &mut R,
+        pool: &mut Vec<usize>,
+        rest: &mut Vec<usize>,
+    ) {
+        pool.clear();
+        rest.clear();
         match self.config.rule {
             PromotionRule::Selective => {
                 for (i, p) in pages.iter().enumerate() {
@@ -68,25 +87,138 @@ impl RandomizedRankPromotion {
                 }
             }
         }
-        (pool, rest)
     }
-}
 
-impl RankingPolicy for RandomizedRankPromotion {
-    fn rank(&self, pages: &[PageStats], rng: &mut dyn RngCore) -> Vec<usize> {
-        let (mut pool, mut rest) = self.split_pool(pages, rng);
+    /// Rank when the caller already maintains the popularity order of all
+    /// pages — the simulator's incremental index or a batch server's
+    /// once-per-batch sort — eliminating the per-call `O(n log n)` sort.
+    ///
+    /// Requirements (checked by debug assertions):
+    ///
+    /// * `pages[i].slot == i` for every `i` (dense slot indexing);
+    /// * `sorted` is a permutation of `0..n` ordered by
+    ///   [`popularity_order`].
+    ///
+    /// Consumes exactly the same RNG draws as
+    /// [`rank_into`](RankingPolicy::rank_into) (the pool split and coin-flip
+    /// merge happen in the same order), so the output is byte-identical.
+    ///
+    /// Generic over the RNG so that concrete callers (the simulator day
+    /// loop, the batch server) get a statically dispatched, inlinable
+    /// generator on the hottest loop in the workspace; trait objects still
+    /// work (`R = dyn RngCore`).
+    pub fn rank_presorted_into<R: RngCore + ?Sized>(
+        &self,
+        pages: &[PageStats],
+        sorted: &[usize],
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        debug_assert!(pages.iter().enumerate().all(|(i, p)| p.slot == i));
+        debug_assert_eq!(sorted.len(), pages.len());
+        debug_assert!(sorted
+            .windows(2)
+            .all(|w| popularity_order(&pages[w[0]], &pages[w[1]]).is_lt()));
+
+        // Pool membership, in input (slot) order — the same iteration, and
+        // for Uniform the same coin flips, as `split_pool_into`. Because
+        // `pages[i].slot == i`, pool entries are already slot indices. Both
+        // rules record membership in the dense per-slot mask with one
+        // sequential pass, so the `L_d` filter below reads an L1-resident
+        // bitmap instead of gathering from the much larger stats array in
+        // popularity order.
+        buffers.reset_mask(pages.len());
+        buffers.pool.clear();
+        match self.config.rule {
+            PromotionRule::Selective => {
+                for p in pages.iter() {
+                    if p.is_unexplored() {
+                        buffers.mask[p.slot] = true;
+                        buffers.pool.push(p.slot);
+                    }
+                }
+            }
+            PromotionRule::Uniform => {
+                for p in pages.iter() {
+                    if rng.gen::<f64>() < self.config.degree {
+                        buffers.mask[p.slot] = true;
+                        buffers.pool.push(p.slot);
+                    }
+                }
+            }
+        }
+        // L_d: non-pool pages in popularity order, read straight off the
+        // precomputed index instead of sorting.
+        buffers.rest.clear();
+        buffers
+            .rest
+            .extend(sorted.iter().copied().filter(|&s| !buffers.mask[s]));
+
+        // L_p: the promotion pool in random order.
+        buffers.pool.shuffle(rng);
+
+        merge_promoted_into(
+            &buffers.rest,
+            &buffers.pool,
+            self.config.start_rank,
+            self.config.degree,
+            rng,
+            out,
+        );
+    }
+
+    /// Statically dispatched implementation of
+    /// [`RankingPolicy::rank_into`]; the trait method forwards here
+    /// (inherent methods win name resolution), so concrete callers inline
+    /// their generator while `dyn RankingPolicy` users keep working.
+    pub fn rank_into<R: RngCore + ?Sized>(
+        &self,
+        pages: &[PageStats],
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        // `pool` and `rest` hold indices into `pages` here.
+        let RankBuffers { pool, rest, .. } = buffers;
+        self.split_pool_into(pages, rng, pool, rest);
 
         // L_p: the promotion pool in random order.
         pool.shuffle(rng);
 
-        // L_d: remaining pages in descending popularity order.
-        rest.sort_by(|&a, &b| popularity_order(&pages[a], &pages[b]));
+        // L_d: remaining pages in descending popularity order
+        // (`popularity_order` is total, so the unstable sort is
+        // deterministic and allocation-free).
+        rest.sort_unstable_by(|&a, &b| popularity_order(&pages[a], &pages[b]));
 
-        // Map from indices into `pages` to slot indices.
-        let lp: Vec<usize> = pool.into_iter().map(|i| pages[i].slot).collect();
-        let ld: Vec<usize> = rest.into_iter().map(|i| pages[i].slot).collect();
+        // Map indices into `pages` to slot indices, in place.
+        for index in pool.iter_mut() {
+            *index = pages[*index].slot;
+        }
+        for index in rest.iter_mut() {
+            *index = pages[*index].slot;
+        }
 
-        merge_promoted(&ld, &lp, self.config.start_rank, self.config.degree, rng)
+        merge_promoted_into(
+            rest,
+            pool,
+            self.config.start_rank,
+            self.config.degree,
+            rng,
+            out,
+        );
+    }
+}
+
+impl RankingPolicy for RandomizedRankPromotion {
+    fn rank_into(
+        &self,
+        pages: &[PageStats],
+        rng: &mut dyn RngCore,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        RandomizedRankPromotion::rank_into(self, pages, rng, buffers, out)
     }
 
     fn name(&self) -> String {

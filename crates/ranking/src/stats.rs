@@ -45,6 +45,23 @@ impl PageStats {
 
     /// Whether the page has never been visited by any monitored user
     /// (`A(p, t) = 0`), i.e. it is a candidate for selective promotion.
+    ///
+    /// # Why an exact `== 0.0` comparison is correct here
+    ///
+    /// Awareness is never the result of accumulating floating-point
+    /// increments: producers quantise it to exact multiples of `1/m`
+    /// (`m` = monitored users). The simulator stores an *integer* count of
+    /// aware users and divides once per snapshot (`aware_users as f64 / m`),
+    /// and the serving engine maps its boolean unexplored flag to exactly
+    /// `0.0` or `1.0`. A quotient `k/m` with `k ≥ 1` is a positive `f64`
+    /// (no underflow for any practical `m`), so `awareness == 0.0` holds
+    /// exactly when `k == 0` — a visited page can never drift back into the
+    /// promotion pool, and an unvisited one is never excluded by rounding.
+    /// Even a producer that *did* accumulate `1/m` steps could not strand a
+    /// visited page: IEEE-754 addition of positive values is monotone and
+    /// the first step already yields `1/m > 0` (see the
+    /// `accumulated_awareness_never_strands_a_visited_page` regression
+    /// test).
     #[inline]
     pub fn is_unexplored(&self) -> bool {
         self.awareness == 0.0
@@ -93,6 +110,36 @@ mod tests {
         assert!(p.is_unexplored());
         let q = PageStats::new(1, PageId::new(1), 0.1, 0.2);
         assert!(!q.is_unexplored());
+    }
+
+    /// Regression test for the `is_unexplored` invariant: awareness values
+    /// reachable from monitored-user visits — the exact quotient `k/m` the
+    /// simulator computes, and the worst-case naive accumulation of `k`
+    /// increments of `1/m` — are exactly `0.0` iff `k == 0`. A page with at
+    /// least one visit must never be re-admitted to the promotion pool by
+    /// floating-point artifacts.
+    #[test]
+    fn accumulated_awareness_never_strands_a_visited_page() {
+        for m in [1usize, 2, 3, 7, 10, 33, 100, 1_000, 1_000_000] {
+            let step = 1.0 / m as f64;
+            let mut accumulated = 0.0f64;
+            for k in 0..=m {
+                let quotient = k as f64 / m as f64;
+                let page = PageStats::new(0, PageId::new(0), 0.0, quotient);
+                assert_eq!(
+                    page.is_unexplored(),
+                    k == 0,
+                    "quotient awareness {quotient} at k={k}, m={m}"
+                );
+                let page = PageStats::new(0, PageId::new(0), 0.0, accumulated);
+                assert_eq!(
+                    page.is_unexplored(),
+                    k == 0,
+                    "accumulated awareness {accumulated} at k={k}, m={m}"
+                );
+                accumulated += step;
+            }
+        }
     }
 
     #[test]

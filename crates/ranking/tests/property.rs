@@ -7,8 +7,9 @@
 use proptest::prelude::*;
 use rrp_model::{new_rng, PageId};
 use rrp_ranking::{
-    is_permutation, merge_promoted, FullyRandomRanking, PageStats, PopularityRanking,
-    PromotionConfig, PromotionRule, QualityOracleRanking, RandomizedRankPromotion, RankingPolicy,
+    is_permutation, merge_promoted, popularity_order, FullyRandomRanking, PageStats, PolicyKind,
+    PopularityRanking, PromotionConfig, PromotionRule, QualityOracleRanking,
+    RandomizedRankPromotion, RankBuffers, RankingPolicy,
 };
 
 /// Strategy producing an arbitrary page population of size 1..=120.
@@ -175,6 +176,66 @@ proptest! {
         let mut rng = new_rng(seed);
         let order = policy.rank(&pages, &mut rng);
         prop_assert!(is_permutation(&order, pages.len()));
+    }
+
+    /// For every policy and any valid promotion configuration, the
+    /// allocation-free `rank_into` (through a reused scratch arena) produces
+    /// byte-identical output to the legacy allocating `rank` from the same
+    /// RNG state — the hot path is a pure refactor, not a behaviour change.
+    #[test]
+    fn rank_into_matches_legacy_rank_for_all_policies(
+        pages in arb_pages(),
+        seed in proptest::num::u64::ANY,
+        rule in prop_oneof![Just(PromotionRule::Uniform), Just(PromotionRule::Selective)],
+        k in 1usize..50,
+        degree in 0.0f64..=1.0,
+    ) {
+        let config = PromotionConfig::new(rule, k, degree).unwrap();
+        let policies: Vec<Box<dyn RankingPolicy>> = vec![
+            Box::new(PopularityRanking),
+            Box::new(QualityOracleRanking),
+            Box::new(FullyRandomRanking),
+            Box::new(RandomizedRankPromotion::new(config)),
+            Box::new(PolicyKind::promotion(config)),
+        ];
+        // One arena reused across every policy and call: stale contents
+        // from a previous call must never leak into the next result.
+        let mut buffers = RankBuffers::new();
+        let mut out = vec![99_usize; 3];
+        for policy in &policies {
+            let legacy = policy.rank(&pages, &mut new_rng(seed));
+            policy.rank_into(&pages, &mut new_rng(seed), &mut buffers, &mut out);
+            prop_assert_eq!(&out, &legacy, "policy {}", policy.name());
+        }
+    }
+
+    /// The presorted promotion path (used by the simulator's incremental
+    /// popularity index and the batch serving layer) is byte-identical to
+    /// the sorting path for any configuration, given a correct popularity
+    /// order of the input.
+    #[test]
+    fn rank_presorted_matches_rank(
+        pages in arb_pages(),
+        seed in proptest::num::u64::ANY,
+        rule in prop_oneof![Just(PromotionRule::Uniform), Just(PromotionRule::Selective)],
+        k in 1usize..50,
+        degree in 0.0f64..=1.0,
+    ) {
+        let config = PromotionConfig::new(rule, k, degree).unwrap();
+        let policy = RandomizedRankPromotion::new(config);
+        let mut sorted: Vec<usize> = (0..pages.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| popularity_order(&pages[a], &pages[b]));
+
+        let legacy = policy.rank(&pages, &mut new_rng(seed));
+        let mut buffers = RankBuffers::new();
+        let mut out = Vec::new();
+        policy.rank_presorted_into(&pages, &sorted, &mut new_rng(seed), &mut buffers, &mut out);
+        prop_assert_eq!(&out, &legacy);
+
+        // And through the enum dispatch used by the simulator.
+        let kind = PolicyKind::promotion(config);
+        kind.rank_presorted_into(&pages, &sorted, &mut new_rng(seed), &mut buffers, &mut out);
+        prop_assert_eq!(&out, &legacy);
     }
 
     /// For *any* valid promotion configuration, ranks better than `k` are

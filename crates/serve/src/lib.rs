@@ -1,0 +1,43 @@
+//! # rrp-serve — sharded batch serving over randomized rank promotion
+//!
+//! The paper pitches rank promotion as something a production search engine
+//! embeds; this crate is the serving tier of that picture. It partitions a
+//! document corpus across N shards, answers batches of queries on std
+//! scoped threads, and amortises the per-query popularity sort across each
+//! batch — while preserving the `(engine seed, query, session)` determinism
+//! of [`rrp_core::RankPromotionEngine`] exactly: batch and sequential
+//! answers are bit-identical at any shard or worker count.
+//!
+//! ```
+//! use rrp_core::{Document, QueryContext, RankPromotionEngine};
+//! use rrp_serve::ShardedPromotionService;
+//!
+//! // An 8-shard service over the paper-recommended engine.
+//! let mut service =
+//!     ShardedPromotionService::new(RankPromotionEngine::recommended(), 8);
+//! service.extend((0..100).map(|i| {
+//!     if i % 10 == 0 {
+//!         Document::unexplored(i)
+//!     } else {
+//!         Document::established(i, 1.0 - i as f64 * 0.01)
+//!     }
+//! }));
+//!
+//! let queries: Vec<QueryContext> = (0..4)
+//!     .map(|q| QueryContext::from_strings("swimming", &format!("session-{q}")))
+//!     .collect();
+//! let answers = service.rerank_batch(&queries);
+//!
+//! assert_eq!(answers.len(), 4);
+//! // Batch answers equal the sequential engine, query by query.
+//! assert_eq!(answers[0], service.rerank_one(queries[0]));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod service;
+pub mod store;
+
+pub use service::{available_workers, ShardedPromotionService};
+pub use store::ShardedStore;

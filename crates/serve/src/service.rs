@@ -1,0 +1,272 @@
+//! The sharded batch rerank service.
+
+use crate::store::ShardedStore;
+use rrp_core::{Document, QueryContext, RankPromotionEngine};
+use rrp_ranking::{PageStats, PopularityRanking, RankBuffers};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Serves randomized rank promotion over a sharded document store.
+///
+/// The service owns the corpus (partitioned across N shards by document-id
+/// hash, as an index tier would be) and answers batches of queries on std
+/// scoped threads. Three properties make it safe to scale:
+///
+/// 1. **Shard-count independence** — ranking is defined over the store's
+///    canonical snapshot order, so 1-shard and 64-shard deployments answer
+///    every query identically.
+/// 2. **Worker-count independence** — each query's randomization is a pure
+///    function of `(engine seed, query, session)`, never of scheduling, so
+///    [`rerank_batch`](Self::rerank_batch) equals a sequential loop of
+///    [`rerank_one`](Self::rerank_one) bit for bit at any worker count.
+/// 3. **Batch-amortised sorting** — the popularity order of the corpus is
+///    computed once per batch and shared read-only across workers; each
+///    query then costs `O(n)` (pool scan + shuffle + coin-flip merge)
+///    instead of `O(n log n)`, and per-worker scratch arenas keep the
+///    per-query path allocation-free.
+#[derive(Debug)]
+pub struct ShardedPromotionService {
+    engine: RankPromotionEngine,
+    store: ShardedStore,
+    workers: usize,
+}
+
+impl ShardedPromotionService {
+    /// A service over an empty `shard_count`-way store (at least 1 shard),
+    /// answering batches with up to [`available_workers`] threads.
+    pub fn new(engine: RankPromotionEngine, shard_count: usize) -> Self {
+        ShardedPromotionService {
+            engine,
+            store: ShardedStore::new(shard_count),
+            workers: available_workers(),
+        }
+    }
+
+    /// Set the number of batch worker threads (clamped to at least 1).
+    /// Results are identical at every worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The rank-promotion engine in use.
+    pub fn engine(&self) -> RankPromotionEngine {
+        self.engine
+    }
+
+    /// The underlying sharded store.
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// Number of batch worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Insert one document into its shard.
+    pub fn insert(&mut self, document: Document) {
+        self.store.insert(document);
+    }
+
+    /// Insert every document of an iterator, in order.
+    pub fn extend(&mut self, documents: impl IntoIterator<Item = Document>) {
+        self.store.extend(documents);
+    }
+
+    /// Answer one query sequentially: the canonical snapshot re-ranked by
+    /// the engine. This is the reference the batch path is measured
+    /// against — and must stay bit-identical to.
+    pub fn rerank_one(&self, context: QueryContext) -> Vec<u64> {
+        let snapshot = self.store.snapshot();
+        self.engine.rerank(&snapshot, context)
+    }
+
+    /// Answer a batch of queries, fanning out across scoped worker
+    /// threads. Per query, the returned document ids equal
+    /// [`rerank_one`](Self::rerank_one) — and therefore
+    /// [`RankPromotionEngine::rerank`] on the canonical snapshot —
+    /// regardless of shard count, worker count, or scheduling.
+    pub fn rerank_batch(&self, queries: &[QueryContext]) -> Vec<Vec<u64>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+
+        // Per batch: assemble the canonical snapshot, its ranking
+        // statistics, and the shared popularity order, once. The order
+        // comes from the ranking crate's own policy (stats slots are
+        // dense, so the ranked slots are the sorted index list), keeping
+        // the serve layer bit-aligned with the policy's sort by
+        // construction.
+        let mut snapshot = Vec::new();
+        self.store.snapshot_into(&mut snapshot);
+        let mut stats: Vec<PageStats> = Vec::with_capacity(snapshot.len());
+        RankPromotionEngine::document_stats(&snapshot, &mut stats);
+        let mut sorted: Vec<usize> = Vec::with_capacity(stats.len());
+        PopularityRanking.rank_order_into(&stats, &mut sorted);
+
+        let workers = self.workers.min(queries.len());
+        if workers <= 1 {
+            let mut worker = BatchWorker::new(&self.engine, &snapshot, &stats, &sorted);
+            return queries.iter().map(|&ctx| worker.answer(ctx)).collect();
+        }
+
+        let results: Mutex<Vec<Option<Vec<u64>>>> =
+            Mutex::new((0..queries.len()).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    // Each worker owns its scratch: queries after the first
+                    // are allocation-free up to the result vector itself.
+                    let mut worker = BatchWorker::new(&self.engine, &snapshot, &stats, &sorted);
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&ctx) = queries.get(index) else {
+                            break;
+                        };
+                        let answer = worker.answer(ctx);
+                        results.lock().expect("batch worker poisoned results")[index] =
+                            Some(answer);
+                    }
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("batch worker poisoned results")
+            .into_iter()
+            .map(|r| r.expect("every query was answered"))
+            .collect()
+    }
+}
+
+/// Per-worker state: shared read-only snapshot plus private scratch.
+struct BatchWorker<'a> {
+    engine: &'a RankPromotionEngine,
+    snapshot: &'a [Document],
+    stats: &'a [PageStats],
+    sorted: &'a [usize],
+    buffers: RankBuffers,
+    slots: Vec<usize>,
+}
+
+impl<'a> BatchWorker<'a> {
+    fn new(
+        engine: &'a RankPromotionEngine,
+        snapshot: &'a [Document],
+        stats: &'a [PageStats],
+        sorted: &'a [usize],
+    ) -> Self {
+        BatchWorker {
+            engine,
+            snapshot,
+            stats,
+            sorted,
+            buffers: RankBuffers::with_capacity(stats.len()),
+            slots: Vec::with_capacity(stats.len()),
+        }
+    }
+
+    fn answer(&mut self, context: QueryContext) -> Vec<u64> {
+        self.engine.rerank_presorted_slots_into(
+            self.stats,
+            self.sorted,
+            context,
+            &mut self.buffers,
+            &mut self.slots,
+        );
+        self.slots.iter().map(|&s| self.snapshot[s].id).collect()
+    }
+}
+
+/// Default worker count: the machine's available parallelism (1 if
+/// unknown).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrp_ranking::{PromotionConfig, PromotionRule};
+
+    fn corpus(n: u64) -> Vec<Document> {
+        (0..n)
+            .map(|i| {
+                if i % 10 == 0 {
+                    Document::unexplored(i)
+                } else {
+                    Document::established(i, 1.0 - i as f64 / (n as f64 + 1.0)).with_age(i % 200)
+                }
+            })
+            .collect()
+    }
+
+    fn queries(q: u64) -> Vec<QueryContext> {
+        (0..q)
+            .map(|i| QueryContext::new(i * 3 + 1, i ^ 0x5A5A))
+            .collect()
+    }
+
+    #[test]
+    fn batch_equals_sequential_engine_for_any_shard_and_worker_count() {
+        let engine = RankPromotionEngine::recommended().with_seed(11);
+        let docs = corpus(200);
+        let qs = queries(23);
+        let expected: Vec<Vec<u64>> = qs.iter().map(|&ctx| engine.rerank(&docs, ctx)).collect();
+        for shards in [1usize, 2, 8] {
+            for workers in [1usize, 2, 8] {
+                let mut service =
+                    ShardedPromotionService::new(engine, shards).with_workers(workers);
+                service.extend(docs.iter().copied());
+                assert_eq!(
+                    service.rerank_batch(&qs),
+                    expected,
+                    "{shards} shards, {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rerank_one_matches_batch_of_one() {
+        let engine =
+            RankPromotionEngine::new(PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap())
+                .with_seed(5);
+        let mut service = ShardedPromotionService::new(engine, 4);
+        service.extend(corpus(77));
+        let ctx = QueryContext::from_strings("stacked deck", "session-1");
+        assert_eq!(service.rerank_batch(&[ctx]), vec![service.rerank_one(ctx)]);
+    }
+
+    #[test]
+    fn batch_results_are_stable_across_repeated_calls() {
+        let mut service =
+            ShardedPromotionService::new(RankPromotionEngine::recommended(), 3).with_workers(4);
+        service.extend(corpus(150));
+        let qs = queries(9);
+        assert_eq!(service.rerank_batch(&qs), service.rerank_batch(&qs));
+    }
+
+    #[test]
+    fn empty_batch_and_empty_store_are_fine() {
+        let service = ShardedPromotionService::new(RankPromotionEngine::recommended(), 2);
+        assert!(service.rerank_batch(&[]).is_empty());
+        let out = service.rerank_batch(&queries(3));
+        assert_eq!(out, vec![Vec::<u64>::new(); 3]);
+        assert!(service.store().is_empty());
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let engine = RankPromotionEngine::recommended().with_seed(9);
+        let service = ShardedPromotionService::new(engine, 6).with_workers(3);
+        assert_eq!(service.engine(), engine);
+        assert_eq!(service.store().shard_count(), 6);
+        assert_eq!(service.workers(), 3);
+        assert!(available_workers() >= 1);
+    }
+}

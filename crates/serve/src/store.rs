@@ -1,0 +1,175 @@
+//! A document store partitioned across shards.
+//!
+//! Documents are routed to shards by a stable hash of their id, as a real
+//! deployment would partition a corpus across index servers. Every insert
+//! also receives a *global sequence number*; the canonical snapshot order
+//! (and therefore every ranking decision) is defined by that sequence, not
+//! by the shard layout — so re-sharding the same corpus from 1 to N shards
+//! never changes a single query result.
+
+use rrp_core::Document;
+
+/// A sharded document store with a canonical, shard-count-independent
+/// snapshot order.
+#[derive(Debug, Clone)]
+pub struct ShardedStore {
+    /// Per-shard `(sequence, document)` pairs; each shard is ascending in
+    /// sequence because inserts are globally ordered.
+    shards: Vec<Vec<(u64, Document)>>,
+    next_seq: u64,
+}
+
+impl ShardedStore {
+    /// An empty store with `shard_count` partitions (at least 1).
+    pub fn new(shard_count: usize) -> Self {
+        ShardedStore {
+            shards: vec![Vec::new(); shard_count.max(1)],
+            next_seq: 0,
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of stored documents.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the store holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Vec::is_empty)
+    }
+
+    /// Number of documents on one shard.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].len()
+    }
+
+    /// Insert one document, returning its global sequence number.
+    pub fn insert(&mut self, document: Document) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let shard = shard_of(document.id, self.shards.len());
+        self.shards[shard].push((seq, document));
+        seq
+    }
+
+    /// Insert every document of an iterator, in order.
+    pub fn extend(&mut self, documents: impl IntoIterator<Item = Document>) {
+        for document in documents {
+            self.insert(document);
+        }
+    }
+
+    /// Write the canonical snapshot — all documents in global insertion
+    /// order, independent of the shard layout — into `out` (cleared first).
+    ///
+    /// Sequence numbers are dense (`0..len`, assigned by `insert` with no
+    /// removal path), so each shard's documents scatter directly to their
+    /// final position: one `O(n)` pass, independent of the shard count.
+    pub fn snapshot_into(&self, out: &mut Vec<Document>) {
+        debug_assert_eq!(self.len() as u64, self.next_seq, "sequences are dense");
+        out.clear();
+        out.resize(self.len(), Document::unexplored(0));
+        for shard in &self.shards {
+            for &(seq, document) in shard {
+                out[seq as usize] = document;
+            }
+        }
+    }
+
+    /// The canonical snapshot as a fresh vector.
+    pub fn snapshot(&self) -> Vec<Document> {
+        let mut out = Vec::new();
+        self.snapshot_into(&mut out);
+        out
+    }
+}
+
+/// Stable shard routing: SplitMix64-style mix of the document id, reduced
+/// modulo the shard count. Deterministic across runs and platforms.
+fn shard_of(id: u64, shards: usize) -> usize {
+    let mut z = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs(n: u64) -> Vec<Document> {
+        (0..n)
+            .map(|i| {
+                if i % 7 == 0 {
+                    Document::unexplored(i)
+                } else {
+                    Document::established(i, 1.0 / (i + 1) as f64).with_age(i)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_is_insertion_order_for_any_shard_count() {
+        let reference = docs(100);
+        for shards in [1, 2, 3, 8, 13] {
+            let mut store = ShardedStore::new(shards);
+            store.extend(reference.iter().copied());
+            assert_eq!(store.shard_count(), shards);
+            assert_eq!(store.len(), 100);
+            assert_eq!(store.snapshot(), reference, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_clamped_to_one() {
+        let store = ShardedStore::new(0);
+        assert_eq!(store.shard_count(), 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn routing_spreads_documents_across_shards() {
+        let mut store = ShardedStore::new(8);
+        store.extend(docs(1_000));
+        for shard in 0..8 {
+            let len = store.shard_len(shard);
+            assert!(
+                (60..190).contains(&len),
+                "shard {shard} holds {len} of 1000 documents"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_stay_distinct_entries() {
+        let mut store = ShardedStore::new(4);
+        store.insert(Document::established(7, 0.9));
+        store.insert(Document::established(7, 0.1));
+        store.insert(Document::unexplored(7));
+        assert_eq!(store.len(), 3);
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].popularity, 0.9);
+        assert_eq!(snap[1].popularity, 0.1);
+        assert!(snap[2].is_unexplored);
+    }
+
+    #[test]
+    fn snapshot_into_reuses_storage() {
+        let mut store = ShardedStore::new(2);
+        store.extend(docs(50));
+        let mut out = Vec::new();
+        store.snapshot_into(&mut out);
+        let capacity = out.capacity();
+        store.snapshot_into(&mut out);
+        assert_eq!(out.capacity(), capacity);
+        assert_eq!(out.len(), 50);
+    }
+}

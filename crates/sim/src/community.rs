@@ -160,16 +160,22 @@ impl PagePopulation {
     /// Record one monitored-user visit to the page in `slot`: with
     /// probability `1 − A(p, t)` the visitor had not seen the page before
     /// and the awareness count increases.
-    pub fn record_monitored_visit<R: Rng + ?Sized>(&mut self, slot: usize, rng: &mut R) {
+    ///
+    /// Returns `true` iff the awareness count actually changed — i.e. the
+    /// slot's popularity key moved and any incremental popularity index
+    /// over the population must treat the slot as dirty.
+    pub fn record_monitored_visit<R: Rng + ?Sized>(&mut self, slot: usize, rng: &mut R) -> bool {
         let m = self.monitored_users;
         let s = &mut self.slots[slot];
         if s.aware_users >= m {
-            return;
+            return false;
         }
         let unaware_fraction = 1.0 - s.aware_users as f64 / m as f64;
         if rng.gen::<f64>() < unaware_fraction {
             s.aware_users += 1;
+            return true;
         }
+        false
     }
 
     /// Replace the page in `slot` with a fresh page of the same quality and
@@ -195,6 +201,22 @@ impl PagePopulation {
         protected: &[usize],
         rng: &mut R,
     ) -> usize {
+        let mut replaced = Vec::new();
+        self.retire_daily_recording(today, protected, rng, &mut replaced);
+        replaced.len()
+    }
+
+    /// [`retire_daily`](Self::retire_daily), appending the index of every
+    /// replaced slot to `replaced` (not cleared) so callers maintaining an
+    /// incremental popularity index can mark exactly those slots dirty.
+    /// Consumes the same RNG draws as `retire_daily`.
+    pub fn retire_daily_recording<R: Rng + ?Sized>(
+        &mut self,
+        today: Day,
+        protected: &[usize],
+        rng: &mut R,
+        replaced: &mut Vec<usize>,
+    ) -> usize {
         let n = self.slots.len();
         let p = self.lifetime.daily_retirement_probability();
         let mean = n as f64 * p;
@@ -208,6 +230,7 @@ impl PagePopulation {
                 continue;
             }
             self.replace_page(slot, today);
+            replaced.push(slot);
             retired += 1;
         }
         retired
@@ -397,6 +420,47 @@ mod tests {
         }
         assert_eq!(pop.slot(protected[0]).page, original_id);
         assert!(pop.retired_count() > 0, "other slots do retire");
+    }
+
+    #[test]
+    fn monitored_visit_reports_awareness_changes() {
+        let config = small_config();
+        let mut pop = PagePopulation::new(&config, &PowerLawQuality::paper_default());
+        let mut rng = new_rng(9);
+        // First visit to a fresh page always raises awareness.
+        assert!(pop.record_monitored_visit(2, &mut rng));
+        // A saturated page can never change again.
+        pop.slot_mut(2).aware_users = 10;
+        assert!(!pop.record_monitored_visit(2, &mut rng));
+        // Over many visits, the reported changes equal the awareness count.
+        let mut changes = 0;
+        for _ in 0..1_000 {
+            if pop.record_monitored_visit(7, &mut rng) {
+                changes += 1;
+            }
+        }
+        assert_eq!(changes, pop.slot(7).aware_users);
+    }
+
+    #[test]
+    fn recording_retirement_reports_exactly_the_replaced_slots() {
+        let config = small_config();
+        let mut rng_a = new_rng(12);
+        let mut rng_b = new_rng(12);
+        let mut pop_a = PagePopulation::new(&config, &PowerLawQuality::paper_default());
+        let mut pop_b = PagePopulation::new(&config, &PowerLawQuality::paper_default());
+        let mut replaced = Vec::new();
+        for d in 0..200 {
+            let count_a = pop_a.retire_daily(Day::new(d), &[], &mut rng_a);
+            replaced.clear();
+            let count_b = pop_b.retire_daily_recording(Day::new(d), &[], &mut rng_b, &mut replaced);
+            assert_eq!(count_a, count_b, "identical RNG stream on day {d}");
+            assert_eq!(replaced.len(), count_b);
+            for &slot in &replaced {
+                assert_eq!(pop_b.slot(slot).born, Day::new(d));
+            }
+        }
+        assert_eq!(pop_a.retired_count(), pop_b.retired_count());
     }
 
     #[test]

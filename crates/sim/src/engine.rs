@@ -24,16 +24,19 @@
 use crate::community::PagePopulation;
 use crate::config::SimConfig;
 use crate::metrics::{QpcAccumulator, SimMetrics};
+use crate::popindex::PopularityIndex;
 use rand::Rng;
 use rrp_attention::RankBias;
 use rrp_model::{new_rng, Day, ModelResult, Quality, Rng64, SimClock};
-use rrp_ranking::{PageStats, RankingPolicy};
+use rrp_ranking::{PageStats, PolicyKind, RankBuffers};
 
 /// The simulator.
 pub struct Simulation {
     config: SimConfig,
     population: PagePopulation,
-    policy: Box<dyn RankingPolicy>,
+    /// The ranking policy, statically dispatched — no vtable call in the
+    /// day loop.
+    policy: PolicyKind,
     rng: Rng64,
     clock: SimClock,
     /// Rank-bias law for the full user population (budget `v_u`).
@@ -48,14 +51,33 @@ pub struct Simulation {
     measuring: bool,
     /// Slots exempt from retirement (active TBP probes).
     protected_slots: Vec<usize>,
+    /// Today's per-slot snapshot, patched in place each ranking (ages are
+    /// stored as a constant seniority surrogate — see `slot_stats`).
+    stats: Vec<PageStats>,
+    /// Popularity order of all slots, repaired incrementally: only slots
+    /// whose popularity key changed (a monitored visit that raised
+    /// awareness, or a retirement) are re-placed each day.
+    pop_index: PopularityIndex,
+    /// Slots whose popularity key changed since the last index repair.
+    dirty_slots: Vec<usize>,
+    /// Scratch arena for the allocation-free ranking path.
+    buffers: RankBuffers,
+    /// Today's result list (slot indices, rank 1 first), reused daily.
+    ranking: Vec<usize>,
+    /// Popularity CDF for random-surfing visits, reused daily.
+    popularity_cdf: Vec<f64>,
 }
 
 impl Simulation {
     /// Create a simulation with explicit per-slot qualities.
+    ///
+    /// `policy` accepts any concrete ranking policy from `rrp_ranking` (or
+    /// a [`PolicyKind`] directly) — e.g.
+    /// `Simulation::new(config, PopularityRanking)`.
     pub fn with_qualities(
         config: SimConfig,
         qualities: &[Quality],
-        policy: Box<dyn RankingPolicy>,
+        policy: impl Into<PolicyKind>,
     ) -> ModelResult<Self> {
         config.validate()?;
         let population = PagePopulation::with_qualities(&config.community, qualities);
@@ -64,11 +86,11 @@ impl Simulation {
         let monitored_bias = RankBias::altavista(n, config.community.monitored_visits_per_day());
         let rank_cdf = cumulative(&monitored_bias.probabilities_by_rank());
         let ideal_qpc = ideal_qpc(&total_bias, qualities);
-        Ok(Simulation {
+        let mut sim = Simulation {
             rng: new_rng(config.seed),
             config,
             population,
-            policy,
+            policy: policy.into(),
             clock: SimClock::new(),
             total_bias,
             monitored_bias,
@@ -77,12 +99,21 @@ impl Simulation {
             ideal_qpc,
             measuring: false,
             protected_slots: Vec::new(),
-        })
+            stats: Vec::with_capacity(n),
+            pop_index: PopularityIndex::default(),
+            dirty_slots: Vec::new(),
+            buffers: RankBuffers::with_capacity(n),
+            ranking: Vec::with_capacity(n),
+            popularity_cdf: Vec::new(),
+        };
+        sim.refresh_stats();
+        sim.pop_index.rebuild(&sim.stats);
+        Ok(sim)
     }
 
     /// Create a simulation whose page qualities follow the paper's default
     /// power-law distribution (deterministic quantile assignment).
-    pub fn new(config: SimConfig, policy: Box<dyn RankingPolicy>) -> ModelResult<Self> {
+    pub fn new(config: SimConfig, policy: impl Into<PolicyKind>) -> ModelResult<Self> {
         let qualities = rrp_model::assign_qualities(
             &rrp_model::PowerLawQuality::paper_default(),
             config.community.pages(),
@@ -170,35 +201,89 @@ impl Simulation {
         }
     }
 
+    /// One slot's current [`PageStats`] snapshot entry.
+    ///
+    /// `age_days` holds an *order-equivalent seniority surrogate*,
+    /// `u64::MAX − birthday`, not the literal age: ranking only ever
+    /// consumes age through the older-first tie-break of
+    /// [`popularity_order`](rrp_ranking::popularity_order), and since every
+    /// surviving page ages uniformly, "born earlier" and "older today"
+    /// order pages identically — the surrogate yields bit-identical
+    /// rankings while never needing a daily `O(n)` re-aging pass over the
+    /// snapshot. (Code that needs literal ages reads the population
+    /// directly; this snapshot is private to the day loop.)
+    fn slot_stats(&self, slot: usize) -> PageStats {
+        let m = self.population.monitored_users();
+        let s = self.population.slot(slot);
+        PageStats {
+            slot,
+            page: s.page,
+            popularity: s.popularity(m),
+            awareness: s.awareness(m),
+            age_days: u64::MAX - s.born.since(Day::ZERO),
+            quality: s.quality,
+        }
+    }
+
+    /// Bring the per-slot [`PageStats`] snapshot current, incrementally:
+    /// only slots in `dirty_slots` — the only ones whose popularity,
+    /// awareness, page id or birthday can have changed — are recomputed
+    /// from the population. Clean entries are already exact (the seniority
+    /// surrogate in `age_days` never moves; see
+    /// [`slot_stats`](Self::slot_stats)), so the common case touches a few
+    /// dozen slots instead of all `n`.
+    fn refresh_stats(&mut self) {
+        if self.stats.len() != self.population.len() {
+            self.stats.clear();
+            for slot in 0..self.population.len() {
+                let snapshot = self.slot_stats(slot);
+                self.stats.push(snapshot);
+            }
+            return;
+        }
+        for i in 0..self.dirty_slots.len() {
+            let slot = self.dirty_slots[i];
+            let snapshot = self.slot_stats(slot);
+            self.stats[slot] = snapshot;
+        }
+        debug_assert!((0..self.population.len()).all(|s| self.stats[s] == self.slot_stats(s)));
+    }
+
+    /// Refresh the snapshot, repair the popularity index, and rank today's
+    /// result list into `self.ranking`. Consumes exactly the RNG draws the
+    /// policy's `rank` would, so runs are bit-identical to the historical
+    /// per-day full-sort path.
+    fn rank_today(&mut self) {
+        self.refresh_stats();
+        self.pop_index.repair(&self.stats, &mut self.dirty_slots);
+        self.policy.rank_presorted_into(
+            &self.stats,
+            self.pop_index.order(),
+            &mut self.rng,
+            &mut self.buffers,
+            &mut self.ranking,
+        );
+        // Validation is debug-only (compiled out in release) and draws on
+        // the reusable scratch mask, so no day step ever allocates for
+        // sanity checking.
+        debug_assert!(self
+            .buffers
+            .check_permutation(&self.ranking, self.population.len()));
+    }
+
     /// Simulate one day.
     pub fn run_day(&mut self) {
         let today = self.clock.now();
         let n = self.population.len();
-        let m = self.population.monitored_users();
 
-        // 1. Rank today's result list.
-        let stats: Vec<PageStats> = self
-            .population
-            .slots()
-            .iter()
-            .enumerate()
-            .map(|(slot, s)| PageStats {
-                slot,
-                page: s.page,
-                popularity: s.popularity(m),
-                awareness: s.awareness(m),
-                age_days: s.age_days(today),
-                quality: s.quality,
-            })
-            .collect();
-        let ranking = self.policy.rank(&stats, &mut self.rng);
-        debug_assert!(rrp_ranking::is_permutation(&ranking, n));
+        // 1. Rank today's result list (incremental-index fast path).
+        self.rank_today();
 
         // Popularity mass, needed by the random-surfing component.
         let surf = self.config.surf_fraction;
         let teleport = self.config.teleportation;
         let popularity_sum: f64 = if surf > 0.0 {
-            stats.iter().map(|s| s.popularity).sum()
+            self.stats.iter().map(|s| s.popularity).sum()
         } else {
             0.0
         };
@@ -210,7 +295,7 @@ impl Simulation {
             // Search-driven visits follow the rank-bias law.
             let search_share = 1.0 - surf;
             if search_share > 0.0 {
-                for (idx, &slot) in ranking.iter().enumerate() {
+                for (idx, &slot) in self.ranking.iter().enumerate() {
                     let visits = search_share * self.total_bias.visits_at_rank(idx + 1);
                     let quality = self.population.slot(slot).quality;
                     weighted += visits * quality;
@@ -223,7 +308,7 @@ impl Simulation {
                 let vu = self.config.community.total_visits_per_day();
                 for (slot, s) in self.population.slots().iter().enumerate() {
                     let link_share = if popularity_sum > 0.0 {
-                        stats[slot].popularity / popularity_sum
+                        self.stats[slot].popularity / popularity_sum
                     } else {
                         1.0 / n as f64
                     };
@@ -244,47 +329,48 @@ impl Simulation {
             .monitored_visits_per_day()
             .round()
             .max(0.0) as u64;
-        // Popularity CDF for surf visits, built only when needed.
-        let popularity_cdf: Option<Vec<f64>> = if surf > 0.0 && popularity_sum > 0.0 {
+        // Popularity CDF for surf visits, rebuilt in place only when needed.
+        let have_cdf = surf > 0.0 && popularity_sum > 0.0;
+        if have_cdf {
             let mut acc = 0.0;
-            Some(
-                stats
-                    .iter()
-                    .map(|s| {
-                        acc += s.popularity / popularity_sum;
-                        acc
-                    })
-                    .collect(),
-            )
-        } else {
-            None
-        };
+            self.popularity_cdf.clear();
+            self.popularity_cdf.extend(self.stats.iter().map(|s| {
+                acc += s.popularity / popularity_sum;
+                acc
+            }));
+        }
         for _ in 0..monitored_visits {
             let slot = if self.rng.gen::<f64>() < surf {
                 // Random surfing: teleport or follow popularity. (The
                 // teleport coin is always drawn first so the RNG stream is
                 // independent of whether the CDF exists.)
                 let teleported = self.rng.gen::<f64>() < teleport;
-                match popularity_cdf.as_ref() {
-                    Some(cdf) if !teleported => {
-                        let u: f64 = self.rng.gen();
-                        ranking_independent_search(cdf, u)
-                    }
-                    _ => self.rng.gen_range(0..n),
+                if have_cdf && !teleported {
+                    let u: f64 = self.rng.gen();
+                    ranking_independent_search(&self.popularity_cdf, u)
+                } else {
+                    self.rng.gen_range(0..n)
                 }
             } else {
                 // Search: sample a rank position, then look up the page.
                 let u: f64 = self.rng.gen();
                 let rank_idx = ranking_independent_search(&self.rank_cdf, u);
-                ranking[rank_idx.min(n - 1)]
+                self.ranking[rank_idx.min(n - 1)]
             };
-            self.population.record_monitored_visit(slot, &mut self.rng);
+            if self.population.record_monitored_visit(slot, &mut self.rng) {
+                self.dirty_slots.push(slot);
+            }
         }
 
-        // 4. Retire and replace pages.
+        // 4. Retire and replace pages (replacements reset popularity & age,
+        // so they are dirty for the popularity index).
         let protected = std::mem::take(&mut self.protected_slots);
-        self.population
-            .retire_daily(today, &protected, &mut self.rng);
+        self.population.retire_daily_recording(
+            today,
+            &protected,
+            &mut self.rng,
+            &mut self.dirty_slots,
+        );
         self.protected_slots = protected;
 
         self.clock.tick();
@@ -302,9 +388,12 @@ impl Simulation {
         self.protected_slots.retain(|&s| s != slot);
     }
 
-    /// Mutable access to the page population for probe management.
-    pub(crate) fn population_mut(&mut self) -> &mut PagePopulation {
-        &mut self.population
+    /// Replace the page in `slot` with a fresh zero-awareness page (probe
+    /// management), keeping the incremental popularity index in sync.
+    pub(crate) fn reset_slot_for_probe(&mut self, slot: usize) {
+        let today = self.clock.now();
+        self.population.replace_page(slot, today);
+        self.dirty_slots.push(slot);
     }
 
     /// The monitored-user rank-bias law (used by probes to report expected
@@ -316,24 +405,8 @@ impl Simulation {
     /// Compute the current rank of `slot` under the policy in use, by
     /// re-ranking today's snapshot. Used by probes/traces.
     pub(crate) fn current_rank_of(&mut self, slot: usize) -> usize {
-        let today = self.clock.now();
-        let m = self.population.monitored_users();
-        let stats: Vec<PageStats> = self
-            .population
-            .slots()
-            .iter()
-            .enumerate()
-            .map(|(s_idx, s)| PageStats {
-                slot: s_idx,
-                page: s.page,
-                popularity: s.popularity(m),
-                awareness: s.awareness(m),
-                age_days: s.age_days(today),
-                quality: s.quality,
-            })
-            .collect();
-        let ranking = self.policy.rank(&stats, &mut self.rng);
-        ranking
+        self.rank_today();
+        self.ranking
             .iter()
             .position(|&s| s == slot)
             .expect("slot is always ranked")
@@ -387,9 +460,7 @@ fn cumulative(probabilities: &[f64]) -> Vec<f64> {
 mod tests {
     use super::*;
     use rrp_model::CommunityConfig;
-    use rrp_ranking::{
-        PopularityRanking, PromotionConfig, QualityOracleRanking, RandomizedRankPromotion,
-    };
+    use rrp_ranking::{PopularityRanking, PromotionConfig, QualityOracleRanking};
 
     fn tiny_config(seed: u64) -> SimConfig {
         SimConfig::for_community(
@@ -407,7 +478,7 @@ mod tests {
 
     #[test]
     fn simulation_construction_and_accessors() {
-        let sim = Simulation::new(tiny_config(1), Box::new(PopularityRanking)).unwrap();
+        let sim = Simulation::new(tiny_config(1), PopularityRanking).unwrap();
         assert_eq!(sim.population().len(), 200);
         assert_eq!(sim.today(), Day::ZERO);
         assert_eq!(sim.policy_name(), "no randomization");
@@ -417,7 +488,7 @@ mod tests {
 
     #[test]
     fn clock_advances_and_pages_retire() {
-        let mut sim = Simulation::new(tiny_config(2), Box::new(PopularityRanking)).unwrap();
+        let mut sim = Simulation::new(tiny_config(2), PopularityRanking).unwrap();
         sim.run(100);
         assert_eq!(sim.today(), Day::new(100));
         assert!(
@@ -429,7 +500,7 @@ mod tests {
 
     #[test]
     fn awareness_grows_over_time() {
-        let mut sim = Simulation::new(tiny_config(3), Box::new(PopularityRanking)).unwrap();
+        let mut sim = Simulation::new(tiny_config(3), PopularityRanking).unwrap();
         let (zero_before, mean_before) = sim.population().awareness_summary();
         assert_eq!(zero_before, 200);
         assert_eq!(mean_before, 0.0);
@@ -441,7 +512,7 @@ mod tests {
 
     #[test]
     fn metrics_require_measurement_window() {
-        let mut sim = Simulation::new(tiny_config(4), Box::new(PopularityRanking)).unwrap();
+        let mut sim = Simulation::new(tiny_config(4), PopularityRanking).unwrap();
         sim.run(50);
         let metrics = sim.metrics();
         assert_eq!(metrics.days_measured, 0);
@@ -464,7 +535,7 @@ mod tests {
 
     #[test]
     fn quality_oracle_achieves_nearly_ideal_qpc() {
-        let mut sim = Simulation::new(tiny_config(5), Box::new(QualityOracleRanking)).unwrap();
+        let mut sim = Simulation::new(tiny_config(5), QualityOracleRanking).unwrap();
         let metrics = sim.run_windows(100, 200);
         assert!(
             metrics.normalized_qpc > 0.95,
@@ -476,7 +547,7 @@ mod tests {
     #[test]
     fn same_seed_reproduces_the_run_exactly() {
         let run = |seed| {
-            let mut sim = Simulation::new(tiny_config(seed), Box::new(PopularityRanking)).unwrap();
+            let mut sim = Simulation::new(tiny_config(seed), PopularityRanking).unwrap();
             sim.run_windows(100, 100)
         };
         let a = run(7);
@@ -488,14 +559,12 @@ mod tests {
 
     #[test]
     fn selective_promotion_discovers_more_pages_than_baseline() {
-        let run = |policy: Box<dyn RankingPolicy>| {
+        let run = |policy: PolicyKind| {
             let mut sim = Simulation::new(tiny_config(11), policy).unwrap();
             sim.run_windows(300, 300)
         };
-        let base = run(Box::new(PopularityRanking));
-        let promoted = run(Box::new(RandomizedRankPromotion::new(
-            PromotionConfig::recommended(1),
-        )));
+        let base = run(PolicyKind::Popularity);
+        let promoted = run(PolicyKind::promotion(PromotionConfig::recommended(1)));
         assert!(
             promoted.mean_zero_awareness_fraction < base.mean_zero_awareness_fraction,
             "promotion must reduce never-seen pages: {} vs {}",
@@ -507,12 +576,12 @@ mod tests {
     #[test]
     fn mixed_surfing_distributes_some_visits_by_popularity() {
         let config = tiny_config(12).with_surf_fraction(0.5);
-        let mut sim = Simulation::new(config, Box::new(PopularityRanking)).unwrap();
+        let mut sim = Simulation::new(config, PopularityRanking).unwrap();
         let metrics = sim.run_windows(100, 100);
         assert!(metrics.absolute_qpc > 0.0);
         // Pure surfing variant also runs.
         let config = tiny_config(13).with_surf_fraction(1.0);
-        let mut sim = Simulation::new(config, Box::new(PopularityRanking)).unwrap();
+        let mut sim = Simulation::new(config, PopularityRanking).unwrap();
         let metrics = sim.run_windows(100, 100);
         assert!(metrics.absolute_qpc > 0.0);
     }
@@ -530,7 +599,7 @@ mod tests {
                 .unwrap(),
             9,
         );
-        let mut sim = Simulation::new(config, Box::new(PopularityRanking)).unwrap();
+        let mut sim = Simulation::new(config, PopularityRanking).unwrap();
         let metrics = sim.run_standard();
         assert_eq!(metrics.days_measured, 20);
         assert_eq!(sim.today(), Day::new(40));
@@ -567,6 +636,6 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         let config = tiny_config(1).with_surf_fraction(2.0);
-        assert!(Simulation::new(config, Box::new(PopularityRanking)).is_err());
+        assert!(Simulation::new(config, PopularityRanking).is_err());
     }
 }

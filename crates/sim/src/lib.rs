@@ -8,10 +8,14 @@
 //! under the Poisson lifetime model.
 //!
 //! * [`SimConfig`] — community, mixed-browsing fraction, seed;
-//! * [`Simulation`] — the engine (one [`RankingPolicy`](rrp_ranking::RankingPolicy) per run);
+//! * [`Simulation`] — the engine (one
+//!   [`PolicyKind`](rrp_ranking::PolicyKind) per run, statically
+//!   dispatched);
 //! * [`SimMetrics`] — absolute/normalised quality-per-click;
 //! * [`TbpResult`] / [`PopularityTrace`] — per-page probes (Figures 2, 4);
-//! * [`PagePopulation`] — the evolving page slots.
+//! * [`PagePopulation`] — the evolving page slots;
+//! * [`PopularityIndex`] — the incrementally repaired popularity order that
+//!   keeps the day loop free of per-day sorting and allocation.
 //!
 //! ```
 //! use rrp_sim::{SimConfig, Simulation};
@@ -26,7 +30,7 @@
 //! // Baseline: strict popularity ranking.
 //! let mut baseline = Simulation::new(
 //!     SimConfig::for_community(community, 7),
-//!     Box::new(PopularityRanking),
+//!     PopularityRanking,
 //! ).unwrap();
 //! let metrics = baseline.run_windows(120, 120);
 //! assert!(metrics.normalized_qpc > 0.0);
@@ -34,7 +38,7 @@
 //! // The paper's recommended recipe.
 //! let mut promoted = Simulation::new(
 //!     SimConfig::for_community(community, 7),
-//!     Box::new(RandomizedRankPromotion::recommended(1)),
+//!     RandomizedRankPromotion::recommended(1),
 //! ).unwrap();
 //! let promoted_metrics = promoted.run_windows(120, 120);
 //! assert!(promoted_metrics.days_measured == 120);
@@ -47,10 +51,12 @@ pub mod community;
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod popindex;
 pub mod probe;
 
 pub use community::{PagePopulation, PageSlot};
 pub use config::SimConfig;
 pub use engine::Simulation;
 pub use metrics::{PopularityTrace, QpcAccumulator, SimMetrics, TbpResult};
+pub use popindex::PopularityIndex;
 pub use probe::TBP_POPULARITY_THRESHOLD;

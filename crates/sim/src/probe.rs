@@ -19,8 +19,7 @@ impl Simulation {
     /// protected from retirement while tracked). Returns the per-day trace.
     pub fn trace_fresh_best_page(&mut self, days: u64) -> PopularityTrace {
         let slot = self.population().best_slot();
-        let today = self.today();
-        self.population_mut().replace_page(slot, today);
+        self.reset_slot_for_probe(slot);
         self.protect_slot(slot);
 
         let m = self.population().monitored_users();
@@ -60,8 +59,7 @@ impl Simulation {
         let mut completed = 0;
         for _ in 0..trials {
             let slot = self.population().best_slot();
-            let today = self.today();
-            self.population_mut().replace_page(slot, today);
+            self.reset_slot_for_probe(slot);
             self.protect_slot(slot);
             let m = self.population().monitored_users();
             let quality = self.population().slot(slot).quality;
@@ -101,7 +99,7 @@ mod tests {
     use super::*;
     use crate::config::SimConfig;
     use rrp_model::CommunityConfig;
-    use rrp_ranking::{PopularityRanking, PromotionConfig, PromotionRule, RandomizedRankPromotion};
+    use rrp_ranking::{PolicyKind, PopularityRanking, PromotionConfig, PromotionRule};
 
     fn config(seed: u64) -> SimConfig {
         SimConfig::for_community(
@@ -119,7 +117,7 @@ mod tests {
 
     #[test]
     fn trace_starts_at_zero_and_never_exceeds_quality() {
-        let mut sim = Simulation::new(config(1), Box::new(PopularityRanking)).unwrap();
+        let mut sim = Simulation::new(config(1), PopularityRanking).unwrap();
         sim.run(100);
         let trace = sim.trace_fresh_best_page(200);
         assert_eq!(trace.popularity.len(), 201);
@@ -134,16 +132,14 @@ mod tests {
 
     #[test]
     fn promoted_page_becomes_popular_faster() {
-        let run = |policy: Box<dyn rrp_ranking::RankingPolicy>, seed| {
+        let run = |policy: PolicyKind, seed| {
             let mut sim = Simulation::new(config(seed), policy).unwrap();
             sim.run(300); // reach a rough steady state
             sim.measure_tbp(3, 3_000)
         };
-        let base = run(Box::new(PopularityRanking), 21);
+        let base = run(PopularityRanking.into(), 21);
         let promoted = run(
-            Box::new(RandomizedRankPromotion::new(
-                PromotionConfig::new(PromotionRule::Selective, 1, 0.2).unwrap(),
-            )),
+            PolicyKind::promotion(PromotionConfig::new(PromotionRule::Selective, 1, 0.2).unwrap()),
             21,
         );
         assert!(
@@ -161,7 +157,7 @@ mod tests {
 
     #[test]
     fn tbp_result_censoring_is_reported() {
-        let mut sim = Simulation::new(config(5), Box::new(PopularityRanking)).unwrap();
+        let mut sim = Simulation::new(config(5), PopularityRanking).unwrap();
         // With a horizon of 1 day the probe cannot possibly reach 99%.
         let result = sim.measure_tbp(2, 1);
         assert_eq!(result.trials, 2);
@@ -173,7 +169,7 @@ mod tests {
 
     #[test]
     fn zero_trials_is_harmless() {
-        let mut sim = Simulation::new(config(6), Box::new(PopularityRanking)).unwrap();
+        let mut sim = Simulation::new(config(6), PopularityRanking).unwrap();
         let result = sim.measure_tbp(0, 10);
         assert_eq!(result.mean_days, 0.0);
         assert_eq!(result.trials, 0);

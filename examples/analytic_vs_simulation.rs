@@ -49,16 +49,14 @@ fn main() {
         let tbp_analysis = solved.expected_tbp(0.4);
 
         // Simulation: same community, same ranking description.
-        let policy: Box<dyn RankingPolicy> = match model {
-            RankingModel::NonRandomized => Box::new(PopularityRanking),
-            RankingModel::Selective { start_rank, degree } => {
-                Box::new(RandomizedRankPromotion::new(
-                    PromotionConfig::new(PromotionRule::Selective, start_rank, degree).unwrap(),
-                ))
-            }
-            RankingModel::Uniform { start_rank, degree } => Box::new(RandomizedRankPromotion::new(
+        let policy: PolicyKind = match model {
+            RankingModel::NonRandomized => PolicyKind::Popularity,
+            RankingModel::Selective { start_rank, degree } => PolicyKind::promotion(
+                PromotionConfig::new(PromotionRule::Selective, start_rank, degree).unwrap(),
+            ),
+            RankingModel::Uniform { start_rank, degree } => PolicyKind::promotion(
                 PromotionConfig::new(PromotionRule::Uniform, start_rank, degree).unwrap(),
-            )),
+            ),
         };
         let mut sim = Simulation::new(SimConfig::for_community(community, 7), policy)
             .expect("valid simulation");

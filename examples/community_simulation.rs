@@ -25,20 +25,17 @@ fn main() {
     );
     println!();
 
-    let policies: Vec<(&str, Box<dyn RankingPolicy>)> = vec![
-        ("no randomization", Box::new(PopularityRanking)),
+    let policies: Vec<(&str, PolicyKind)> = vec![
+        ("no randomization", PolicyKind::Popularity),
         (
             "selective promotion (r=0.1, k=1)",
-            Box::new(RandomizedRankPromotion::recommended(1)),
+            PolicyKind::recommended(1),
         ),
         (
             "selective promotion (r=0.1, k=2)",
-            Box::new(RandomizedRankPromotion::recommended(2)),
+            PolicyKind::recommended(2),
         ),
-        (
-            "quality oracle (upper bound)",
-            Box::new(QualityOracleRanking),
-        ),
+        ("quality oracle (upper bound)", PolicyKind::QualityOracle),
     ];
 
     println!(

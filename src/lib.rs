@@ -19,11 +19,15 @@ pub use rrp_experiments as experiments;
 pub use rrp_livestudy as livestudy;
 pub use rrp_model as model;
 pub use rrp_ranking as ranking;
+pub use rrp_serve as serve;
 pub use rrp_sim as sim;
 pub use rrp_webgraph as webgraph;
 
 /// The paper's recommended engine, re-exported for one-line quickstarts.
 pub use rrp_core::{Document, QueryContext, RankPromotionEngine};
+
+/// The sharded batch serving layer, re-exported for one-line quickstarts.
+pub use rrp_serve::ShardedPromotionService;
 
 #[cfg(test)]
 mod tests {

@@ -53,11 +53,7 @@ fn simulator_and_analytic_model_agree_on_the_ideal_qpc() {
         .build()
         .unwrap();
 
-    let sim = Simulation::new(
-        SimConfig::for_community(community, 1),
-        Box::new(PopularityRanking),
-    )
-    .unwrap();
+    let sim = Simulation::new(SimConfig::for_community(community, 1), PopularityRanking).unwrap();
     let sim_ideal = sim.ideal_qpc();
 
     let groups = QualityGroups::from_distribution(&PowerLawQuality::paper_default(), 1_000);
@@ -130,11 +126,8 @@ fn simulation_preserves_model_invariants_over_time() {
         q
     };
 
-    let mut sim = Simulation::new(
-        SimConfig::for_community(community, 5),
-        Box::new(PopularityRanking),
-    )
-    .unwrap();
+    let mut sim =
+        Simulation::new(SimConfig::for_community(community, 5), PopularityRanking).unwrap();
     sim.run(400);
 
     let m = sim.population().monitored_users();

@@ -19,6 +19,7 @@ use rrp_core::{Document, QueryContext, RankPromotionEngine};
 use rrp_experiments::runner::SweepExecutor;
 use rrp_model::{new_rng, SeedSequence};
 use rrp_ranking::{PromotionConfig, PromotionRule};
+use rrp_serve::ShardedPromotionService;
 
 fn corpus() -> Vec<Document> {
     let mut docs: Vec<Document> = (0..20)
@@ -107,6 +108,43 @@ fn rerank_is_stable_across_threads() {
             });
         }
     });
+}
+
+/// Layer 3, at the serving tier: `rerank_batch` across 1, 2 and 8 shards
+/// and 1, 2 and 8 workers answers every query exactly as the sequential
+/// `RankPromotionEngine` does on the canonical corpus — the shard layout
+/// and the batch scheduling are pure deployment choices, invisible in the
+/// results. The golden vector pins one batch answer so a change to any
+/// layer (engine, ranking, serving) that shifts the randomization is
+/// caught here, not in production.
+#[test]
+fn serve_batch_matches_sequential_engine_across_shards_and_workers() {
+    let engine = RankPromotionEngine::recommended().with_seed(7);
+    let queries: Vec<QueryContext> = (0..12)
+        .map(|q| QueryContext::new(11 + q, 13 + 2 * q))
+        .collect();
+    let docs = corpus();
+    let expected: Vec<Vec<u64>> = queries
+        .iter()
+        .map(|&ctx| engine.rerank(&docs, ctx))
+        .collect();
+
+    for shards in [1usize, 2, 8] {
+        for workers in [1usize, 2, 8] {
+            let mut service = ShardedPromotionService::new(engine, shards).with_workers(workers);
+            service.extend(docs.iter().copied());
+            assert_eq!(
+                service.rerank_batch(&queries),
+                expected,
+                "{shards} shards × {workers} workers must equal the sequential engine"
+            );
+        }
+    }
+
+    // The first query is the documented golden context (seed 7, query 11,
+    // session 13): the serving tier must reproduce the engine's pinned
+    // golden vector bit for bit.
+    assert_eq!(expected[0], GOLDEN_RERANK_7_11_13);
 }
 
 /// Golden outputs of `new_rng(123)`.

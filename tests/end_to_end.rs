@@ -5,9 +5,7 @@
 //! user ever discovers.
 
 use rrp_model::CommunityConfig;
-use rrp_ranking::{
-    PopularityRanking, PromotionConfig, PromotionRule, RandomizedRankPromotion, RankingPolicy,
-};
+use rrp_ranking::{PolicyKind, PromotionConfig, PromotionRule};
 use rrp_sim::{SimConfig, SimMetrics, Simulation};
 
 /// A community with the paper's default proportions (u/n = 10%, m/u = 10%,
@@ -21,7 +19,7 @@ fn community() -> CommunityConfig {
         .expect("valid community")
 }
 
-fn run_once(policy: Box<dyn RankingPolicy>, seed: u64) -> SimMetrics {
+fn run_once(policy: PolicyKind, seed: u64) -> SimMetrics {
     let mut sim =
         Simulation::new(SimConfig::for_community(community(), seed), policy).expect("valid config");
     sim.run_windows(600, 600)
@@ -33,7 +31,7 @@ fn run_once(policy: Box<dyn RankingPolicy>, seed: u64) -> SimMetrics {
 /// be discovered during the window.
 fn run_policy<F>(make_policy: F, seeds: &[u64]) -> (f64, f64)
 where
-    F: Fn() -> Box<dyn RankingPolicy>,
+    F: Fn() -> PolicyKind,
 {
     let mut qpc = 0.0;
     let mut zero = 0.0;
@@ -46,10 +44,10 @@ where
     (qpc, zero)
 }
 
-fn selective(start_rank: usize, degree: f64) -> Box<dyn RankingPolicy> {
-    Box::new(RandomizedRankPromotion::new(
+fn selective(start_rank: usize, degree: f64) -> PolicyKind {
+    PolicyKind::promotion(
         PromotionConfig::new(PromotionRule::Selective, start_rank, degree).unwrap(),
-    ))
+    )
 }
 
 #[test]
@@ -57,7 +55,7 @@ fn selective_promotion_beats_popularity_ranking_on_qpc() {
     // Enough seeds that no single lucky/unlucky discovery of the top-quality
     // page dominates any policy's average.
     let seeds = [2024, 7, 99, 1234, 31337, 271828];
-    let (baseline_qpc, baseline_zero) = run_policy(|| Box::new(PopularityRanking), &seeds);
+    let (baseline_qpc, baseline_zero) = run_policy(|| PolicyKind::Popularity, &seeds);
     let (k1_qpc, k1_zero) = run_policy(|| selective(1, 0.2), &seeds);
     let (k2_qpc, _) = run_policy(|| selective(2, 0.2), &seeds);
 
