@@ -1,0 +1,111 @@
+//! Steady-state serving throughput: batches of queries answered from the
+//! incremental serving state, with store mutations (visit feedback and
+//! popularity updates) interleaved between batches exactly as a live
+//! deployment would apply them — the first mutate-while-serving workload.
+//!
+//! Reported times are per batch of `BATCH` queries; divide by `BATCH` for
+//! per-query cost, or invert for queries/sec (the numbers recorded in the
+//! ROADMAP Perf ledger). Three shapes per corpus size:
+//!
+//! * `full_clean` — unchanged corpus: the popularity order is reused as-is
+//!   (zero sorts, zero snapshot rebuilds — the steady-state fast path);
+//! * `full_mutated` — 32 mutations between batches: the order is repaired
+//!   by dirty-slot binary-search reinsertion, then the batch runs;
+//! * `top10_mutated` — same mutation schedule, but each query asks for
+//!   only the top 10 ranks through the early-exit merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrp_core::{Document, QueryContext, RankPromotionEngine};
+use rrp_model::{new_rng, PowerLawQuality, QualityDistribution};
+use rrp_serve::ShardedPromotionService;
+use std::hint::black_box;
+use std::time::Duration;
+
+const BATCH: u64 = 64;
+const MUTATIONS_PER_BATCH: u64 = 32;
+
+fn service(n: u64) -> ShardedPromotionService {
+    let dist = PowerLawQuality::paper_default();
+    let mut rng = new_rng(7);
+    let mut service = ShardedPromotionService::new(RankPromotionEngine::recommended(), 8);
+    service.extend((0..n).map(|i| {
+        if i % 10 == 0 {
+            Document::unexplored(i)
+        } else {
+            Document::established(i, dist.sample(&mut rng).value()).with_age(i % 365)
+        }
+    }));
+    // Absorb the one-time warm-up repair so the timed loop measures steady
+    // state only.
+    service.rerank_batch(&[QueryContext::new(0, 0)]);
+    service
+}
+
+fn queries(salt: u64) -> Vec<QueryContext> {
+    (0..BATCH)
+        .map(|q| QueryContext::new(q * 13 + salt, q ^ 0xBEEF))
+        .collect()
+}
+
+/// Apply the per-batch mutation schedule: visit feedback plus popularity
+/// updates on a rotating window of sequences (corpus size stays fixed, so
+/// consecutive iterations measure the same working set).
+fn mutate(service: &mut ShardedPromotionService, round: u64) {
+    let n = service.store().len() as u64;
+    for m in 0..MUTATIONS_PER_BATCH {
+        let seq = (round.wrapping_mul(MUTATIONS_PER_BATCH) + m * 97) % n;
+        if m % 2 == 0 {
+            service.record_visit(seq);
+        } else {
+            let score = 0.05 + ((seq * 31 + round) % 100) as f64 / 100.0;
+            service.update_popularity(seq, score);
+        }
+    }
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
+    for &n in &[10_000u64, 100_000] {
+        let qs = queries(1);
+
+        let mut clean = service(n);
+        group.bench_with_input(BenchmarkId::new("full_clean", n), &n, |b, _| {
+            let mut results = Vec::new();
+            b.iter(|| {
+                clean.rerank_batch_into(&qs, &mut results);
+                black_box(results.last().map(Vec::len))
+            });
+        });
+
+        let mut mutated = service(n);
+        group.bench_with_input(BenchmarkId::new("full_mutated", n), &n, |b, _| {
+            let mut results = Vec::new();
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                mutate(&mut mutated, round);
+                mutated.rerank_batch_into(&qs, &mut results);
+                black_box(results.last().map(Vec::len))
+            });
+        });
+
+        let mut top_k = service(n);
+        group.bench_with_input(BenchmarkId::new("top10_mutated", n), &n, |b, _| {
+            let mut results = Vec::new();
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                mutate(&mut top_k, round);
+                top_k.rerank_batch_top_k_into(&qs, 10, &mut results);
+                black_box(results.last().map(Vec::len))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

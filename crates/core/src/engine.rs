@@ -86,16 +86,29 @@ impl RankPromotionEngine {
     /// uses exactly this mapping.
     pub fn document_stats(documents: &[Document], stats: &mut Vec<PageStats>) {
         stats.clear();
-        stats.extend(documents.iter().enumerate().map(|(slot, d)| PageStats {
+        stats.extend(
+            documents
+                .iter()
+                .enumerate()
+                .map(|(slot, d)| Self::document_stat(slot, d)),
+        );
+    }
+
+    /// The single-document unit of [`document_stats`](Self::document_stats):
+    /// the `PageStats` entry for `document` occupying `slot`. Incremental
+    /// servers use this to repair one cached snapshot entry after a store
+    /// mutation instead of re-deriving all `n`.
+    pub fn document_stat(slot: usize, document: &Document) -> PageStats {
+        PageStats {
             slot,
-            page: PageId::new(d.id),
-            popularity: d.popularity.max(0.0),
+            page: PageId::new(document.id),
+            popularity: document.popularity.max(0.0),
             // Only the zero/non-zero distinction matters to the
             // selective rule.
-            awareness: if d.is_unexplored { 0.0 } else { 1.0 },
-            age_days: d.age_days,
+            awareness: if document.is_unexplored { 0.0 } else { 1.0 },
+            age_days: document.age_days,
             quality: 0.0,
-        }));
+        }
     }
 
     /// Re-rank `documents` for one query evaluation, returning input *slot*
@@ -145,6 +158,55 @@ impl RankPromotionEngine {
         let policy = RandomizedRankPromotion::new(self.config);
         let mut rng = new_rng(context.seed(self.seed));
         policy.rank_presorted_into(stats, sorted, &mut rng, buffers, out);
+    }
+
+    /// The top-`k` prefix of
+    /// [`rerank_presorted_slots_into`](Self::rerank_presorted_slots_into):
+    /// emit only the first `min(k, n)` ranks, stopping the coin-flip merge
+    /// early. The output equals the length-`k` prefix of the full rerank
+    /// bit for bit — real queries consume only the top of the ranking
+    /// (the paper's rank-biased attention law), so serving tiers ask for
+    /// one page of results instead of all `n`.
+    pub fn rerank_top_k_presorted_slots_into(
+        &self,
+        stats: &[PageStats],
+        sorted: &[usize],
+        k: usize,
+        context: QueryContext,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        let policy = RandomizedRankPromotion::new(self.config);
+        let mut rng = new_rng(context.seed(self.seed));
+        policy.rank_top_k_presorted_into(stats, sorted, k, &mut rng, buffers, out);
+    }
+
+    /// Convenience wrapper: the first `min(k, n)` document ids of
+    /// [`rerank`](Self::rerank), computed without materialising the full
+    /// ranking. Builds the snapshot per call — batch servers should use
+    /// [`rerank_top_k_presorted_slots_into`](Self::rerank_top_k_presorted_slots_into)
+    /// against their cached popularity order instead.
+    pub fn rerank_top_k(
+        &self,
+        documents: &[Document],
+        context: QueryContext,
+        k: usize,
+    ) -> Vec<u64> {
+        let mut stats = Vec::with_capacity(documents.len());
+        Self::document_stats(documents, &mut stats);
+        let mut sorted: Vec<usize> = (0..stats.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| rrp_ranking::popularity_order(&stats[a], &stats[b]));
+        let mut buffers = RankBuffers::new();
+        let mut slots = Vec::with_capacity(k.min(documents.len()));
+        self.rerank_top_k_presorted_slots_into(
+            &stats,
+            &sorted,
+            k,
+            context,
+            &mut buffers,
+            &mut slots,
+        );
+        slots.into_iter().map(|slot| documents[slot].id).collect()
     }
 
     /// Re-rank `documents` for one query evaluation, returning document ids
@@ -347,6 +409,46 @@ mod tests {
         let slots = engine.rerank_slots(&docs, ctx);
         let ids: Vec<u64> = slots.iter().map(|&s| docs[s].id).collect();
         assert_eq!(ids, engine.rerank(&docs, ctx));
+    }
+
+    #[test]
+    fn top_k_equals_the_full_rerank_prefix() {
+        let docs = corpus();
+        let engine = RankPromotionEngine::recommended().with_seed(21);
+        let mut stats = Vec::new();
+        RankPromotionEngine::document_stats(&docs, &mut stats);
+        let mut sorted: Vec<usize> = (0..stats.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| rrp_ranking::popularity_order(&stats[a], &stats[b]));
+        let mut buffers = RankBuffers::new();
+        let mut slots = Vec::new();
+        for q in 0..40u64 {
+            let ctx = QueryContext::new(q, q.wrapping_mul(77));
+            let full = engine.rerank(&docs, ctx);
+            for k in [0usize, 1, 2, 5, 10, 30, 99] {
+                let want = &full[..k.min(full.len())];
+                assert_eq!(engine.rerank_top_k(&docs, ctx, k), want, "k={k}, q={q}");
+                engine.rerank_top_k_presorted_slots_into(
+                    &stats,
+                    &sorted,
+                    k,
+                    ctx,
+                    &mut buffers,
+                    &mut slots,
+                );
+                let ids: Vec<u64> = slots.iter().map(|&s| docs[s].id).collect();
+                assert_eq!(ids, want, "presorted k={k}, q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn document_stat_is_the_unit_of_document_stats() {
+        let docs = corpus();
+        let mut stats = Vec::new();
+        RankPromotionEngine::document_stats(&docs, &mut stats);
+        for (slot, d) in docs.iter().enumerate() {
+            assert_eq!(stats[slot], RankPromotionEngine::document_stat(slot, d));
+        }
     }
 
     #[test]

@@ -110,6 +110,46 @@ impl PolicyKind {
         }
     }
 
+    /// The top-`k` prefix of
+    /// [`rank_presorted_into`](Self::rank_presorted_into): emit only the
+    /// first `min(k, n)` ranks. For every kind the output equals the
+    /// length-`k` prefix of the full rerank bit for bit.
+    ///
+    /// Only popularity-ordered kinds get a genuine early exit (the
+    /// promotion merge stops at rank `k`; plain popularity ranking copies
+    /// `k` entries off the precomputed order). The quality oracle and the
+    /// fully-random shuffle must still process all `n` pages — their prefix
+    /// depends on the whole permutation — and are truncated afterwards.
+    pub fn rank_top_k_presorted_into<R: RngCore + ?Sized>(
+        &self,
+        pages: &[PageStats],
+        sorted: &[usize],
+        k: usize,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        match self {
+            PolicyKind::Popularity => {
+                debug_assert!(pages.iter().enumerate().all(|(i, p)| p.slot == i));
+                debug_assert_eq!(sorted.len(), pages.len());
+                out.clear();
+                out.extend_from_slice(&sorted[..k.min(sorted.len())]);
+            }
+            PolicyKind::QualityOracle => {
+                QualityOracleRanking.rank_order_into(pages, out);
+                out.truncate(k);
+            }
+            PolicyKind::FullyRandom => {
+                FullyRandomRanking.shuffle_into(pages, rng, out);
+                out.truncate(k);
+            }
+            PolicyKind::Promotion(policy) => {
+                policy.rank_top_k_presorted_into(pages, sorted, k, rng, buffers, out)
+            }
+        }
+    }
+
     /// The policy's report name (see [`RankingPolicy::name`]).
     pub fn name(&self) -> String {
         match self {
@@ -240,6 +280,36 @@ mod tests {
                 kind.rank_presorted_into(&ps, &sorted, &mut new_rng(seed), &mut buffers, &mut out);
                 assert_eq!(out, expected, "{}", kind.name());
                 assert!(is_permutation(&out, ps.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_matches_the_full_rerank_prefix_for_every_kind() {
+        let ps = pages();
+        let mut sorted: Vec<usize> = (0..ps.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| popularity_order(&ps[a], &ps[b]));
+        let mut buffers = RankBuffers::new();
+        let mut out = Vec::new();
+        for kind in all_kinds() {
+            for seed in 0..10 {
+                let full = kind.rank(&ps, &mut new_rng(seed));
+                for k in [0usize, 1, 2, 5, 10, 30, 64] {
+                    kind.rank_top_k_presorted_into(
+                        &ps,
+                        &sorted,
+                        k,
+                        &mut new_rng(seed),
+                        &mut buffers,
+                        &mut out,
+                    );
+                    assert_eq!(
+                        out,
+                        full[..k.min(full.len())],
+                        "{} with k={k}, seed={seed}",
+                        kind.name()
+                    );
+                }
             }
         }
     }

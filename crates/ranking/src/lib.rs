@@ -36,6 +36,7 @@ pub mod deterministic;
 pub mod kind;
 pub mod merge;
 pub mod policy;
+pub mod popindex;
 pub mod promotion;
 pub mod randomized;
 pub mod stats;
@@ -43,8 +44,9 @@ pub mod stats;
 pub use buffers::RankBuffers;
 pub use deterministic::{FullyRandomRanking, PopularityRanking, QualityOracleRanking};
 pub use kind::PolicyKind;
-pub use merge::{merge_promoted, merge_promoted_into};
+pub use merge::{merge_promoted, merge_promoted_into, merge_promoted_top_k_into};
 pub use policy::{is_permutation, is_permutation_with_scratch, RankingPolicy};
+pub use popindex::PopularityIndex;
 pub use promotion::{PromotionConfig, PromotionRule};
 pub use randomized::RandomizedRankPromotion;
 pub use stats::{popularity_order, PageStats};

@@ -110,6 +110,77 @@ pub fn merge_promoted_into<R: RngCore + ?Sized>(
     debug_assert_eq!(result.len(), total);
 }
 
+/// The top-`k` prefix of [`merge_promoted`], stopping the coin-flip merge
+/// as soon as `k` ranks have been emitted: the paper's rank-biased
+/// attention model means real queries consume only the top of the ranking,
+/// so serving tiers ask for the first page of results, not all `n`.
+///
+/// Writes exactly `min(k, total)` entries into `result` (cleared first),
+/// where `total` is the combined length of the two *full* lists, and those
+/// entries equal the length-`k` prefix of the full merge bit for bit: the
+/// coin for each emitted position is drawn under exactly the same
+/// conditions as in [`merge_promoted_into`], and positions past `k` draw
+/// nothing.
+///
+/// `deterministic` may be truncated: because every emitted position
+/// consumes exactly one element, at most `k` elements of `L_d` are ever
+/// read, so passing only the first `min(k, full_length)` entries yields the
+/// same output as passing the full list. (If the slice runs out before `k`
+/// positions are emitted, it must be because the full list ran out too —
+/// a shorter slice would violate the contract.) `promoted` must be the
+/// complete pool: its length is observable in the prefix through the
+/// "pool exhausted" branch, and the caller has to shuffle the whole pool
+/// anyway to reproduce the full merge's randomization.
+pub fn merge_promoted_top_k_into<R: RngCore + ?Sized>(
+    deterministic: &[usize],
+    promoted: &[usize],
+    start_rank: usize,
+    degree: f64,
+    k: usize,
+    rng: &mut R,
+    result: &mut Vec<usize>,
+) {
+    debug_assert!(start_rank >= 1, "start rank is 1-based");
+    debug_assert!((0.0..=1.0).contains(&degree), "degree must be in [0, 1]");
+
+    result.clear();
+    result.reserve(k.min(deterministic.len() + promoted.len()));
+
+    let protected = (start_rank - 1).min(deterministic.len()).min(k);
+    let mut d_iter = deterministic.iter().copied();
+    let mut p_iter = promoted.iter().copied();
+
+    // Step 1: protected prefix straight from L_d, order preserved.
+    result.extend(d_iter.by_ref().take(protected));
+
+    // Step 2: coin-flip merge, stopping once `k` ranks are emitted.
+    let mut d_next = d_iter.next();
+    let mut p_next = p_iter.next();
+    while result.len() < k {
+        match (d_next, p_next) {
+            (Some(d), Some(p)) => {
+                if rng.gen::<f64>() < degree {
+                    result.push(p);
+                    p_next = p_iter.next();
+                } else {
+                    result.push(d);
+                    d_next = d_iter.next();
+                }
+            }
+            (Some(d), None) => {
+                result.push(d);
+                d_next = d_iter.next();
+            }
+            (None, Some(p)) => {
+                result.push(p);
+                p_next = p_iter.next();
+            }
+            (None, None) => break,
+        }
+    }
+    debug_assert!(result.len() <= k);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +293,56 @@ mod tests {
         }
         // The output vector keeps its capacity across calls.
         assert!(out.capacity() >= 60);
+    }
+
+    #[test]
+    fn top_k_is_the_prefix_of_the_full_merge_for_every_k() {
+        let ld: Vec<usize> = (0..30).collect();
+        let lp: Vec<usize> = (30..42).collect();
+        let mut out = Vec::new();
+        for seed in 0..20 {
+            let full = merge_promoted(&ld, &lp, 3, 0.4, &mut new_rng(seed));
+            for k in [0usize, 1, 2, 3, 7, 30, 42, 100] {
+                merge_promoted_top_k_into(&ld, &lp, 3, 0.4, k, &mut new_rng(seed), &mut out);
+                assert_eq!(out, full[..k.min(full.len())], "seed {seed}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_accepts_a_truncated_deterministic_list() {
+        let ld: Vec<usize> = (0..100).collect();
+        let lp: Vec<usize> = (100..120).collect();
+        for seed in 0..20 {
+            for k in [1usize, 5, 10, 50] {
+                let mut full = Vec::new();
+                merge_promoted_top_k_into(&ld, &lp, 2, 0.5, k, &mut new_rng(seed), &mut full);
+                let mut truncated = Vec::new();
+                merge_promoted_top_k_into(
+                    &ld[..k.min(ld.len())],
+                    &lp,
+                    2,
+                    0.5,
+                    k,
+                    &mut new_rng(seed),
+                    &mut truncated,
+                );
+                assert_eq!(truncated, full, "seed {seed}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_with_exhausted_lists_stops_early() {
+        let mut rng = new_rng(4);
+        let mut out = Vec::new();
+        merge_promoted_top_k_into(&[1, 2], &[9], 1, 0.5, 10, &mut rng, &mut out);
+        assert_eq!(out.len(), 3, "only three elements exist");
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 9]);
+        merge_promoted_top_k_into(&[], &[], 1, 0.5, 4, &mut rng, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

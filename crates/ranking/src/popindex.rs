@@ -1,23 +1,30 @@
 //! An incrementally maintained popularity order over the page slots.
 //!
-//! The simulator used to re-sort all `n` pages by popularity every day —
-//! `O(n log n)` work even though a day changes the popularity key of only
-//! the handful of slots that received a monitored visit or were retired.
-//! [`PopularityIndex`] keeps yesterday's order and *repairs* it: dirty
+//! Both steady-state consumers of the presorted ranking path — the
+//! simulator's day loop and the batch serving tier — used to re-sort all
+//! `n` pages by popularity on every step, `O(n log n)` work even though a
+//! step changes the popularity key of only the handful of slots that
+//! received a visit, changed their score, or were inserted.
+//! [`PopularityIndex`] keeps the previous order and *repairs* it: dirty
 //! slots are pulled out and reinserted at the position a binary search
-//! against [`popularity_order`](rrp_ranking::popularity_order) dictates.
+//! against [`popularity_order`](crate::popularity_order) dictates.
 //!
 //! Why repair is sound: the comparator is a **total** order (popularity
 //! descending, then age descending, then slot ascending), so there is
 //! exactly one sorted permutation — any procedure that restores sortedness
 //! reproduces the from-scratch sort bit for bit. And a clean slot's key can
 //! only change in ways that preserve its relative order: popularity moves
-//! only with a monitored visit or a retirement (both mark the slot dirty),
-//! and ages grow by exactly one day for *every* surviving page, which
-//! leaves all pairwise age comparisons between clean slots untouched.
-//! Newborn pages reset their age, so retirement marks them dirty too.
+//! only with a monitored visit, a score update, or a retirement (all mark
+//! the slot dirty), and ages grow by exactly one day for *every* surviving
+//! page, which leaves all pairwise age comparisons between clean slots
+//! untouched. Newborn pages reset their age, so retirement marks them dirty
+//! too.
+//!
+//! The population may also *grow* between repairs (a serving corpus takes
+//! inserts): brand-new slots are simply passed in as dirty and take part in
+//! the same binary-search reinsertion.
 
-use rrp_ranking::{popularity_order, PageStats};
+use crate::stats::{popularity_order, PageStats};
 
 /// Slots sorted by [`popularity_order`], repaired incrementally.
 #[derive(Debug, Clone, Default)]
@@ -75,14 +82,19 @@ impl PopularityIndex {
 
     /// Restore sortedness after the slots in `dirty` changed their keys,
     /// comparing against the *current* `stats`. `dirty` is drained; slots
-    /// may appear in it multiple times and in any order. Allocation-free
+    /// may appear in it multiple times and in any order. The population may
+    /// have grown since the last repair (`stats.len() > self.len()`), in
+    /// which case every new slot must appear in `dirty`. Allocation-free
     /// once the scratch buffers have grown to `n`.
     ///
     /// Cost: `O(n + d log n)` for `d` dirty slots — two linear passes plus
     /// one binary search per dirty slot — versus `O(n log n)` comparisons
     /// for a from-scratch sort.
     pub fn repair(&mut self, stats: &[PageStats], dirty: &mut Vec<usize>) {
-        debug_assert_eq!(stats.len(), self.order.len(), "population size is fixed");
+        debug_assert!(
+            stats.len() >= self.order.len(),
+            "the population never shrinks"
+        );
         if dirty.is_empty() {
             debug_assert!(self.is_consistent(stats));
             return;
@@ -96,8 +108,15 @@ impl PopularityIndex {
             self.removed[slot] = true;
             fresh
         });
+        debug_assert!(
+            (self.order.len()..stats.len()).all(|slot| self.removed[slot]),
+            "every slot inserted since the last repair must be dirty"
+        );
 
         // Pull dirty slots out, keeping the clean remainder in order.
+        // (Newly inserted slots are not in `order` yet; for them this pass
+        // is a no-op and the reinsertion below places them for the first
+        // time.)
         self.order.retain(|&slot| !self.removed[slot]);
 
         // Reinsert: sort the dirty slots by the shared total order, find
@@ -140,7 +159,7 @@ impl PopularityIndex {
                 .order
                 .windows(2)
                 .all(|w| popularity_order(&stats[w[0]], &stats[w[1]]).is_lt())
-            && rrp_ranking::is_permutation(&self.order, stats.len())
+            && crate::is_permutation(&self.order, stats.len())
     }
 }
 
@@ -224,5 +243,53 @@ mod tests {
         index.rebuild(&ps);
         assert!(index.is_consistent(&ps));
         assert_eq!(index.order(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn repair_places_newly_inserted_slots() {
+        // The population grows from 3 to 6 slots; the new slots arrive as
+        // dirty and land exactly where a from-scratch sort would put them.
+        let mut ps = stats(&[(0.6, 2), (0.2, 2), (0.4, 2)]);
+        let mut index = PopularityIndex::build(&ps);
+        ps.extend(
+            stats(&[(0.5, 0), (0.0, 0), (0.9, 0)])
+                .into_iter()
+                .map(|mut p| {
+                    p.slot += 3;
+                    p.page = PageId::new(p.slot as u64);
+                    p
+                }),
+        );
+        let mut dirty = vec![3, 4, 5];
+        index.repair(&ps, &mut dirty);
+        assert!(index.is_consistent(&ps));
+        assert_eq!(index.order(), &[5, 0, 3, 2, 1, 4]);
+    }
+
+    #[test]
+    fn repair_grows_an_empty_index_from_all_dirty_slots() {
+        // A serving corpus built entirely through inserts: the first repair
+        // sees every slot dirty against an empty order.
+        let ps = stats(&[(0.3, 1), (0.7, 1), (0.1, 1), (0.7, 4)]);
+        let mut index = PopularityIndex::default();
+        let mut dirty = vec![0, 1, 2, 3];
+        index.repair(&ps, &mut dirty);
+        assert!(index.is_consistent(&ps));
+        assert_eq!(index.order(), &[3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn repair_mixes_inserts_and_key_changes() {
+        let mut ps = stats(&[(0.9, 3), (0.5, 3), (0.1, 3)]);
+        let mut index = PopularityIndex::build(&ps);
+        ps[1].popularity = 0.95; // existing slot overtakes the leader
+        let mut extra = stats(&[(0.8, 0)]);
+        extra[0].slot = 3;
+        extra[0].page = PageId::new(3);
+        ps.extend(extra);
+        let mut dirty = vec![1, 3, 1];
+        index.repair(&ps, &mut dirty);
+        assert!(index.is_consistent(&ps));
+        assert_eq!(index.order(), &[1, 0, 3, 2]);
     }
 }

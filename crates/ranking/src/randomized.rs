@@ -14,7 +14,7 @@
 //!    `k − 1` deterministic results.
 
 use crate::buffers::RankBuffers;
-use crate::merge::merge_promoted_into;
+use crate::merge::{merge_promoted_into, merge_promoted_top_k_into};
 use crate::policy::RankingPolicy;
 use crate::promotion::{PromotionConfig, PromotionRule};
 use crate::stats::{popularity_order, PageStats};
@@ -115,19 +115,49 @@ impl RandomizedRankPromotion {
         buffers: &mut RankBuffers,
         out: &mut Vec<usize>,
     ) {
+        self.build_presorted_lists(pages, sorted, pages.len(), rng, buffers);
+        merge_promoted_into(
+            &buffers.rest,
+            &buffers.pool,
+            self.config.start_rank,
+            self.config.degree,
+            rng,
+            out,
+        );
+    }
+
+    /// The shared front half of both presorted paths: build `L_p`
+    /// (`buffers.pool`, shuffled) and `L_d` (`buffers.rest`, truncated to
+    /// `rest_limit` entries). There is exactly one copy of this sequence so
+    /// the full and top-k paths can never drift apart in their RNG draws —
+    /// the top-k ≡ full-prefix invariant depends on the pool split and the
+    /// pool shuffle being draw-for-draw identical.
+    ///
+    /// Pool membership is recorded in input (slot) order — the same
+    /// iteration, and for Uniform the same coin flips, as
+    /// `split_pool_into`. Because `pages[i].slot == i`, pool entries are
+    /// already slot indices. Both rules record membership in the dense
+    /// per-slot mask with one sequential pass, so the `L_d` filter reads an
+    /// L1-resident bitmap instead of gathering from the much larger stats
+    /// array in popularity order; the filter reads straight off the
+    /// precomputed index instead of sorting, and stops at `rest_limit`
+    /// matches (only the first `k` non-pool slots can surface in `k`
+    /// ranks). The pool is always built and shuffled in full: its size and
+    /// shuffle order are observable within any output prefix.
+    fn build_presorted_lists<R: RngCore + ?Sized>(
+        &self,
+        pages: &[PageStats],
+        sorted: &[usize],
+        rest_limit: usize,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+    ) {
         debug_assert!(pages.iter().enumerate().all(|(i, p)| p.slot == i));
         debug_assert_eq!(sorted.len(), pages.len());
         debug_assert!(sorted
             .windows(2)
             .all(|w| popularity_order(&pages[w[0]], &pages[w[1]]).is_lt()));
 
-        // Pool membership, in input (slot) order — the same iteration, and
-        // for Uniform the same coin flips, as `split_pool_into`. Because
-        // `pages[i].slot == i`, pool entries are already slot indices. Both
-        // rules record membership in the dense per-slot mask with one
-        // sequential pass, so the `L_d` filter below reads an L1-resident
-        // bitmap instead of gathering from the much larger stats array in
-        // popularity order.
         buffers.reset_mask(pages.len());
         buffers.pool.clear();
         match self.config.rule {
@@ -148,21 +178,45 @@ impl RandomizedRankPromotion {
                 }
             }
         }
-        // L_d: non-pool pages in popularity order, read straight off the
-        // precomputed index instead of sorting.
         buffers.rest.clear();
-        buffers
-            .rest
-            .extend(sorted.iter().copied().filter(|&s| !buffers.mask[s]));
-
-        // L_p: the promotion pool in random order.
+        buffers.rest.extend(
+            sorted
+                .iter()
+                .copied()
+                .filter(|&s| !buffers.mask[s])
+                .take(rest_limit),
+        );
         buffers.pool.shuffle(rng);
+    }
 
-        merge_promoted_into(
+    /// The top-`k` prefix of
+    /// [`rank_presorted_into`](Self::rank_presorted_into), emitting only the
+    /// first `k` ranks and stopping the coin-flip merge early.
+    ///
+    /// Same requirements as `rank_presorted_into` (dense slots, `sorted` in
+    /// [`popularity_order`]); the output equals the length-`k` prefix of the
+    /// full rerank bit for bit (`min(k, n)` entries). The pool split and the
+    /// pool shuffle still run in full — their RNG draws shape the prefix —
+    /// but `L_d` is materialised only up to its first `k` entries (at most
+    /// `k` deterministic elements can surface in `k` ranks) and the merge
+    /// stops at rank `k`, so the per-query cost past the split drops from
+    /// `O(n)` to `O(pool + k)`.
+    pub fn rank_top_k_presorted_into<R: RngCore + ?Sized>(
+        &self,
+        pages: &[PageStats],
+        sorted: &[usize],
+        k: usize,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        self.build_presorted_lists(pages, sorted, k, rng, buffers);
+        merge_promoted_top_k_into(
             &buffers.rest,
             &buffers.pool,
             self.config.start_rank,
             self.config.degree,
+            k,
             rng,
             out,
         );
@@ -364,6 +418,48 @@ mod tests {
         let mut head: Vec<usize> = order[..5].to_vec();
         head.sort_unstable();
         assert_eq!(head, vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn top_k_presorted_equals_the_full_rerank_prefix() {
+        let ps = pages();
+        let mut sorted: Vec<usize> = (0..ps.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| popularity_order(&ps[a], &ps[b]));
+        let mut buffers = RankBuffers::new();
+        let mut full = Vec::new();
+        let mut topk = Vec::new();
+        for rule in [PromotionRule::Selective, PromotionRule::Uniform] {
+            for start_rank in [1usize, 2, 4] {
+                let policy = RandomizedRankPromotion::new(
+                    PromotionConfig::new(rule, start_rank, 0.3).unwrap(),
+                );
+                for seed in 0..20 {
+                    policy.rank_presorted_into(
+                        &ps,
+                        &sorted,
+                        &mut new_rng(seed),
+                        &mut buffers,
+                        &mut full,
+                    );
+                    let reference = full.clone();
+                    for k in [0usize, 1, 3, 5, 10, 50] {
+                        policy.rank_top_k_presorted_into(
+                            &ps,
+                            &sorted,
+                            k,
+                            &mut new_rng(seed),
+                            &mut buffers,
+                            &mut topk,
+                        );
+                        assert_eq!(
+                            topk,
+                            reference[..k.min(reference.len())],
+                            "{rule:?}, k={k}, start_rank={start_rank}, seed={seed}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

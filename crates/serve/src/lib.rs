@@ -3,10 +3,21 @@
 //! The paper pitches rank promotion as something a production search engine
 //! embeds; this crate is the serving tier of that picture. It partitions a
 //! document corpus across N shards, answers batches of queries on std
-//! scoped threads, and amortises the per-query popularity sort across each
-//! batch — while preserving the `(engine seed, query, session)` determinism
-//! of [`rrp_core::RankPromotionEngine`] exactly: batch and sequential
-//! answers are bit-identical at any shard or worker count.
+//! scoped threads, and keeps its serving state — the canonical snapshot,
+//! per-document ranking statistics, and the popularity order — **alive
+//! across batches**: mutations ([`ShardedPromotionService::insert`],
+//! [`ShardedPromotionService::record_visit`],
+//! [`ShardedPromotionService::update_popularity`]) patch single slots and
+//! the popularity order is repaired by dirty-slot binary-search
+//! reinsertion, so an unchanged corpus pays zero sorts and zero snapshot
+//! rebuilds per batch. Batch fan-out writes into disjoint `&mut` result
+//! regions (no result lock), and a top-k path
+//! ([`ShardedPromotionService::rerank_top_k`]) stops the coin-flip merge
+//! after `k` ranks. All of it preserves the
+//! `(engine seed, query, session)` determinism of
+//! [`rrp_core::RankPromotionEngine`] exactly: batch, sequential and top-k
+//! answers are bit-identical (top-k ≡ the full rerank's prefix) at any
+//! shard or worker count.
 //!
 //! ```
 //! use rrp_core::{Document, QueryContext, RankPromotionEngine};
@@ -39,5 +50,5 @@
 pub mod service;
 pub mod store;
 
-pub use service::{available_workers, ShardedPromotionService};
+pub use service::{available_workers, ServeStats, ShardedPromotionService};
 pub use store::ShardedStore;

@@ -6,6 +6,13 @@
 //! (and therefore every ranking decision) is defined by that sequence, not
 //! by the shard layout — so re-sharding the same corpus from 1 to N shards
 //! never changes a single query result.
+//!
+//! The sequence number doubles as the document's stable mutation handle:
+//! [`record_visit`](ShardedStore::record_visit) and
+//! [`update_popularity`](ShardedStore::update_popularity) address documents
+//! by it, and because sequences are dense (`0..len`, no removal path) it is
+//! also the document's slot in the canonical snapshot — which is what lets
+//! the serving tier map store mutations straight onto dirty snapshot slots.
 
 use rrp_core::Document;
 
@@ -16,6 +23,8 @@ pub struct ShardedStore {
     /// Per-shard `(sequence, document)` pairs; each shard is ascending in
     /// sequence because inserts are globally ordered.
     shards: Vec<Vec<(u64, Document)>>,
+    /// Next global sequence number — also the total document count, since
+    /// sequences are dense and nothing is ever removed.
     next_seq: u64,
 }
 
@@ -34,14 +43,22 @@ impl ShardedStore {
         self.shards.len()
     }
 
-    /// Total number of stored documents.
+    /// Total number of stored documents. `O(1)`: sequences are dense with
+    /// no removal path, so the next sequence number *is* the count (a
+    /// per-shard sum would be `O(shards)` on a per-batch call).
+    #[inline]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(Vec::len).sum()
+        debug_assert_eq!(
+            self.shards.iter().map(Vec::len).sum::<usize>() as u64,
+            self.next_seq
+        );
+        self.next_seq as usize
     }
 
     /// Whether the store holds no documents.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(Vec::is_empty)
+        self.next_seq == 0
     }
 
     /// Number of documents on one shard.
@@ -49,7 +66,10 @@ impl ShardedStore {
         self.shards[shard].len()
     }
 
-    /// Insert one document, returning its global sequence number.
+    /// Insert one document, returning its global sequence number — the
+    /// stable handle for later [`record_visit`](Self::record_visit) /
+    /// [`update_popularity`](Self::update_popularity) calls, and the
+    /// document's slot in the canonical snapshot.
     pub fn insert(&mut self, document: Document) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -65,6 +85,50 @@ impl ShardedStore {
         }
     }
 
+    /// The document with global sequence number `seq`, if it exists.
+    ///
+    /// Each shard is ascending in sequence, so the lookup is a binary
+    /// search per shard: `O(shards · log n)`, independent of which shard
+    /// holds the document.
+    pub fn get(&self, seq: u64) -> Option<&Document> {
+        self.locate(seq)
+            .map(|(shard, index)| &self.shards[shard][index].1)
+    }
+
+    /// Record a user visit to the document with sequence number `seq`:
+    /// clears its unexplored flag (a first recorded exposure removes it
+    /// from the selective promotion pool). Returns the updated document,
+    /// or `None` if no such sequence exists.
+    pub fn record_visit(&mut self, seq: u64) -> Option<Document> {
+        let (shard, index) = self.locate(seq)?;
+        let document = &mut self.shards[shard][index].1;
+        document.is_unexplored = false;
+        Some(*document)
+    }
+
+    /// Replace the popularity score of the document with sequence number
+    /// `seq` (clamped to be non-negative). Returns the updated document,
+    /// or `None` if no such sequence exists.
+    pub fn update_popularity(&mut self, seq: u64, popularity: f64) -> Option<Document> {
+        let (shard, index) = self.locate(seq)?;
+        let document = &mut self.shards[shard][index].1;
+        document.popularity = popularity.max(0.0);
+        Some(*document)
+    }
+
+    /// Find `(shard, index)` of the entry with sequence `seq`.
+    fn locate(&self, seq: u64) -> Option<(usize, usize)> {
+        if seq >= self.next_seq {
+            return None;
+        }
+        self.shards.iter().enumerate().find_map(|(shard, entries)| {
+            entries
+                .binary_search_by_key(&seq, |&(s, _)| s)
+                .ok()
+                .map(|index| (shard, index))
+        })
+    }
+
     /// Write the canonical snapshot — all documents in global insertion
     /// order, independent of the shard layout — into `out` (cleared first).
     ///
@@ -72,7 +136,6 @@ impl ShardedStore {
     /// removal path), so each shard's documents scatter directly to their
     /// final position: one `O(n)` pass, independent of the shard count.
     pub fn snapshot_into(&self, out: &mut Vec<Document>) {
-        debug_assert_eq!(self.len() as u64, self.next_seq, "sequences are dense");
         out.clear();
         out.resize(self.len(), Document::unexplored(0));
         for shard in &self.shards {
@@ -91,12 +154,18 @@ impl ShardedStore {
 }
 
 /// Stable shard routing: SplitMix64-style mix of the document id, reduced
-/// modulo the shard count. Deterministic across runs and platforms.
+/// onto `0..shards` with a Lemire multiply-shift (`(hash · shards) >> 64`)
+/// instead of an integer division — the reduction sits on every insert and
+/// lookup, and `%` costs 20–40 cycles where the multiply-high costs ~3.
+/// Deterministic across runs and platforms. (The routing changed from the
+/// old `%` reduction in the same change that made it cheaper; shard layout
+/// is invisible in query results, so routing is free to evolve.)
 fn shard_of(id: u64, shards: usize) -> usize {
     let mut z = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    ((z ^ (z >> 31)) % shards as u64) as usize
+    z ^= z >> 31;
+    ((u128::from(z) * shards as u128) >> 64) as usize
 }
 
 #[cfg(test)]
@@ -148,6 +217,15 @@ mod tests {
     }
 
     #[test]
+    fn lemire_reduction_stays_in_range_at_extremes() {
+        for shards in [1usize, 2, 7, 8, 64, 1023] {
+            for id in [0u64, 1, 7, u64::MAX, u64::MAX - 1, 0x8000_0000_0000_0000] {
+                assert!(shard_of(id, shards) < shards, "id {id}, {shards} shards");
+            }
+        }
+    }
+
+    #[test]
     fn duplicate_ids_stay_distinct_entries() {
         let mut store = ShardedStore::new(4);
         store.insert(Document::established(7, 0.9));
@@ -159,6 +237,44 @@ mod tests {
         assert_eq!(snap[0].popularity, 0.9);
         assert_eq!(snap[1].popularity, 0.1);
         assert!(snap[2].is_unexplored);
+    }
+
+    #[test]
+    fn sequence_numbers_address_documents_across_shards() {
+        let reference = docs(50);
+        let mut store = ShardedStore::new(5);
+        let seqs: Vec<u64> = reference.iter().map(|&d| store.insert(d)).collect();
+        assert_eq!(seqs, (0..50).collect::<Vec<u64>>(), "sequences are dense");
+        for (seq, expected) in seqs.iter().zip(&reference) {
+            assert_eq!(store.get(*seq), Some(expected));
+        }
+        assert_eq!(store.get(50), None);
+    }
+
+    #[test]
+    fn mutations_update_the_addressed_document_only() {
+        let mut store = ShardedStore::new(3);
+        store.extend(docs(21));
+        let before = store.snapshot();
+
+        let visited = store.record_visit(7).expect("seq 7 exists");
+        assert!(!visited.is_unexplored, "visit clears the unexplored flag");
+        let bumped = store.update_popularity(3, 0.75).expect("seq 3 exists");
+        assert_eq!(bumped.popularity, 0.75);
+        let clamped = store.update_popularity(4, -1.0).expect("seq 4 exists");
+        assert_eq!(clamped.popularity, 0.0, "scores clamp to non-negative");
+
+        let after = store.snapshot();
+        for (seq, (b, a)) in before.iter().zip(&after).enumerate() {
+            match seq {
+                7 => assert!(!a.is_unexplored),
+                3 => assert_eq!(a.popularity, 0.75),
+                4 => assert_eq!(a.popularity, 0.0),
+                _ => assert_eq!(b, a, "seq {seq} must be untouched"),
+            }
+        }
+        assert!(store.record_visit(999).is_none());
+        assert!(store.update_popularity(999, 0.5).is_none());
     }
 
     #[test]

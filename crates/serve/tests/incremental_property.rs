@@ -1,0 +1,144 @@
+//! The first mutate-while-serving workload: a service that interleaves
+//! inserts, visit feedback and popularity updates *between batches* must
+//! answer exactly like a service freshly built from the final corpus —
+//! incremental ≡ from-scratch — across shard × worker grids.
+//!
+//! This is the end-to-end soundness argument for the incremental serving
+//! state: if dirty-slot repair of the cached snapshot, statistics, or
+//! popularity order ever drifted from a from-scratch derivation, some
+//! mutation schedule here would surface it as a differing answer.
+
+use proptest::prelude::*;
+use rrp_core::{Document, QueryContext, RankPromotionEngine};
+use rrp_serve::ShardedPromotionService;
+
+/// One mutation applied to the serving corpus between batches.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Insert a fresh document (unexplored when `popularity` rounds to 0).
+    Insert { id: u64, popularity: f64, age: u64 },
+    /// Record a user visit to sequence `seq % len`.
+    Visit { seq: u64 },
+    /// Replace the popularity score of sequence `seq % len`.
+    SetPopularity { seq: u64, popularity: f64 },
+    /// Answer a batch of queries right here (mid-schedule, not just at the
+    /// end) so repairs interleave with serving.
+    Batch { queries: u64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0usize..4, 0u64..10_000, 0.0f64..1.5, 0u64..300), 1..40).prop_map(
+        |raw| {
+            raw.into_iter()
+                .map(|(kind, a, popularity, age)| match kind {
+                    0 => Op::Insert {
+                        id: a,
+                        popularity,
+                        age,
+                    },
+                    1 => Op::Visit { seq: a },
+                    2 => Op::SetPopularity { seq: a, popularity },
+                    _ => Op::Batch { queries: 1 + a % 6 },
+                })
+                .collect()
+        },
+    )
+}
+
+fn queries(n: u64, salt: u64) -> Vec<QueryContext> {
+    (0..n)
+        .map(|q| QueryContext::new(q * 7 + salt, q ^ (salt << 3)))
+        .collect()
+}
+
+proptest! {
+    /// Apply an arbitrary interleaving of inserts, visits, popularity
+    /// updates and batches; after every batch — and at the end — the
+    /// incremental service must agree with a service built from scratch
+    /// over the current corpus, for every shard × worker combination.
+    #[test]
+    fn interleaved_mutations_answer_like_from_scratch(
+        ops in arb_ops(),
+        initial in 0usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let engine = RankPromotionEngine::recommended().with_seed(seed);
+        let mut service = ShardedPromotionService::new(engine, 4).with_workers(4);
+        for i in 0..initial {
+            let doc = if i % 5 == 0 {
+                Document::unexplored(i as u64)
+            } else {
+                Document::established(i as u64, 1.0 - i as f64 * 0.02).with_age(i as u64)
+            };
+            service.insert(doc);
+        }
+
+        let mut batch_salt = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Insert { id, popularity, age } => {
+                    let doc = if popularity < 0.05 {
+                        Document::unexplored(id)
+                    } else {
+                        Document::established(id, popularity).with_age(age)
+                    };
+                    service.insert(doc);
+                }
+                Op::Visit { seq } => {
+                    let len = service.store().len() as u64;
+                    if len > 0 {
+                        prop_assert!(service.record_visit(seq % len));
+                    }
+                }
+                Op::SetPopularity { seq, popularity } => {
+                    let len = service.store().len() as u64;
+                    if len > 0 {
+                        prop_assert!(service.update_popularity(seq % len, popularity));
+                    }
+                }
+                Op::Batch { queries: q } => {
+                    batch_salt += 1;
+                    let qs = queries(q, batch_salt);
+                    let incremental = service.rerank_batch(&qs);
+                    let mut fresh = ShardedPromotionService::new(engine, 1).with_workers(1);
+                    fresh.extend(service.store().snapshot());
+                    prop_assert_eq!(&incremental, &fresh.rerank_batch(&qs));
+                }
+            }
+        }
+
+        // Final sweep: the mutated service equals a from-scratch build of
+        // its final corpus for every shard × worker combination, on the
+        // batch, single-query and top-k paths alike.
+        let corpus = service.store().snapshot();
+        let qs = queries(9, 0xC0FFEE);
+        let incremental = service.rerank_batch(&qs);
+        for shards in [1usize, 2, 8] {
+            for workers in [1usize, 2, 8] {
+                let mut fresh =
+                    ShardedPromotionService::new(engine, shards).with_workers(workers);
+                fresh.extend(corpus.iter().copied());
+                prop_assert_eq!(
+                    &incremental,
+                    &fresh.rerank_batch(&qs),
+                    "{} shards × {} workers",
+                    shards,
+                    workers
+                );
+            }
+        }
+        for (i, &ctx) in qs.iter().enumerate() {
+            prop_assert_eq!(&incremental[i], &service.rerank_one(ctx));
+            let k = 1 + i % 7;
+            prop_assert_eq!(
+                &incremental[i][..k.min(incremental[i].len())],
+                &service.rerank_top_k(ctx, k)
+            );
+        }
+
+        // The steady-state probe: nothing in this schedule may have caused
+        // a snapshot rebuild or a from-scratch sort.
+        prop_assert_eq!(service.serve_stats().snapshot_rebuilds, 0);
+        prop_assert_eq!(service.serve_stats().full_sorts, 0);
+    }
+}

@@ -24,11 +24,10 @@
 use crate::community::PagePopulation;
 use crate::config::SimConfig;
 use crate::metrics::{QpcAccumulator, SimMetrics};
-use crate::popindex::PopularityIndex;
 use rand::Rng;
 use rrp_attention::RankBias;
 use rrp_model::{new_rng, Day, ModelResult, Quality, Rng64, SimClock};
-use rrp_ranking::{PageStats, PolicyKind, RankBuffers};
+use rrp_ranking::{PageStats, PolicyKind, PopularityIndex, RankBuffers};
 
 /// The simulator.
 pub struct Simulation {

@@ -14,8 +14,10 @@
 //! * [`SimMetrics`] — absolute/normalised quality-per-click;
 //! * [`TbpResult`] / [`PopularityTrace`] — per-page probes (Figures 2, 4);
 //! * [`PagePopulation`] — the evolving page slots;
-//! * [`PopularityIndex`] — the incrementally repaired popularity order that
-//!   keeps the day loop free of per-day sorting and allocation.
+//! * [`PopularityIndex`] — re-exported from `rrp_ranking`: the incrementally
+//!   repaired popularity order that keeps the day loop free of per-day
+//!   sorting and allocation (the serving tier maintains the same index
+//!   across batches).
 //!
 //! ```
 //! use rrp_sim::{SimConfig, Simulation};
@@ -51,12 +53,11 @@ pub mod community;
 pub mod config;
 pub mod engine;
 pub mod metrics;
-pub mod popindex;
 pub mod probe;
 
 pub use community::{PagePopulation, PageSlot};
 pub use config::SimConfig;
 pub use engine::Simulation;
 pub use metrics::{PopularityTrace, QpcAccumulator, SimMetrics, TbpResult};
-pub use popindex::PopularityIndex;
 pub use probe::TBP_POPULARITY_THRESHOLD;
+pub use rrp_ranking::PopularityIndex;

@@ -147,6 +147,39 @@ fn serve_batch_matches_sequential_engine_across_shards_and_workers() {
     assert_eq!(expected[0], GOLDEN_RERANK_7_11_13);
 }
 
+/// Layer 3, top-k: the early-exit path equals the length-`k` prefix of the
+/// full rerank at every layer (engine and serving tier), pinned against the
+/// same golden vector as the full path — if the top-k merge ever drew one
+/// coin differently, the prefix would diverge from `GOLDEN_RERANK_7_11_13`
+/// here.
+#[test]
+fn top_k_is_the_golden_prefix_at_every_layer() {
+    let engine = RankPromotionEngine::recommended().with_seed(7);
+    let ctx = QueryContext::new(11, 13);
+    let docs = corpus();
+    for k in [1usize, 5, 10, 30] {
+        assert_eq!(
+            engine.rerank_top_k(&docs, ctx, k),
+            GOLDEN_RERANK_7_11_13[..k],
+            "engine top-{k}"
+        );
+    }
+    for shards in [1usize, 4] {
+        let mut service = ShardedPromotionService::new(engine, shards).with_workers(2);
+        service.extend(docs.iter().copied());
+        for k in [1usize, 10, 30] {
+            assert_eq!(
+                service.rerank_top_k(ctx, k),
+                GOLDEN_RERANK_7_11_13[..k],
+                "service top-{k}, {shards} shards"
+            );
+        }
+        let mut batch = Vec::new();
+        service.rerank_batch_top_k_into(&[ctx], 10, &mut batch);
+        assert_eq!(batch[0], GOLDEN_RERANK_7_11_13[..10]);
+    }
+}
+
 /// Golden outputs of `new_rng(123)`.
 const GOLDEN_RNG_123: [u64; 4] = [
     17369494502333954609,
