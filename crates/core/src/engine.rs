@@ -8,10 +8,13 @@
 //! a user re-running the same query in the same session sees a stable list,
 //! while different users explore different promoted documents.
 
+use crate::cache::CorpusCache;
 use crate::document::{Document, QueryContext};
 use rrp_model::new_rng;
 use rrp_model::PageId;
-use rrp_ranking::{PageStats, PromotionConfig, RandomizedRankPromotion, RankBuffers};
+use rrp_ranking::{
+    PageStats, PoolView, PromotionConfig, PromotionRule, RandomizedRankPromotion, RankBuffers,
+};
 use serde::{Deserialize, Serialize};
 
 /// Reusable scratch state for the allocation-free rerank path.
@@ -77,6 +80,15 @@ impl RankPromotionEngine {
     /// The engine-level seed mixed into every query's randomization.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Whether this engine's pooled query paths actually read a
+    /// maintained pool index: only the Selective rule does (the Uniform
+    /// rule must re-draw its per-page coins every query). Owners of a
+    /// [`CorpusCache`] use this to decide whether pool maintenance is
+    /// worth paying for — see [`CorpusCache::set_pool_maintained`].
+    pub fn reads_pool_index(&self) -> bool {
+        self.config.rule == PromotionRule::Selective
     }
 
     /// The canonical mapping from host-engine [`Document`]s to the
@@ -181,31 +193,90 @@ impl RankPromotionEngine {
         policy.rank_top_k_presorted_into(stats, sorted, k, &mut rng, buffers, out);
     }
 
+    /// [`rerank_presorted_slots_into`](Self::rerank_presorted_slots_into)
+    /// against a persistent pool: the [`PoolView`] bundles the stats
+    /// snapshot, its popularity order and a maintained
+    /// [`PoolIndex`](rrp_ranking::PoolIndex), so the promotion pool is
+    /// read off the index instead of re-derived by an `O(n)` scan + mask
+    /// reset per query (the Uniform rule still draws its mandatory
+    /// per-page coins). The index must be consistent with the stats
+    /// (checked by a debug assertion in the ranking layer); output is
+    /// byte-identical to the scanning path.
+    pub fn rerank_pooled_slots_into(
+        &self,
+        view: PoolView<'_>,
+        context: QueryContext,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        let policy = RandomizedRankPromotion::new(self.config);
+        let mut rng = new_rng(context.seed(self.seed));
+        policy.rank_pooled_into(view, &mut rng, buffers, out);
+    }
+
+    /// The top-`k` prefix of
+    /// [`rerank_pooled_slots_into`](Self::rerank_pooled_slots_into) — the
+    /// truly `O(pool + k)` serving path: pool off the index, at most
+    /// `pool + k` entries of the order touched, merge stopped at rank
+    /// `k`, nothing per-corpus left on the query. Output equals the
+    /// length-`k` prefix of the full rerank bit for bit.
+    pub fn rerank_top_k_pooled_slots_into(
+        &self,
+        view: PoolView<'_>,
+        k: usize,
+        context: QueryContext,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        let policy = RandomizedRankPromotion::new(self.config);
+        let mut rng = new_rng(context.seed(self.seed));
+        policy.rank_top_k_pooled_into(view, k, &mut rng, buffers, out);
+    }
+
+    /// [`rerank_pooled_slots_into`](Self::rerank_pooled_slots_into) read
+    /// straight off a repaired [`CorpusCache`] — the one-call form for
+    /// servers that keep the cache as their persistent serving state.
+    pub fn rerank_cached_slots_into(
+        &self,
+        cache: &CorpusCache,
+        context: QueryContext,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        self.rerank_pooled_slots_into(cache.view(), context, buffers, out);
+    }
+
+    /// [`rerank_top_k_pooled_slots_into`](Self::rerank_top_k_pooled_slots_into)
+    /// read straight off a repaired [`CorpusCache`].
+    pub fn rerank_top_k_cached_slots_into(
+        &self,
+        cache: &CorpusCache,
+        k: usize,
+        context: QueryContext,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        self.rerank_top_k_pooled_slots_into(cache.view(), k, context, buffers, out);
+    }
+
     /// Convenience wrapper: the first `min(k, n)` document ids of
     /// [`rerank`](Self::rerank), computed without materialising the full
-    /// ranking. Builds the snapshot per call — batch servers should use
-    /// [`rerank_top_k_presorted_slots_into`](Self::rerank_top_k_presorted_slots_into)
-    /// against their cached popularity order instead.
+    /// ranking. Builds a [`CorpusCache`] per call (one stats pass + sort +
+    /// pool scan), then serves through the pooled `O(pool + k)` path —
+    /// batch servers keep the cache alive across queries instead and pay
+    /// none of the per-call derivation.
     pub fn rerank_top_k(
         &self,
         documents: &[Document],
         context: QueryContext,
         k: usize,
     ) -> Vec<u64> {
-        let mut stats = Vec::with_capacity(documents.len());
-        Self::document_stats(documents, &mut stats);
-        let mut sorted: Vec<usize> = (0..stats.len()).collect();
-        sorted.sort_unstable_by(|&a, &b| rrp_ranking::popularity_order(&stats[a], &stats[b]));
+        let mut cache = CorpusCache::new();
+        cache.set_pool_maintained(self.reads_pool_index());
+        cache.rebuild(documents);
         let mut buffers = RankBuffers::new();
         let mut slots = Vec::with_capacity(k.min(documents.len()));
-        self.rerank_top_k_presorted_slots_into(
-            &stats,
-            &sorted,
-            k,
-            context,
-            &mut buffers,
-            &mut slots,
-        );
+        self.rerank_top_k_cached_slots_into(&cache, k, context, &mut buffers, &mut slots);
         slots.into_iter().map(|slot| documents[slot].id).collect()
     }
 
@@ -437,6 +508,32 @@ mod tests {
                 );
                 let ids: Vec<u64> = slots.iter().map(|&s| docs[s].id).collect();
                 assert_eq!(ids, want, "presorted k={k}, q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_and_cached_paths_match_the_scanning_path() {
+        let docs = corpus();
+        let engine = RankPromotionEngine::recommended().with_seed(21);
+        let mut cache = CorpusCache::new();
+        cache.rebuild(&docs);
+        let mut buffers = RankBuffers::new();
+        let (mut scan, mut pooled) = (Vec::new(), Vec::new());
+        for q in 0..40u64 {
+            let ctx = QueryContext::new(q, q.wrapping_mul(77));
+            engine.rerank_presorted_slots_into(
+                cache.stats(),
+                cache.order(),
+                ctx,
+                &mut buffers,
+                &mut scan,
+            );
+            engine.rerank_cached_slots_into(&cache, ctx, &mut buffers, &mut pooled);
+            assert_eq!(pooled, scan, "full pooled, q={q}");
+            for k in [0usize, 1, 2, 5, 10, 30, 99] {
+                engine.rerank_top_k_cached_slots_into(&cache, k, ctx, &mut buffers, &mut pooled);
+                assert_eq!(pooled, scan[..k.min(scan.len())], "pooled k={k}, q={q}");
             }
         }
     }

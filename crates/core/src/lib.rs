@@ -50,11 +50,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod advisor;
+pub mod cache;
 pub mod document;
 pub mod engine;
 pub mod prelude;
 
 pub use advisor::{Advice, CandidateOutcome, ParameterAdvisor};
+pub use cache::CorpusCache;
 pub use document::{Document, QueryContext};
 pub use engine::{RankPromotionEngine, RerankScratch};
 

@@ -28,6 +28,12 @@ pub struct RankBuffers {
     pub(crate) mask: Vec<bool>,
     /// Per-slot seen mask for permutation validation.
     pub(crate) seen: Vec<bool>,
+    /// How many times the per-slot mask was reset (each reset is an `O(n)`
+    /// clear paired with a full-corpus pool scan). The pooled query path
+    /// never resets, so serving tiers read this counter to *pin* that their
+    /// clean-batch path stayed scan-free — see
+    /// [`take_mask_resets`](Self::take_mask_resets).
+    mask_resets: u64,
 }
 
 impl RankBuffers {
@@ -44,7 +50,17 @@ impl RankBuffers {
             rest: Vec::with_capacity(n),
             mask: Vec::with_capacity(n),
             seen: Vec::with_capacity(n),
+            mask_resets: 0,
         }
+    }
+
+    /// Drain the count of per-slot mask resets since the last call (each
+    /// one marks an `O(n)` full-corpus pool derivation). The pooled
+    /// selective path performs none; the presorted fallback and the
+    /// Uniform rule's mandatory per-page coin scan perform one per query —
+    /// serving probes aggregate this to pin their scan-free contract.
+    pub fn take_mask_resets(&mut self) -> u64 {
+        std::mem::take(&mut self.mask_resets)
     }
 
     /// Verify that `ordering` is a permutation of `0..n` using the arena's
@@ -56,6 +72,7 @@ impl RankBuffers {
 
     /// Reset the per-slot boolean mask to `n` entries of `false`.
     pub(crate) fn reset_mask(&mut self, n: usize) {
+        self.mask_resets += 1;
         self.mask.clear();
         self.mask.resize(n, false);
     }
@@ -75,6 +92,16 @@ mod tests {
         bufs.mask[3] = true;
         bufs.reset_mask(3);
         assert_eq!(bufs.mask, vec![false; 3]);
+    }
+
+    #[test]
+    fn mask_reset_counter_counts_and_drains() {
+        let mut bufs = RankBuffers::new();
+        assert_eq!(bufs.take_mask_resets(), 0);
+        bufs.reset_mask(4);
+        bufs.reset_mask(4);
+        assert_eq!(bufs.take_mask_resets(), 2);
+        assert_eq!(bufs.take_mask_resets(), 0, "taking drains the counter");
     }
 
     #[test]

@@ -12,7 +12,8 @@
 use crate::buffers::RankBuffers;
 use crate::deterministic::{FullyRandomRanking, PopularityRanking, QualityOracleRanking};
 use crate::policy::RankingPolicy;
-use crate::promotion::PromotionConfig;
+use crate::poolindex::PoolView;
+use crate::promotion::{PromotionConfig, PromotionRule};
 use crate::randomized::RandomizedRankPromotion;
 use crate::stats::PageStats;
 use rand::RngCore;
@@ -148,6 +149,61 @@ impl PolicyKind {
                 policy.rank_top_k_presorted_into(pages, sorted, k, rng, buffers, out)
             }
         }
+    }
+
+    /// [`rank_presorted_into`](Self::rank_presorted_into) against a
+    /// persistent pool ([`PoolView`] bundles the stats, their popularity
+    /// order and the maintained [`PoolIndex`](crate::PoolIndex)):
+    /// promotion policies take their pool `L_p` off the index instead of
+    /// re-scanning all `n` pages (the Uniform rule still draws its
+    /// mandatory per-page coins). Policies that do not promote ignore the
+    /// index. Output and RNG consumption are byte-identical to
+    /// [`rank_presorted_into`](Self::rank_presorted_into).
+    pub fn rank_pooled_into<R: RngCore + ?Sized>(
+        &self,
+        view: PoolView<'_>,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        match self {
+            PolicyKind::Promotion(policy) => policy.rank_pooled_into(view, rng, buffers, out),
+            _ => self.rank_presorted_into(view.pages, view.sorted, rng, buffers, out),
+        }
+    }
+
+    /// The top-`k` prefix of [`rank_pooled_into`](Self::rank_pooled_into):
+    /// for the promotion policy this is the `O(pool + k)` serving path —
+    /// no full-corpus scan, no mask reset, coin-flip merge stopped at rank
+    /// `k`. For every kind the output equals the length-`k` prefix of the
+    /// full rerank bit for bit.
+    pub fn rank_top_k_pooled_into<R: RngCore + ?Sized>(
+        &self,
+        view: PoolView<'_>,
+        k: usize,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        match self {
+            PolicyKind::Promotion(policy) => {
+                policy.rank_top_k_pooled_into(view, k, rng, buffers, out)
+            }
+            _ => self.rank_top_k_presorted_into(view.pages, view.sorted, k, rng, buffers, out),
+        }
+    }
+
+    /// Whether the pooled paths actually read the pool index: only the
+    /// selective promotion rule does. Every other kind either ignores the
+    /// pool entirely or (the Uniform rule) must re-draw its per-page
+    /// coins, so callers that maintain a [`PoolIndex`](crate::PoolIndex)
+    /// per step can skip its repair when this is `false` — the index is
+    /// dead state for such a policy.
+    pub fn reads_pool_index(&self) -> bool {
+        matches!(
+            self,
+            PolicyKind::Promotion(policy) if policy.config().rule == PromotionRule::Selective
+        )
     }
 
     /// The policy's report name (see [`RankingPolicy::name`]).
@@ -312,6 +368,51 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pooled_dispatch_matches_the_full_rerank_prefix_for_every_kind() {
+        let ps = pages();
+        let mut sorted: Vec<usize> = (0..ps.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| popularity_order(&ps[a], &ps[b]));
+        let pool = crate::PoolIndex::build(&ps);
+        let view = PoolView::new(&ps, &sorted, &pool);
+        let mut buffers = RankBuffers::new();
+        let mut out = Vec::new();
+        for kind in all_kinds() {
+            for seed in 0..10 {
+                let full = kind.rank(&ps, &mut new_rng(seed));
+                kind.rank_pooled_into(view, &mut new_rng(seed), &mut buffers, &mut out);
+                assert_eq!(out, full, "{} pooled full", kind.name());
+                for k in [0usize, 1, 2, 5, 10, 30, 64] {
+                    kind.rank_top_k_pooled_into(
+                        view,
+                        k,
+                        &mut new_rng(seed),
+                        &mut buffers,
+                        &mut out,
+                    );
+                    assert_eq!(
+                        out,
+                        full[..k.min(full.len())],
+                        "{} pooled with k={k}, seed={seed}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn only_selective_promotion_reads_the_pool_index() {
+        assert!(!PolicyKind::Popularity.reads_pool_index());
+        assert!(!PolicyKind::QualityOracle.reads_pool_index());
+        assert!(!PolicyKind::FullyRandom.reads_pool_index());
+        assert!(PolicyKind::recommended(2).reads_pool_index());
+        assert!(!PolicyKind::promotion(
+            PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap()
+        )
+        .reads_pool_index());
     }
 
     #[test]

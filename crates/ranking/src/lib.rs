@@ -36,6 +36,7 @@ pub mod deterministic;
 pub mod kind;
 pub mod merge;
 pub mod policy;
+pub mod poolindex;
 pub mod popindex;
 pub mod promotion;
 pub mod randomized;
@@ -46,6 +47,7 @@ pub use deterministic::{FullyRandomRanking, PopularityRanking, QualityOracleRank
 pub use kind::PolicyKind;
 pub use merge::{merge_promoted, merge_promoted_into, merge_promoted_top_k_into};
 pub use policy::{is_permutation, is_permutation_with_scratch, RankingPolicy};
+pub use poolindex::{PoolIndex, PoolView};
 pub use popindex::PopularityIndex;
 pub use promotion::{PromotionConfig, PromotionRule};
 pub use randomized::RandomizedRankPromotion;

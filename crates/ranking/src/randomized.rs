@@ -16,6 +16,7 @@
 use crate::buffers::RankBuffers;
 use crate::merge::{merge_promoted_into, merge_promoted_top_k_into};
 use crate::policy::RankingPolicy;
+use crate::poolindex::PoolView;
 use crate::promotion::{PromotionConfig, PromotionRule};
 use crate::stats::{popularity_order, PageStats};
 use rand::seq::SliceRandom;
@@ -126,12 +127,13 @@ impl RandomizedRankPromotion {
         );
     }
 
-    /// The shared front half of both presorted paths: build `L_p`
+    /// The shared front half of the scanning presorted paths: build `L_p`
     /// (`buffers.pool`, shuffled) and `L_d` (`buffers.rest`, truncated to
-    /// `rest_limit` entries). There is exactly one copy of this sequence so
-    /// the full and top-k paths can never drift apart in their RNG draws —
-    /// the top-k ≡ full-prefix invariant depends on the pool split and the
-    /// pool shuffle being draw-for-draw identical.
+    /// `rest_limit` entries). One copy serves both the full and top-k
+    /// paths, and the `L_d` filter + pool shuffle tail is shared with the
+    /// pooled builder through [`fill_rest_and_shuffle`] — the paths can
+    /// never drift apart in their RNG draws, which the top-k ≡
+    /// full-prefix and pooled ≡ scanning invariants depend on.
     ///
     /// Pool membership is recorded in input (slot) order — the same
     /// iteration, and for Uniform the same coin flips, as
@@ -159,34 +161,137 @@ impl RandomizedRankPromotion {
             .all(|w| popularity_order(&pages[w[0]], &pages[w[1]]).is_lt()));
 
         buffers.reset_mask(pages.len());
-        buffers.pool.clear();
+        let RankBuffers {
+            pool, rest, mask, ..
+        } = buffers;
+        pool.clear();
         match self.config.rule {
             PromotionRule::Selective => {
                 for p in pages.iter() {
                     if p.is_unexplored() {
-                        buffers.mask[p.slot] = true;
-                        buffers.pool.push(p.slot);
+                        mask[p.slot] = true;
+                        pool.push(p.slot);
                     }
                 }
             }
             PromotionRule::Uniform => {
                 for p in pages.iter() {
                     if rng.gen::<f64>() < self.config.degree {
-                        buffers.mask[p.slot] = true;
-                        buffers.pool.push(p.slot);
+                        mask[p.slot] = true;
+                        pool.push(p.slot);
                     }
                 }
             }
         }
-        buffers.rest.clear();
-        buffers.rest.extend(
-            sorted
-                .iter()
-                .copied()
-                .filter(|&s| !buffers.mask[s])
-                .take(rest_limit),
+        fill_rest_and_shuffle(sorted, |s| mask[s], rest_limit, rng, pool, rest);
+    }
+
+    /// The pooled front half: build `L_p` and `L_d` from a *persistent*
+    /// [`PoolIndex`](crate::PoolIndex) instead of scanning all `n` pages and resetting the
+    /// membership mask per query.
+    ///
+    /// For the Selective rule the pool is copied straight off
+    /// [`PoolIndex::members`](crate::PoolIndex::members) — ascending slot order, exactly the order the
+    /// per-page scan would have pushed — and the deterministic remainder
+    /// filters `sorted` through the index's maintained membership mask,
+    /// stopping after `rest_limit` matches: `O(pool + rest_limit)` total,
+    /// with no per-corpus pass and no mask reset. The Uniform rule *must*
+    /// still draw one coin per page in slot order (the coins are part of
+    /// the observable RNG stream), so it falls back to
+    /// [`build_presorted_lists`](Self::build_presorted_lists) and ignores
+    /// the index. Either way the RNG draws are identical to the scanning
+    /// path, so outputs stay byte-identical.
+    fn build_pooled_lists<R: RngCore + ?Sized>(
+        &self,
+        view: PoolView<'_>,
+        rest_limit: usize,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+    ) {
+        let PoolView {
+            pages,
+            sorted,
+            pool,
+        } = view;
+        if self.config.rule == PromotionRule::Uniform {
+            self.build_presorted_lists(pages, sorted, rest_limit, rng, buffers);
+            return;
+        }
+        debug_assert!(pages.iter().enumerate().all(|(i, p)| p.slot == i));
+        debug_assert_eq!(sorted.len(), pages.len());
+        debug_assert!(sorted
+            .windows(2)
+            .all(|w| popularity_order(&pages[w[0]], &pages[w[1]]).is_lt()));
+        debug_assert!(
+            pool.is_consistent(pages),
+            "the pool index must match a fresh is_unexplored scan"
         );
-        buffers.pool.shuffle(rng);
+
+        let RankBuffers {
+            pool: pool_buf,
+            rest,
+            ..
+        } = buffers;
+        pool_buf.clear();
+        pool_buf.extend_from_slice(pool.members());
+        fill_rest_and_shuffle(
+            sorted,
+            |s| pool.contains(s),
+            rest_limit,
+            rng,
+            pool_buf,
+            rest,
+        );
+    }
+
+    /// [`rank_presorted_into`](Self::rank_presorted_into) against a
+    /// persistent pool: the [`PoolView`] bundles the stats snapshot, its
+    /// popularity order, and a [`PoolIndex`](crate::PoolIndex) consistent
+    /// with the stats (checked by a debug assertion). Output and RNG
+    /// consumption are byte-identical to the scanning path; the Selective
+    /// rule skips the per-query `O(n)` pool scan and mask reset entirely.
+    pub fn rank_pooled_into<R: RngCore + ?Sized>(
+        &self,
+        view: PoolView<'_>,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        self.build_pooled_lists(view, view.pages.len(), rng, buffers);
+        merge_promoted_into(
+            &buffers.rest,
+            &buffers.pool,
+            self.config.start_rank,
+            self.config.degree,
+            rng,
+            out,
+        );
+    }
+
+    /// The top-`k` prefix of [`rank_pooled_into`](Self::rank_pooled_into):
+    /// the truly `O(pool + k)` query path. The Selective rule copies the
+    /// pool off the index, filters at most `pool + k` entries of `sorted`,
+    /// shuffles the pool, and stops the coin-flip merge at rank `k` —
+    /// nothing per-corpus remains. Output equals the length-`k` prefix of
+    /// the full rerank bit for bit.
+    pub fn rank_top_k_pooled_into<R: RngCore + ?Sized>(
+        &self,
+        view: PoolView<'_>,
+        k: usize,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        self.build_pooled_lists(view, k, rng, buffers);
+        merge_promoted_top_k_into(
+            &buffers.rest,
+            &buffers.pool,
+            self.config.start_rank,
+            self.config.degree,
+            k,
+            rng,
+            out,
+        );
     }
 
     /// The top-`k` prefix of
@@ -264,6 +369,31 @@ impl RandomizedRankPromotion {
     }
 }
 
+/// The shared tail of both list builders: fill `rest` with the first
+/// `rest_limit` entries of `sorted` outside the pool, then shuffle `pool`
+/// in place. There is exactly one copy of this draw sequence — the
+/// scanning and pooled front halves differ only in how they *source* pool
+/// membership (freshly scanned mask vs. persistent index), so an edit to
+/// the filter or the shuffle can never diverge their RNG streams.
+fn fill_rest_and_shuffle<R: RngCore + ?Sized>(
+    sorted: &[usize],
+    in_pool: impl Fn(usize) -> bool,
+    rest_limit: usize,
+    rng: &mut R,
+    pool: &mut [usize],
+    rest: &mut Vec<usize>,
+) {
+    rest.clear();
+    rest.extend(
+        sorted
+            .iter()
+            .copied()
+            .filter(|&s| !in_pool(s))
+            .take(rest_limit),
+    );
+    pool.shuffle(rng);
+}
+
 impl RankingPolicy for RandomizedRankPromotion {
     fn rank_into(
         &self,
@@ -284,6 +414,7 @@ impl RankingPolicy for RandomizedRankPromotion {
 mod tests {
     use super::*;
     use crate::policy::is_permutation;
+    use crate::poolindex::PoolIndex;
     use rrp_model::{new_rng, PageId};
 
     /// 10 pages: slots 0..5 are established (popularity descending with
@@ -460,6 +591,84 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pooled_paths_match_the_scanning_paths_for_both_rules() {
+        let ps = pages();
+        let mut sorted: Vec<usize> = (0..ps.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| popularity_order(&ps[a], &ps[b]));
+        let pool = PoolIndex::build(&ps);
+        let view = PoolView::new(&ps, &sorted, &pool);
+        let mut buffers = RankBuffers::new();
+        let (mut scan, mut pooled) = (Vec::new(), Vec::new());
+        for rule in [PromotionRule::Selective, PromotionRule::Uniform] {
+            for start_rank in [1usize, 2, 4] {
+                let policy = RandomizedRankPromotion::new(
+                    PromotionConfig::new(rule, start_rank, 0.4).unwrap(),
+                );
+                for seed in 0..20 {
+                    policy.rank_presorted_into(
+                        &ps,
+                        &sorted,
+                        &mut new_rng(seed),
+                        &mut buffers,
+                        &mut scan,
+                    );
+                    policy.rank_pooled_into(view, &mut new_rng(seed), &mut buffers, &mut pooled);
+                    assert_eq!(pooled, scan, "{rule:?}, k={start_rank}, seed={seed}");
+                    for k in [0usize, 1, 3, 5, 10, 50] {
+                        policy.rank_top_k_pooled_into(
+                            view,
+                            k,
+                            &mut new_rng(seed),
+                            &mut buffers,
+                            &mut pooled,
+                        );
+                        assert_eq!(
+                            pooled,
+                            scan[..k.min(scan.len())],
+                            "top-k {rule:?}, k={k}, seed={seed}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_selective_path_never_resets_the_mask() {
+        let ps = pages();
+        let mut sorted: Vec<usize> = (0..ps.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| popularity_order(&ps[a], &ps[b]));
+        let pool = PoolIndex::build(&ps);
+        let view = PoolView::new(&ps, &sorted, &pool);
+        let mut buffers = RankBuffers::new();
+        let mut out = Vec::new();
+
+        let selective = RandomizedRankPromotion::recommended(2);
+        selective.rank_top_k_pooled_into(view, 5, &mut new_rng(3), &mut buffers, &mut out);
+        assert_eq!(buffers.take_mask_resets(), 0, "selective pooled: no reset");
+
+        selective.rank_top_k_presorted_into(
+            &ps,
+            &sorted,
+            5,
+            &mut new_rng(3),
+            &mut buffers,
+            &mut out,
+        );
+        assert_eq!(buffers.take_mask_resets(), 1, "scanning path resets once");
+
+        let uniform = RandomizedRankPromotion::new(
+            PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap(),
+        );
+        uniform.rank_top_k_pooled_into(view, 5, &mut new_rng(3), &mut buffers, &mut out);
+        assert_eq!(
+            buffers.take_mask_resets(),
+            1,
+            "the Uniform rule must keep drawing its per-page coins"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use rrp_model::{new_rng, PageId};
 use rrp_ranking::{
     is_permutation, merge_promoted, popularity_order, FullyRandomRanking, PageStats, PolicyKind,
-    PopularityRanking, PromotionConfig, PromotionRule, QualityOracleRanking,
+    PoolIndex, PoolView, PopularityRanking, PromotionConfig, PromotionRule, QualityOracleRanking,
     RandomizedRankPromotion, RankBuffers, RankingPolicy,
 };
 
@@ -236,6 +236,100 @@ proptest! {
         let kind = PolicyKind::promotion(config);
         kind.rank_presorted_into(&pages, &sorted, &mut new_rng(seed), &mut buffers, &mut out);
         prop_assert_eq!(&out, &legacy);
+    }
+
+    /// The persistent pool index under arbitrary dirty sequences — visits
+    /// flipping awareness on, retirements flipping it back off, inserts
+    /// growing the population past its initial capacity, redundant dirty
+    /// marks on unchanged slots — with repairs interleaved at arbitrary
+    /// points: the incrementally repaired membership always equals a
+    /// from-scratch rebuild of the current stats (the mirror of the
+    /// `PopularityIndex` ≡ sort property in `rrp-sim`).
+    #[test]
+    fn pool_index_repair_equals_rebuild_under_arbitrary_dirty_sequences(
+        initial in 1usize..40,
+        events in prop::collection::vec((0usize..4, 0usize..80), 0..120),
+        repair_every in 1usize..8,
+    ) {
+        let page = |slot: usize, explored: bool| {
+            let awareness = if explored { 0.5 } else { 0.0 };
+            PageStats::new(slot, PageId::new(slot as u64), awareness, awareness)
+        };
+        let mut stats: Vec<PageStats> =
+            (0..initial).map(|slot| page(slot, slot % 2 == 0)).collect();
+        let mut index = PoolIndex::build(&stats);
+        let mut dirty: Vec<usize> = Vec::new();
+
+        for (step, &(kind, raw_slot)) in events.iter().enumerate() {
+            let slot = raw_slot % stats.len();
+            match kind {
+                // A first visit: the page leaves the pool.
+                0 => {
+                    stats[slot].awareness = 0.5;
+                    dirty.push(slot);
+                }
+                // A retirement: a fresh zero-awareness page re-enters.
+                1 => {
+                    stats[slot].awareness = 0.0;
+                    stats[slot].popularity = 0.0;
+                    dirty.push(slot);
+                }
+                // An insert: the population grows (beyond the initial
+                // capacity once enough events accumulate).
+                2 => {
+                    let new_slot = stats.len();
+                    stats.push(page(new_slot, raw_slot % 3 == 0));
+                    dirty.push(new_slot);
+                }
+                // A redundant dirty mark: the slot did not change.
+                _ => dirty.push(slot),
+            }
+            if step % repair_every == 0 {
+                index.repair(&stats, &dirty);
+                dirty.clear();
+                prop_assert!(index.is_consistent(&stats));
+            }
+        }
+        index.repair(&stats, &dirty);
+
+        let rebuilt = PoolIndex::build(&stats);
+        prop_assert_eq!(index.members(), rebuilt.members());
+        prop_assert!(index.is_consistent(&stats));
+        prop_assert_eq!(index.len(), rebuilt.len());
+    }
+
+    /// The pooled ranking paths are byte-identical to the scanning paths
+    /// for any configuration and any population: same pool order before
+    /// the shuffle, same RNG draws, same output — full and top-k alike.
+    #[test]
+    fn pooled_paths_match_scanning_paths(
+        pages in arb_pages(),
+        seed in proptest::num::u64::ANY,
+        rule in prop_oneof![Just(PromotionRule::Uniform), Just(PromotionRule::Selective)],
+        start_rank in 1usize..50,
+        degree in 0.0f64..=1.0,
+        k in 0usize..140,
+    ) {
+        let config = PromotionConfig::new(rule, start_rank, degree).unwrap();
+        let policy = RandomizedRankPromotion::new(config);
+        let mut sorted: Vec<usize> = (0..pages.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| popularity_order(&pages[a], &pages[b]));
+        let pool = PoolIndex::build(&pages);
+        let view = PoolView::new(&pages, &sorted, &pool);
+
+        let mut buffers = RankBuffers::new();
+        let (mut scan, mut pooled) = (Vec::new(), Vec::new());
+        policy.rank_presorted_into(&pages, &sorted, &mut new_rng(seed), &mut buffers, &mut scan);
+        policy.rank_pooled_into(view, &mut new_rng(seed), &mut buffers, &mut pooled);
+        prop_assert_eq!(&pooled, &scan);
+
+        policy.rank_top_k_pooled_into(view, k, &mut new_rng(seed), &mut buffers, &mut pooled);
+        prop_assert_eq!(&pooled, &scan[..k.min(scan.len())].to_vec());
+
+        // And through the enum dispatch used by the simulator.
+        let kind = PolicyKind::promotion(config);
+        kind.rank_top_k_pooled_into(view, k, &mut new_rng(seed), &mut buffers, &mut pooled);
+        prop_assert_eq!(&pooled, &scan[..k.min(scan.len())].to_vec());
     }
 
     /// For *any* valid promotion configuration, ranks better than `k` are

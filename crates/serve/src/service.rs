@@ -1,11 +1,11 @@
 //! The sharded batch rerank service.
 
 use crate::store::ShardedStore;
-use rrp_core::{Document, QueryContext, RankPromotionEngine};
-use rrp_ranking::{PageStats, PopularityIndex, RankBuffers};
+use rrp_core::{CorpusCache, Document, QueryContext, RankPromotionEngine};
+use rrp_ranking::RankBuffers;
 use std::marker::PhantomData;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Operation counters for the incremental serving state — the probe that
 /// pins the steady-state contract in tests: when the corpus is unchanged a
@@ -32,25 +32,38 @@ pub struct ServeStats {
     pub index_repairs: u64,
     /// Dirty-slot entries handed to those repairs (pre-deduplication).
     pub dirty_slots_repaired: u64,
+    /// Full-corpus promotion-pool derivations (`O(n)` scan over every
+    /// document) — incremented only by
+    /// [`ShardedPromotionService::rebuild_from_store`]. The pool
+    /// membership persists in the [`CorpusCache`]'s `PoolIndex` and is
+    /// repaired alongside the popularity order, so no query or mutation
+    /// path ever re-derives it; tests pin this at 0.
+    pub pool_rebuilds: u64,
+    /// Incremental repairs of the pool membership (runs with every
+    /// popularity repair, from the same dirty slots).
+    pub pool_repairs: u64,
+    /// Per-query membership-mask resets reported by the ranking arenas —
+    /// each one marks an `O(n)` pool scan inside a query. The pooled
+    /// selective path performs none (tests pin 0 for selective engines);
+    /// a Uniform-rule engine necessarily pays one per query, its per-page
+    /// coins being part of the observable RNG stream.
+    pub mask_resets: u64,
 }
 
-/// The persistent serving state: the canonical snapshot, its ranking
-/// statistics, and the popularity order, kept current *incrementally*.
-/// Inserts append; visit/popularity mutations patch one slot and mark it
-/// dirty; the popularity order is repaired from the dirty list at the next
+/// The persistent serving state: the canonical snapshot plus the
+/// [`CorpusCache`] bundling its ranking statistics, popularity order and
+/// promotion-pool membership, kept current *incrementally*. Inserts
+/// append; visit/popularity mutations patch one slot and mark it dirty;
+/// both indexes are repaired from the shared dirty list at the next
 /// query. Nothing is ever re-derived from the store wholesale.
 #[derive(Debug, Default)]
 struct ServingState {
     /// Canonical snapshot (slot = global sequence number), append-only,
     /// patched in place on mutation.
     snapshot: Vec<Document>,
-    /// `PageStats` for each snapshot slot, same maintenance discipline.
-    stats: Vec<PageStats>,
-    /// Popularity order over the slots, repaired via dirty-slot
-    /// binary-search reinsertion.
-    index: PopularityIndex,
-    /// Slots whose ranking key changed (or appeared) since the last repair.
-    dirty: Vec<usize>,
+    /// Statistics + popularity order + pool membership over the snapshot
+    /// slots, repaired via the shared dirty list.
+    cache: CorpusCache,
 }
 
 /// Serves randomized rank promotion over a sharded document store.
@@ -67,15 +80,16 @@ struct ServingState {
 ///    [`rerank_batch`](Self::rerank_batch) equals a sequential loop of
 ///    [`rerank_one`](Self::rerank_one) bit for bit at any worker count.
 /// 3. **Incremental steady state** — the canonical snapshot, its ranking
-///    statistics and the popularity order persist *across* batches and are
-///    repaired on mutation ([`insert`](Self::insert),
-///    [`record_visit`](Self::record_visit),
+///    statistics, the popularity order *and the promotion-pool
+///    membership* persist *across* batches and are repaired on mutation
+///    ([`insert`](Self::insert), [`record_visit`](Self::record_visit),
 ///    [`update_popularity`](Self::update_popularity)) instead of being
-///    re-derived per batch: an unchanged corpus pays zero sorts and zero
-///    snapshot rebuilds (pinned by [`ServeStats`]), and each query costs
-///    `O(n)` (pool scan + shuffle + coin-flip merge) — or `O(pool + k)`
-///    past the scan for [`rerank_top_k`](Self::rerank_top_k) — instead of
-///    `O(n log n)`.
+///    re-derived per batch or per query: an unchanged corpus pays zero
+///    sorts, zero snapshot rebuilds and zero pool rebuilds (pinned by
+///    [`ServeStats`]), and a selective-promotion
+///    [`rerank_top_k`](Self::rerank_top_k) query is truly `O(pool + k)` —
+///    no full-corpus scan, no membership-mask reset (also pinned, via
+///    [`ServeStats::mask_resets`]).
 /// 4. **Contention-free fan-out** — batch results are written into
 ///    disjoint `&mut` regions claimed chunk-by-chunk from an atomic
 ///    cursor; workers never take a lock and never touch another worker's
@@ -98,11 +112,15 @@ impl ShardedPromotionService {
     /// A service over an empty `shard_count`-way store (at least 1 shard),
     /// answering batches with up to [`available_workers`] threads.
     pub fn new(engine: RankPromotionEngine, shard_count: usize) -> Self {
+        let mut state = ServingState::default();
+        // Pool maintenance is dead weight for engines that re-derive
+        // their pool per query (the Uniform rule's coin scan).
+        state.cache.set_pool_maintained(engine.reads_pool_index());
         ShardedPromotionService {
             engine,
             store: ShardedStore::new(shard_count),
             workers: available_workers(),
-            state: ServingState::default(),
+            state,
             probe: ServeStats::default(),
             buffers: RankBuffers::new(),
             slots: Vec::new(),
@@ -144,12 +162,8 @@ impl ShardedPromotionService {
     /// popularity order at the next query via dirty-slot reinsertion.
     pub fn insert(&mut self, document: Document) -> u64 {
         let seq = self.store.insert(document);
-        let slot = seq as usize;
         self.state.snapshot.push(document);
-        self.state
-            .stats
-            .push(RankPromotionEngine::document_stat(slot, &document));
-        self.state.dirty.push(slot);
+        self.state.cache.push(&document);
         seq
     }
 
@@ -190,48 +204,63 @@ impl ShardedPromotionService {
     /// Patch one cached slot after a store mutation and mark it dirty.
     fn patch_slot(&mut self, slot: usize, document: Document) {
         self.state.snapshot[slot] = document;
-        self.state.stats[slot] = RankPromotionEngine::document_stat(slot, &document);
-        self.state.dirty.push(slot);
+        self.state.cache.patch(slot, &document);
     }
 
     /// Discard the incremental state and re-derive it from the store:
     /// reassemble the canonical snapshot, recompute every `PageStats`,
-    /// and re-sort the popularity order from scratch. **Not** part of any
-    /// query or mutation path — serving never needs it, and the
-    /// [`ServeStats`] counters it increments are pinned at 0 in the
-    /// steady-state tests precisely to catch a change that reintroduces
-    /// per-batch rebuilds. It exists as the recovery/maintenance escape
-    /// hatch (and as the one honest increment site for those counters).
+    /// re-sort the popularity order and re-scan the pool membership from
+    /// scratch. **Not** part of any query or mutation path — serving
+    /// never needs it, and the [`ServeStats`] counters it increments are
+    /// pinned at 0 in the steady-state tests precisely to catch a change
+    /// that reintroduces per-batch rebuilds. It exists as the
+    /// recovery/maintenance escape hatch (and as the one honest increment
+    /// site for those counters).
     pub fn rebuild_from_store(&mut self) {
         self.probe.snapshot_rebuilds += 1;
         self.probe.full_sorts += 1;
+        if self.state.cache.pool_maintained() {
+            self.probe.pool_rebuilds += 1;
+        }
         self.store.snapshot_into(&mut self.state.snapshot);
-        RankPromotionEngine::document_stats(&self.state.snapshot, &mut self.state.stats);
-        self.state.index.rebuild(&self.state.stats);
-        self.state.dirty.clear();
+        self.state.cache.rebuild(&self.state.snapshot);
     }
 
-    /// Bring the popularity order current by repairing the dirty slots
-    /// (no-op when nothing changed). Every query path calls this first.
+    /// Bring the popularity order and pool membership current by repairing
+    /// the dirty slots (no-op when nothing changed). Every query path
+    /// calls this first.
     fn repair_state(&mut self) {
-        if !self.state.dirty.is_empty() {
+        if self.state.cache.dirty_len() > 0 {
             self.probe.index_repairs += 1;
-            self.probe.dirty_slots_repaired += self.state.dirty.len() as u64;
-            self.state
-                .index
-                .repair(&self.state.stats, &mut self.state.dirty);
+            if self.state.cache.pool_maintained() {
+                self.probe.pool_repairs += 1;
+            }
+            self.probe.dirty_slots_repaired += self.state.cache.repair();
             // The cache is maintained, never rebuilt: right after a repair
-            // the snapshot, stats and order must equal a from-scratch
-            // derivation. (Checked only here — on a clean corpus nothing
-            // can have moved since the last repair validated it.)
+            // the snapshot, stats, order and pool must equal a
+            // from-scratch derivation. (Checked only here — on a clean
+            // corpus nothing can have moved since the last repair
+            // validated it; the order and pool assertions live inside the
+            // index repairs themselves.)
             debug_assert_eq!(self.state.snapshot, self.store.snapshot());
             debug_assert!({
                 let mut fresh = Vec::new();
                 RankPromotionEngine::document_stats(&self.state.snapshot, &mut fresh);
-                fresh == self.state.stats
+                fresh == self.state.cache.stats()
             });
-            debug_assert!(self.state.index.is_consistent(&self.state.stats));
         }
+    }
+
+    /// The current selective-promotion pool: the unexplored slots in
+    /// ascending canonical-sequence order, read off the persistent pool
+    /// index after bringing it current. Exposed for introspection and for
+    /// the property suite that pins the incremental pool against a
+    /// from-scratch recomputation. Empty for engines that never read the
+    /// pool index (the Uniform rule) — their pool is re-drawn per query
+    /// and no index is maintained.
+    pub fn pooled_slots(&mut self) -> &[usize] {
+        self.repair_state();
+        self.state.cache.pool().members()
     }
 
     /// Answer one query sequentially: the canonical snapshot re-ranked by
@@ -252,13 +281,13 @@ impl ShardedPromotionService {
     pub fn rerank_one_into(&mut self, context: QueryContext, out: &mut Vec<u64>) {
         self.repair_state();
         self.probe.queries += 1;
-        self.engine.rerank_presorted_slots_into(
-            &self.state.stats,
-            self.state.index.order(),
+        self.engine.rerank_cached_slots_into(
+            &self.state.cache,
             context,
             &mut self.buffers,
             &mut self.slots,
         );
+        self.probe.mask_resets += self.buffers.take_mask_resets();
         out.clear();
         out.extend(self.slots.iter().map(|&s| self.state.snapshot[s].id));
     }
@@ -278,14 +307,14 @@ impl ShardedPromotionService {
     pub fn rerank_top_k_into(&mut self, context: QueryContext, k: usize, out: &mut Vec<u64>) {
         self.repair_state();
         self.probe.queries += 1;
-        self.engine.rerank_top_k_presorted_slots_into(
-            &self.state.stats,
-            self.state.index.order(),
+        self.engine.rerank_top_k_cached_slots_into(
+            &self.state.cache,
             k,
             context,
             &mut self.buffers,
             &mut self.slots,
         );
+        self.probe.mask_resets += self.buffers.take_mask_resets();
         out.clear();
         out.extend(self.slots.iter().map(|&s| self.state.snapshot[s].id));
     }
@@ -346,6 +375,7 @@ impl ShardedPromotionService {
             for (&ctx, out) in queries.iter().zip(results.iter_mut()) {
                 worker.answer_into(ctx, k, out);
             }
+            self.probe.mask_resets += worker.buffers.take_mask_resets();
             return;
         }
 
@@ -355,6 +385,10 @@ impl ShardedPromotionService {
         // result lock anywhere. Chunks are a few queries wide so a slow
         // query does not serialise its neighbours behind one worker.
         let regions = SlotRegions::new(results, chunk_len(queries.len(), workers));
+        // Mask resets are accumulated per worker arena and folded into the
+        // probe once per worker — one relaxed add at scope exit, nothing
+        // on the query path.
+        let mask_resets = AtomicU64::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
@@ -367,9 +401,11 @@ impl ShardedPromotionService {
                             worker.answer_into(ctx, k, out);
                         }
                     }
+                    mask_resets.fetch_add(worker.buffers.take_mask_resets(), Ordering::Relaxed);
                 });
             }
         });
+        self.probe.mask_resets += mask_resets.into_inner();
     }
 }
 
@@ -445,8 +481,8 @@ impl<'a> BatchWorker<'a> {
         BatchWorker {
             engine,
             state,
-            buffers: RankBuffers::with_capacity(state.stats.len()),
-            slots: Vec::with_capacity(state.stats.len()),
+            buffers: RankBuffers::with_capacity(state.cache.len()),
+            slots: Vec::with_capacity(state.cache.len()),
         }
     }
 
@@ -455,16 +491,14 @@ impl<'a> BatchWorker<'a> {
     /// `out`'s storage — no allocation once both have warmed up.
     fn answer_into(&mut self, context: QueryContext, k: Option<usize>, out: &mut Vec<u64>) {
         match k {
-            None => self.engine.rerank_presorted_slots_into(
-                &self.state.stats,
-                self.state.index.order(),
+            None => self.engine.rerank_cached_slots_into(
+                &self.state.cache,
                 context,
                 &mut self.buffers,
                 &mut self.slots,
             ),
-            Some(k) => self.engine.rerank_top_k_presorted_slots_into(
-                &self.state.stats,
-                self.state.index.order(),
+            Some(k) => self.engine.rerank_top_k_cached_slots_into(
+                &self.state.cache,
                 k,
                 context,
                 &mut self.buffers,
@@ -581,18 +615,24 @@ mod tests {
         assert_eq!(warm.index_repairs, 1);
         assert_eq!(warm.dirty_slots_repaired, 300);
 
-        // Steady state, corpus unchanged: no repair, no sort, no rebuild.
+        // Steady state, corpus unchanged: no repair, no sort, no rebuild —
+        // and with a selective engine, no per-query pool scan or mask
+        // reset either: every query reads the persistent pool index.
         service.rerank_batch(&qs);
         service.rerank_batch(&qs);
         let steady = service.serve_stats();
         assert_eq!(steady.index_repairs, 1, "clean batches must not repair");
         assert_eq!(steady.snapshot_rebuilds, 0);
         assert_eq!(steady.full_sorts, 0);
+        assert_eq!(steady.pool_rebuilds, 0);
+        assert_eq!(steady.pool_repairs, 1);
+        assert_eq!(steady.mask_resets, 0, "no query may scan the corpus");
         assert_eq!(steady.batches, 3);
         assert_eq!(steady.queries, 48);
 
         // A mutation dirties exactly the touched slots; the next batch
-        // repairs those and nothing else — still no sort, no rebuild.
+        // repairs those and nothing else — still no sort, no rebuild, no
+        // pool rebuild.
         assert!(service.record_visit(0));
         assert!(service.update_popularity(7, 0.99));
         service.rerank_batch(&qs);
@@ -601,6 +641,70 @@ mod tests {
         assert_eq!(mutated.dirty_slots_repaired, 302);
         assert_eq!(mutated.snapshot_rebuilds, 0);
         assert_eq!(mutated.full_sorts, 0);
+        assert_eq!(mutated.pool_rebuilds, 0);
+        assert_eq!(mutated.pool_repairs, 2);
+        assert_eq!(mutated.mask_resets, 0);
+    }
+
+    #[test]
+    fn top_k_on_a_clean_batch_never_scans_or_resets() {
+        // The acceptance gate for the pooled top-k path: on a clean batch,
+        // a selective engine's `rerank_top_k` performs zero full-corpus
+        // pool derivations (mask resets) and zero pool rebuilds, on the
+        // sequential and the fan-out paths alike.
+        let mut service =
+            ShardedPromotionService::new(RankPromotionEngine::recommended(), 4).with_workers(4);
+        service.extend(corpus(500));
+        let qs = queries(32);
+        service.rerank_batch(&qs); // absorb the warm-up repair
+        let before = service.serve_stats();
+
+        for (i, &ctx) in qs.iter().enumerate() {
+            service.rerank_top_k(ctx, 1 + i % 16);
+        }
+        let mut results = Vec::new();
+        service.rerank_batch_top_k_into(&qs, 10, &mut results);
+        let after = service.serve_stats();
+        assert_eq!(after.mask_resets, before.mask_resets);
+        assert_eq!(after.pool_rebuilds, 0);
+        assert_eq!(after.index_repairs, before.index_repairs);
+        assert_eq!(after.queries, before.queries + 64);
+    }
+
+    #[test]
+    fn uniform_engines_still_pay_their_mandatory_per_query_coin_scan() {
+        // The Uniform rule's pool is drawn per query — one coin per page is
+        // part of the observable RNG stream — so the probe documents one
+        // mask reset per query rather than pretending the scan is gone.
+        let engine =
+            RankPromotionEngine::new(PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap());
+        let mut service = ShardedPromotionService::new(engine, 2).with_workers(2);
+        service.extend(corpus(100));
+        let qs = queries(8);
+        service.rerank_batch(&qs);
+        service.rerank_top_k(qs[0], 5);
+        let stats = service.serve_stats();
+        assert_eq!(stats.mask_resets, 9, "one per query, none avoidable");
+        assert_eq!(stats.pool_rebuilds, 0);
+        assert_eq!(
+            stats.pool_repairs, 0,
+            "no pool index is maintained for an engine that never reads one"
+        );
+        assert!(service.pooled_slots().is_empty());
+    }
+
+    #[test]
+    fn pooled_slots_tracks_mutations_incrementally() {
+        let mut service = ShardedPromotionService::new(RankPromotionEngine::recommended(), 3);
+        service.extend(corpus(50));
+        let expected: Vec<usize> = (0..50).step_by(10).collect();
+        assert_eq!(service.pooled_slots(), expected.as_slice());
+
+        assert!(service.record_visit(10));
+        service.insert(Document::unexplored(777));
+        let expected = vec![0usize, 20, 30, 40, 50];
+        assert_eq!(service.pooled_slots(), expected.as_slice());
+        assert_eq!(service.serve_stats().pool_rebuilds, 0);
     }
 
     #[test]

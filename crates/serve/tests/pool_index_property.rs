@@ -1,0 +1,184 @@
+//! The persistent promotion-pool index under mutate-while-serving load:
+//! arbitrary interleavings of inserts, visit feedback and popularity
+//! updates must leave the incrementally repaired pool *identical* to a
+//! from-scratch recomputation over the current corpus — and every top-k
+//! answer identical to the length-`k` prefix of the full rerank — across
+//! shard × worker grids.
+//!
+//! This is the end-to-end soundness argument for the pool index: its
+//! pre-shuffle member order feeds the RNG directly (the shuffle's swaps
+//! depend on pool size and order), so a stale or re-ordered member would
+//! not fail loudly — it would silently rearrange the merged prefix. If
+//! dirty-slot repair of the membership ever drifted from the fresh
+//! `is_unexplored` scan, some schedule here would surface it either as a
+//! differing pool or as a differing answer.
+
+use proptest::prelude::*;
+use rrp_core::{Document, QueryContext, RankPromotionEngine};
+use rrp_serve::ShardedPromotionService;
+
+/// One step of the mutate-while-serving schedule.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Insert a fresh document (unexplored when `popularity` rounds to 0).
+    Insert { id: u64, popularity: f64, age: u64 },
+    /// Record a user visit to sequence `seq % len` (pool membership off).
+    Visit { seq: u64 },
+    /// Replace the popularity score of sequence `seq % len` (membership
+    /// unchanged — the pool must not move when only popularity does).
+    SetPopularity { seq: u64, popularity: f64 },
+    /// Serve a top-k batch right here, mid-schedule.
+    TopK { queries: u64, k: usize },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0usize..4, 0u64..10_000, 0.0f64..1.5, 0u64..300), 1..40).prop_map(
+        |raw| {
+            raw.into_iter()
+                .map(|(kind, a, popularity, age)| match kind {
+                    0 => Op::Insert {
+                        id: a,
+                        popularity,
+                        age,
+                    },
+                    1 => Op::Visit { seq: a },
+                    2 => Op::SetPopularity { seq: a, popularity },
+                    _ => Op::TopK {
+                        queries: 1 + a % 5,
+                        k: 1 + (age as usize % 12),
+                    },
+                })
+                .collect()
+        },
+    )
+}
+
+fn queries(n: u64, salt: u64) -> Vec<QueryContext> {
+    (0..n)
+        .map(|q| QueryContext::new(q * 11 + salt, q ^ (salt << 2)))
+        .collect()
+}
+
+/// The from-scratch pool: unexplored documents' canonical slots, in
+/// sequence order — what the per-query scan used to derive.
+fn fresh_pool(corpus: &[Document]) -> Vec<usize> {
+    corpus
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_unexplored)
+        .map(|(slot, _)| slot)
+        .collect()
+}
+
+proptest! {
+    /// Apply an arbitrary interleaving of inserts, visits, popularity
+    /// updates and top-k batches; after every step the incremental pool
+    /// must equal the from-scratch recomputation, and after every batch
+    /// each top-k answer must equal the length-`k` prefix of the full
+    /// rerank of a from-scratch service — for every shard × worker
+    /// combination at the end.
+    #[test]
+    fn incremental_pool_equals_from_scratch_and_top_k_stays_a_prefix(
+        ops in arb_ops(),
+        initial in 0usize..30,
+        seed in 0u64..1_000,
+    ) {
+        let engine = RankPromotionEngine::recommended().with_seed(seed);
+        let mut service = ShardedPromotionService::new(engine, 4).with_workers(4);
+        for i in 0..initial {
+            let doc = if i % 3 == 0 {
+                Document::unexplored(i as u64)
+            } else {
+                Document::established(i as u64, 1.0 - i as f64 * 0.03).with_age(i as u64)
+            };
+            service.insert(doc);
+        }
+
+        let mut batch_salt = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Insert { id, popularity, age } => {
+                    let doc = if popularity < 0.05 {
+                        Document::unexplored(id)
+                    } else {
+                        Document::established(id, popularity).with_age(age)
+                    };
+                    service.insert(doc);
+                }
+                Op::Visit { seq } => {
+                    let len = service.store().len() as u64;
+                    if len > 0 {
+                        prop_assert!(service.record_visit(seq % len));
+                    }
+                }
+                Op::SetPopularity { seq, popularity } => {
+                    let len = service.store().len() as u64;
+                    if len > 0 {
+                        prop_assert!(service.update_popularity(seq % len, popularity));
+                    }
+                }
+                Op::TopK { queries: q, k } => {
+                    batch_salt += 1;
+                    let qs = queries(q, batch_salt);
+                    let mut top = Vec::new();
+                    service.rerank_batch_top_k_into(&qs, k, &mut top);
+                    let mut fresh =
+                        ShardedPromotionService::new(engine, 1).with_workers(1);
+                    fresh.extend(service.store().snapshot());
+                    let full = fresh.rerank_batch(&qs);
+                    for (i, got) in top.iter().enumerate() {
+                        prop_assert_eq!(
+                            got,
+                            &full[i][..k.min(full[i].len())],
+                            "mid-schedule top-{} of query {}",
+                            k,
+                            i
+                        );
+                    }
+                }
+            }
+            // The pool index is repaired, never rebuilt — and after every
+            // single step it must equal the from-scratch recomputation
+            // (the membership drift hazard this suite exists to pin).
+            let expected = fresh_pool(&service.store().snapshot());
+            prop_assert_eq!(service.pooled_slots(), expected.as_slice());
+        }
+
+        // Final sweep: the mutated service equals a from-scratch build of
+        // its final corpus on the top-k path for every shard × worker
+        // combination and several k.
+        let corpus = service.store().snapshot();
+        let qs = queries(6, 0xF00D);
+        let full = service.rerank_batch(&qs);
+        for shards in [1usize, 2, 8] {
+            for workers in [1usize, 2, 8] {
+                let mut fresh =
+                    ShardedPromotionService::new(engine, shards).with_workers(workers);
+                fresh.extend(corpus.iter().copied());
+                for k in [1usize, 3, 10] {
+                    let mut top = Vec::new();
+                    fresh.rerank_batch_top_k_into(&qs, k, &mut top);
+                    for (i, got) in top.iter().enumerate() {
+                        prop_assert_eq!(
+                            got,
+                            &full[i][..k.min(full[i].len())],
+                            "{} shards × {} workers, top-{} of query {}",
+                            shards,
+                            workers,
+                            k,
+                            i
+                        );
+                    }
+                }
+            }
+        }
+
+        // The steady-state probe: nothing in this schedule may have caused
+        // a snapshot rebuild, a from-scratch sort, a pool rebuild, or a
+        // single per-query pool scan (the engine is selective).
+        prop_assert_eq!(service.serve_stats().snapshot_rebuilds, 0);
+        prop_assert_eq!(service.serve_stats().full_sorts, 0);
+        prop_assert_eq!(service.serve_stats().pool_rebuilds, 0);
+        prop_assert_eq!(service.serve_stats().mask_resets, 0);
+    }
+}

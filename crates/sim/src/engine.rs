@@ -27,7 +27,7 @@ use crate::metrics::{QpcAccumulator, SimMetrics};
 use rand::Rng;
 use rrp_attention::RankBias;
 use rrp_model::{new_rng, Day, ModelResult, Quality, Rng64, SimClock};
-use rrp_ranking::{PageStats, PolicyKind, PopularityIndex, RankBuffers};
+use rrp_ranking::{PageStats, PolicyKind, PoolIndex, PoolView, PopularityIndex, RankBuffers};
 
 /// The simulator.
 pub struct Simulation {
@@ -57,6 +57,12 @@ pub struct Simulation {
     /// whose popularity key changed (a monitored visit that raised
     /// awareness, or a retirement) are re-placed each day.
     pop_index: PopularityIndex,
+    /// Promotion-pool membership (unexplored slots), repaired from the
+    /// same dirty slots: a monitored visit flips membership off exactly
+    /// when it dirties the slot, and a retirement flips it back on — so
+    /// the selective policy's per-day `O(n)` pool scan + mask reset is
+    /// replaced by reading this persistent index.
+    pool_index: PoolIndex,
     /// Slots whose popularity key changed since the last index repair.
     dirty_slots: Vec<usize>,
     /// Scratch arena for the allocation-free ranking path.
@@ -100,6 +106,7 @@ impl Simulation {
             protected_slots: Vec::new(),
             stats: Vec::with_capacity(n),
             pop_index: PopularityIndex::default(),
+            pool_index: PoolIndex::default(),
             dirty_slots: Vec::new(),
             buffers: RankBuffers::with_capacity(n),
             ranking: Vec::with_capacity(n),
@@ -107,6 +114,9 @@ impl Simulation {
         };
         sim.refresh_stats();
         sim.pop_index.rebuild(&sim.stats);
+        if sim.policy.reads_pool_index() {
+            sim.pool_index.rebuild(&sim.stats);
+        }
         Ok(sim)
     }
 
@@ -248,16 +258,23 @@ impl Simulation {
         debug_assert!((0..self.population.len()).all(|s| self.stats[s] == self.slot_stats(s)));
     }
 
-    /// Refresh the snapshot, repair the popularity index, and rank today's
-    /// result list into `self.ranking`. Consumes exactly the RNG draws the
-    /// policy's `rank` would, so runs are bit-identical to the historical
-    /// per-day full-sort path.
+    /// Refresh the snapshot, repair the popularity and pool indexes, and
+    /// rank today's result list into `self.ranking`. Consumes exactly the
+    /// RNG draws the policy's `rank` would, so runs are bit-identical to
+    /// the historical per-day full-sort path.
     fn rank_today(&mut self) {
         self.refresh_stats();
+        // Pool first: it borrows the dirty list that the popularity
+        // repair then drains. Both flip exactly at the dirtied slots —
+        // a monitored visit or a retirement changes awareness and
+        // popularity together. Policies that never read the pool
+        // (everything but selective promotion) skip its maintenance.
+        if self.policy.reads_pool_index() {
+            self.pool_index.repair(&self.stats, &self.dirty_slots);
+        }
         self.pop_index.repair(&self.stats, &mut self.dirty_slots);
-        self.policy.rank_presorted_into(
-            &self.stats,
-            self.pop_index.order(),
+        self.policy.rank_pooled_into(
+            PoolView::new(&self.stats, self.pop_index.order(), &self.pool_index),
             &mut self.rng,
             &mut self.buffers,
             &mut self.ranking,

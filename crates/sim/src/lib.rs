@@ -14,9 +14,10 @@
 //! * [`SimMetrics`] — absolute/normalised quality-per-click;
 //! * [`TbpResult`] / [`PopularityTrace`] — per-page probes (Figures 2, 4);
 //! * [`PagePopulation`] — the evolving page slots;
-//! * [`PopularityIndex`] — re-exported from `rrp_ranking`: the incrementally
-//!   repaired popularity order that keeps the day loop free of per-day
-//!   sorting and allocation (the serving tier maintains the same index
+//! * [`PopularityIndex`] / [`PoolIndex`] — re-exported from `rrp_ranking`:
+//!   the incrementally repaired popularity order and promotion-pool
+//!   membership that keep the day loop free of per-day sorting, pool
+//!   scanning and allocation (the serving tier maintains the same indexes
 //!   across batches).
 //!
 //! ```
@@ -60,4 +61,4 @@ pub use config::SimConfig;
 pub use engine::Simulation;
 pub use metrics::{PopularityTrace, QpcAccumulator, SimMetrics, TbpResult};
 pub use probe::TBP_POPULARITY_THRESHOLD;
-pub use rrp_ranking::PopularityIndex;
+pub use rrp_ranking::{PoolIndex, PopularityIndex};

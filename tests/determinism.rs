@@ -18,7 +18,7 @@
 use rrp_core::{Document, QueryContext, RankPromotionEngine};
 use rrp_experiments::runner::SweepExecutor;
 use rrp_model::{new_rng, SeedSequence};
-use rrp_ranking::{PromotionConfig, PromotionRule};
+use rrp_ranking::{PolicyKind, PoolIndex, PoolView, PromotionConfig, PromotionRule, RankBuffers};
 use rrp_serve::ShardedPromotionService;
 
 fn corpus() -> Vec<Document> {
@@ -180,6 +180,76 @@ fn top_k_is_the_golden_prefix_at_every_layer() {
     }
 }
 
+/// Layer 3, the pooled serving path: `rank_top_k_pooled_into` — the
+/// `O(pool + k)` route that reads the persistent [`PoolIndex`] instead of
+/// scanning the corpus per query — reproduces the recorded top-10 golden
+/// for **all four policies** from the same RNG state. The pool's
+/// pre-shuffle member order feeds the generator directly, so a pool index
+/// that listed its members in any other order (or retained a stale member)
+/// would shift these vectors; equality with both the recorded constants
+/// and the live scanning path pins the RNG stream exactly.
+#[test]
+fn pooled_top_k_reproduces_the_recorded_goldens_for_all_four_policies() {
+    let docs = corpus();
+    let mut stats = Vec::new();
+    RankPromotionEngine::document_stats(&docs, &mut stats);
+    let mut sorted: Vec<usize> = (0..stats.len()).collect();
+    sorted.sort_unstable_by(|&a, &b| rrp_ranking::popularity_order(&stats[a], &stats[b]));
+    let pool = PoolIndex::build(&stats);
+    let view = PoolView::new(&stats, &sorted, &pool);
+    let mut buffers = RankBuffers::new();
+    let (mut pooled, mut scanned) = (Vec::new(), Vec::new());
+    let kinds: [(PolicyKind, &[usize; 10]); 4] = [
+        (PolicyKind::Popularity, &GOLDEN_TOP10_POPULARITY_123),
+        (PolicyKind::QualityOracle, &GOLDEN_TOP10_ORACLE_123),
+        (PolicyKind::FullyRandom, &GOLDEN_TOP10_RANDOM_123),
+        (PolicyKind::recommended(2), &GOLDEN_TOP10_SELECTIVE_123),
+    ];
+    for (kind, golden) in kinds {
+        kind.rank_top_k_pooled_into(view, 10, &mut new_rng(123), &mut buffers, &mut pooled);
+        assert_eq!(pooled, *golden, "{} pooled golden", kind.name());
+        kind.rank_top_k_presorted_into(
+            &stats,
+            &sorted,
+            10,
+            &mut new_rng(123),
+            &mut buffers,
+            &mut scanned,
+        );
+        assert_eq!(pooled, scanned, "{} pooled ≡ scanning", kind.name());
+    }
+}
+
+/// Layer 3, mutate-then-serve: a fixed schedule of visits, a popularity
+/// update and two inserts applied to a warm service, then one pooled top-k
+/// query — pinned to a recorded golden. This is the path where a repaired
+/// (rather than re-derived) pool index is on the line end to end: the two
+/// visited documents left the pool, the inserted unexplored one joined it,
+/// and any drift in membership *or member order* would shift the merged
+/// prefix recorded here.
+#[test]
+fn mutate_then_serve_top_k_matches_its_golden() {
+    let engine = RankPromotionEngine::recommended().with_seed(7);
+    let mut service = ShardedPromotionService::new(engine, 4).with_workers(2);
+    service.extend(corpus());
+    service.rerank_batch(&[QueryContext::new(0, 0)]); // warm the indexes
+    assert!(service.record_visit(22));
+    assert!(service.record_visit(25));
+    assert!(service.update_popularity(3, 1.5));
+    service.insert(Document::established(40, 0.77).with_age(9));
+    service.insert(Document::unexplored(41));
+    assert_eq!(
+        service.rerank_top_k(QueryContext::new(11, 13), 12),
+        GOLDEN_MUTATE_THEN_SERVE_TOP12
+    );
+    // The schedule was served entirely from repaired state.
+    let stats = service.serve_stats();
+    assert_eq!(stats.snapshot_rebuilds, 0);
+    assert_eq!(stats.full_sorts, 0);
+    assert_eq!(stats.pool_rebuilds, 0);
+    assert_eq!(stats.mask_resets, 0);
+}
+
 /// Golden outputs of `new_rng(123)`.
 const GOLDEN_RNG_123: [u64; 4] = [
     17369494502333954609,
@@ -202,3 +272,15 @@ const GOLDEN_RERANK_7_11_13: [u64; 30] = [
     0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 23, 22, 14, 15, 16, 27, 17, 18, 19, 26, 29, 25,
     24, 21, 20, 28,
 ];
+
+/// Golden pooled top-10 *slot* orders over the documented corpus from
+/// `new_rng(123)`, one per policy (recorded from the scanning path these
+/// constants hold the pooled path to).
+const GOLDEN_TOP10_POPULARITY_123: [usize; 10] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9];
+const GOLDEN_TOP10_ORACLE_123: [usize; 10] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9];
+const GOLDEN_TOP10_RANDOM_123: [usize; 10] = [9, 12, 20, 6, 16, 27, 23, 21, 5, 3];
+const GOLDEN_TOP10_SELECTIVE_123: [usize; 10] = [0, 1, 28, 2, 3, 4, 5, 6, 7, 8];
+
+/// Golden top-12 document ids after the documented mutate-then-serve
+/// schedule (engine seed 7, `QueryContext::new(11, 13)`).
+const GOLDEN_MUTATE_THEN_SERVE_TOP12: [u64; 12] = [3, 0, 1, 2, 4, 5, 40, 6, 7, 8, 9, 10];
