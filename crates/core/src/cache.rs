@@ -33,8 +33,14 @@ pub struct CorpusCache {
     /// Whether the pool index is kept current (see
     /// [`set_pool_maintained`](Self::set_pool_maintained)).
     maintain_pool: bool,
-    /// Slots whose stats changed (or appeared) since the last repair.
+    /// Slots whose stats changed (or appeared) since the last repair —
+    /// deduplicated on entry via `dirty_mask`, so the list is bounded by
+    /// the corpus size no matter how long repairs are deferred (a serving
+    /// tier repairs a tier only when a query consults it; the other
+    /// tier's mutations must not accumulate without bound).
     dirty: Vec<usize>,
+    /// Per-slot "already in `dirty`" mask (cleared during repair).
+    dirty_mask: Vec<bool>,
 }
 
 impl Default for CorpusCache {
@@ -45,6 +51,7 @@ impl Default for CorpusCache {
             pool: PoolIndex::default(),
             maintain_pool: true,
             dirty: Vec::new(),
+            dirty_mask: Vec::new(),
         }
     }
 }
@@ -113,7 +120,9 @@ impl CorpusCache {
         PoolView::new(&self.stats, self.popularity.order(), &self.pool)
     }
 
-    /// Number of dirty entries awaiting the next repair (pre-deduplication).
+    /// Number of dirty slots awaiting the next repair (deduplicated on
+    /// entry, so bounded by the corpus size however long repair is
+    /// deferred).
     #[inline]
     pub fn dirty_len(&self) -> usize {
         self.dirty.len()
@@ -126,13 +135,19 @@ impl CorpusCache {
         self.stats
             .push(RankPromotionEngine::document_stat(slot, document));
         self.dirty.push(slot);
+        self.dirty_mask.push(true);
     }
 
     /// Patch the cached stats of one existing slot after a mutation and
-    /// mark it dirty (`O(1)`).
+    /// mark it dirty (`O(1)`; a slot already pending repair is not
+    /// re-listed, so deferring repairs never grows the dirty list past
+    /// the corpus size).
     pub fn patch(&mut self, slot: usize, document: &Document) {
         self.stats[slot] = RankPromotionEngine::document_stat(slot, document);
-        self.dirty.push(slot);
+        if !self.dirty_mask[slot] {
+            self.dirty_mask[slot] = true;
+            self.dirty.push(slot);
+        }
     }
 
     /// Discard the incremental state and re-derive everything from
@@ -146,11 +161,14 @@ impl CorpusCache {
             self.pool.rebuild(&self.stats);
         }
         self.dirty.clear();
+        self.dirty_mask.clear();
+        self.dirty_mask.resize(self.stats.len(), false);
     }
 
     /// Bring both indexes current by repairing the dirty slots (no-op when
     /// nothing changed), returning the number of dirty entries handed to
-    /// the repair (pre-deduplication). Every query path calls this first.
+    /// the repair (distinct slots — the list deduplicates on entry). Every
+    /// query path calls this first.
     ///
     /// The pool index is repaired from the dirty list *before* the
     /// popularity repair drains it; both end up exactly where a
@@ -163,9 +181,23 @@ impl CorpusCache {
             if self.maintain_pool {
                 self.pool.repair(&self.stats, &self.dirty);
             }
+            // Restore the mask before the popularity repair drains the
+            // list (`O(d)` — exactly the entries set since last time).
+            for &slot in &self.dirty {
+                self.dirty_mask[slot] = false;
+            }
             self.popularity.repair(&self.stats, &mut self.dirty);
         }
         handed
+    }
+
+    /// Test-only back door: mutable stats access that bypasses the dirty
+    /// list. Exists solely so drift-tripwire tests can prove that a
+    /// producer mutating stats *without* marking the slot dirty is caught
+    /// by the repair assertions instead of silently served.
+    #[cfg(test)]
+    pub(crate) fn stats_mut_unmarked(&mut self) -> &mut [PageStats] {
+        &mut self.stats
     }
 }
 
@@ -257,6 +289,31 @@ mod tests {
         assert_eq!(cache.order(), fresh.order(), "the order is still exact");
         cache.rebuild(&docs);
         assert!(cache.pool().is_empty());
+    }
+
+    #[test]
+    fn deferred_repairs_keep_the_dirty_list_bounded() {
+        // A serving tier repairs a cache only when a query consults it;
+        // a tier serving pure top-k (or pure full-rerank) traffic defers
+        // the other tier's repair indefinitely while mutations keep
+        // arriving. The dirty list must therefore deduplicate on entry:
+        // re-patching the same slots ten thousand times may not grow it.
+        let docs = documents();
+        let mut cache = CorpusCache::new();
+        for d in &docs {
+            cache.push(d);
+        }
+        cache.repair();
+        for _ in 0..10_000 {
+            cache.patch(0, &docs[0]);
+            cache.patch(7, &docs[7]);
+        }
+        assert_eq!(cache.dirty_len(), 2, "the backlog is bounded by n");
+        assert_eq!(cache.repair(), 2);
+        assert_matches_rebuild(&cache, &docs);
+        // The mask restores with the repair: slots can go dirty again.
+        cache.patch(0, &docs[0]);
+        assert_eq!(cache.dirty_len(), 1);
     }
 
     #[test]

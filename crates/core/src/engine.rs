@@ -246,6 +246,55 @@ impl RankPromotionEngine {
         self.rerank_pooled_slots_into(cache.view(), context, buffers, out);
     }
 
+    /// The top-`k` prefix of the full rerank computed from **merged shard
+    /// candidates** — the distributed serving path: per query each shard
+    /// contributes only its pool members and a popularity-order prefix
+    /// (collected off a [`ShardedCorpusCache`](crate::ShardedCorpusCache)),
+    /// the deterministic merge reassembles the global pool and order
+    /// prefix, and this call ranks against that view alone. No corpus-wide
+    /// snapshot, order, or pool is consulted, yet the output (global
+    /// slots) is bit-identical to the length-`k` prefix of
+    /// [`rerank_cached_slots_into`](Self::rerank_cached_slots_into).
+    ///
+    /// # Panics
+    /// Panics for Uniform-rule engines (their per-page coins require the
+    /// whole corpus); gate on [`reads_pool_index`](Self::reads_pool_index).
+    pub fn rerank_top_k_candidates_into(
+        &self,
+        candidates: &rrp_ranking::MergedCandidates,
+        k: usize,
+        context: QueryContext,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        let policy = RandomizedRankPromotion::new(self.config);
+        let mut rng = new_rng(context.seed(self.seed));
+        policy.rank_top_k_candidates_into(candidates, k, &mut rng, buffers, out);
+    }
+
+    /// The primitive under
+    /// [`rerank_top_k_candidates_into`](Self::rerank_top_k_candidates_into)
+    /// for serving tiers whose pool half is *maintained* rather than
+    /// re-merged per query (a
+    /// [`ShardedCorpusCache`](crate::ShardedCorpusCache)'s
+    /// [`pool_slots`](crate::ShardedCorpusCache::pool_slots)): `pool` is
+    /// the global pool in pre-shuffle (ascending-slot) order, `rest` the
+    /// first `min(k, available)` non-pool slots of the global popularity
+    /// order. Same panics and the same RNG stream as the candidate form.
+    pub fn rerank_top_k_retrieved_into(
+        &self,
+        pool: &[usize],
+        rest: &[usize],
+        k: usize,
+        context: QueryContext,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        let policy = RandomizedRankPromotion::new(self.config);
+        let mut rng = new_rng(context.seed(self.seed));
+        policy.rank_top_k_retrieved_into(pool, rest, k, &mut rng, buffers, out);
+    }
+
     /// [`rerank_top_k_pooled_slots_into`](Self::rerank_top_k_pooled_slots_into)
     /// read straight off a repaired [`CorpusCache`].
     pub fn rerank_top_k_cached_slots_into(

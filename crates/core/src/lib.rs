@@ -54,11 +54,13 @@ pub mod cache;
 pub mod document;
 pub mod engine;
 pub mod prelude;
+pub mod shardcache;
 
 pub use advisor::{Advice, CandidateOutcome, ParameterAdvisor};
 pub use cache::CorpusCache;
 pub use document::{Document, QueryContext};
 pub use engine::{RankPromotionEngine, RerankScratch};
+pub use shardcache::ShardedCorpusCache;
 
 // Re-export the supporting crates under stable module names so downstream
 // users need a single dependency.

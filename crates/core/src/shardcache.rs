@@ -1,0 +1,391 @@
+//! Per-shard ranking caches with shard-local dirty lists — the storage
+//! side of shard-local top-k candidate retrieval.
+//!
+//! Where [`CorpusCache`] keeps one corpus-wide snapshot current,
+//! [`ShardedCorpusCache`] keeps one `CorpusCache` **per shard**, each over
+//! that shard's documents under dense *shard-local* slots, with a
+//! shard-local dirty list repaired independently. A top-`k` query then
+//! never touches corpus-wide ranking state: each shard contributes a
+//! [`ShardCandidates`] rest prefix (its first `c` non-pool
+//! popularity-order entries, slots relabeled to the documents' global
+//! slots),
+//! [`merge_shard_candidates_into`](rrp_ranking::merge_shard_candidates_into)
+//! reassembles exactly the global order prefix the promotion merge
+//! consumes, and the **merged global pool** — which moves only when a
+//! mutation flips a slot's membership, never with the query — is
+//! maintained here across queries ([`pool_slots`](Self::pool_slots)),
+//! re-merged from the shard pools at repair time exactly as
+//! `merge_shard_candidates_into` would merge per-query pool candidates.
+//!
+//! The local↔global mapping rides on two invariants the owner must keep
+//! (both debug-asserted):
+//!
+//! * global slots are dense across the whole cache (`0..len`, each pushed
+//!   exactly once) — they are the store's global sequence numbers; and
+//! * within a shard, global slots ascend with local slots (inserts are
+//!   globally ordered), which is what makes a shard-local popularity
+//!   order agree with the global order's slot tie-break after relabeling.
+
+use crate::cache::CorpusCache;
+use crate::document::Document;
+use rrp_model::PageId;
+use rrp_ranking::ShardCandidates;
+
+/// One shard's slice of the corpus: its cache under dense local slots plus
+/// the local→global slot map.
+#[derive(Debug, Default)]
+struct ShardCache {
+    cache: CorpusCache,
+    /// Local slot → global slot, strictly increasing.
+    globals: Vec<usize>,
+}
+
+/// Per-shard [`CorpusCache`]s repaired from shard-local dirty lists, with
+/// `O(1)` global-slot addressing for mutations and a maintained merge of
+/// the shard pools.
+#[derive(Debug)]
+pub struct ShardedCorpusCache {
+    shards: Vec<ShardCache>,
+    /// Global slot → (shard, local slot).
+    placement: Vec<(u32, u32)>,
+    /// The merged global pool under global slots, ascending — the
+    /// pre-shuffle pool order every top-k query shuffles. Maintained at
+    /// repair time (membership only moves when a mutation dirties a
+    /// slot), so queries between repairs reuse it instead of re-merging
+    /// `O(pool)` state each.
+    merged_pool: Vec<usize>,
+    /// Scratch: per-shard cursors for the repair-time pool merge.
+    merge_heads: Vec<usize>,
+}
+
+impl ShardedCorpusCache {
+    /// An empty cache over `shard_count` shards (at least 1).
+    pub fn new(shard_count: usize) -> Self {
+        let mut shards = Vec::new();
+        shards.resize_with(shard_count.max(1), ShardCache::default);
+        ShardedCorpusCache {
+            shards,
+            placement: Vec::new(),
+            merged_pool: Vec::new(),
+            merge_heads: Vec::new(),
+        }
+    }
+
+    /// Enable or disable pool maintenance on every shard cache (see
+    /// [`CorpusCache::set_pool_maintained`]); candidate retrieval requires
+    /// it on.
+    pub fn set_pool_maintained(&mut self, maintained: bool) {
+        for shard in &mut self.shards {
+            shard.cache.set_pool_maintained(maintained);
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of cached documents.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// Whether the cache holds no documents.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.placement.is_empty()
+    }
+
+    /// Dirty entries awaiting repair, summed over the shard-local lists.
+    pub fn dirty_len(&self) -> usize {
+        self.shards.iter().map(|s| s.cache.dirty_len()).sum()
+    }
+
+    /// Append the document occupying the next global slot to `shard`
+    /// (`O(1)`). Global slots are assigned densely in push order — they
+    /// are the store's global sequence numbers — so within a shard they
+    /// ascend with local slots.
+    pub fn push(&mut self, shard: usize, document: &Document) {
+        debug_assert!(shard < self.shards.len());
+        let global_slot = self.placement.len();
+        let local = self.shards[shard].globals.len();
+        self.placement.push((shard as u32, local as u32));
+        self.shards[shard].globals.push(global_slot);
+        self.shards[shard].cache.push(document);
+    }
+
+    /// Patch the cached stats of the document at `global_slot` after a
+    /// mutation, marking exactly its shard-local slot dirty (`O(1)`).
+    pub fn patch(&mut self, global_slot: usize, document: &Document) {
+        let (shard, local) = self.placement[global_slot];
+        self.shards[shard as usize]
+            .cache
+            .patch(local as usize, document);
+    }
+
+    /// Repair every shard cache that has dirty slots and re-merge the
+    /// global pool, returning the total number of dirty entries handed to
+    /// the repairs (distinct slots per shard). Shards with a clean dirty list
+    /// skip their index repairs; the pool re-merge runs whenever anything
+    /// was dirty (`O(pool)` — the same class as one shard-pool repair,
+    /// and amortised over every query until the next mutation).
+    pub fn repair(&mut self) -> u64 {
+        let handed: u64 = self.shards.iter_mut().map(|s| s.cache.repair()).sum();
+        if handed > 0 {
+            self.merge_pools();
+        }
+        handed
+    }
+
+    /// The merged global pool: every shard's pool members under global
+    /// slots, ascending — identical in content and order to a corpus-wide
+    /// [`PoolIndex::members`](rrp_ranking::PoolIndex::members), kept
+    /// current by [`repair`](Self::repair).
+    #[inline]
+    pub fn pool_slots(&self) -> &[usize] {
+        &self.merged_pool
+    }
+
+    /// The [`PageId`] of the document at `global_slot`, resolved through
+    /// its owning shard's cache (`O(1)`) — how a top-k answer's ranked
+    /// slots become ids without consulting any corpus-wide snapshot.
+    #[inline]
+    pub fn page_of(&self, global_slot: usize) -> PageId {
+        let (shard, local) = self.placement[global_slot];
+        self.shards[shard as usize].cache.stats()[local as usize].page
+    }
+
+    /// Re-merge the shard pools into the maintained global pool — the
+    /// *same* ascending-slot k-way merge the per-query candidate path
+    /// runs ([`merge_ascending_slots_into`](rrp_ranking::merge_ascending_slots_into)),
+    /// executed once per repair instead of once per query.
+    fn merge_pools(&mut self) {
+        let shards = &self.shards;
+        rrp_ranking::merge_ascending_slots_into(
+            shards.len(),
+            |s| shards[s].cache.pool().len(),
+            |s, i| shards[s].globals[shards[s].cache.pool().members()[i]],
+            &mut self.merge_heads,
+            &mut self.merged_pool,
+        );
+    }
+
+    /// Collect every shard's per-query top-`k` rest candidates into `out`
+    /// (resized to the shard count; inner storage reused): the first
+    /// `limit` non-pool entries of each shard's popularity order, slots
+    /// rewritten to global slots — `O(limit)` per shard past any pool
+    /// members sitting above the cut. The pool half comes from
+    /// [`pool_slots`](Self::pool_slots). Requires maintained pools and a
+    /// preceding [`repair`](Self::repair).
+    pub fn collect_rest_candidates(&self, limit: usize, out: &mut Vec<ShardCandidates>) {
+        out.resize_with(self.shards.len(), ShardCandidates::new);
+        for (shard, candidates) in self.shards.iter().zip(out.iter_mut()) {
+            candidates.collect_rest(shard.cache.view(), limit, &shard.globals);
+        }
+    }
+
+    /// [`collect_rest_candidates`](Self::collect_rest_candidates) with the
+    /// pool halves included — the self-contained per-query form the merge
+    /// goldens pin; serving tiers use the rest-only form plus the
+    /// maintained [`pool_slots`](Self::pool_slots) instead.
+    pub fn collect_candidates(&self, limit: usize, out: &mut Vec<ShardCandidates>) {
+        out.resize_with(self.shards.len(), ShardCandidates::new);
+        for (shard, candidates) in self.shards.iter().zip(out.iter_mut()) {
+            candidates.collect(shard.cache.view(), limit, &shard.globals);
+        }
+    }
+
+    /// Discard everything and start over with the same shard count and
+    /// pool-maintenance setting — the first half of a rebuild; the owner
+    /// then replays every document through [`push`](Self::push) in global
+    /// order and calls [`repair`](Self::repair).
+    pub fn clear(&mut self) {
+        let maintained = self
+            .shards
+            .first()
+            .is_some_and(|s| s.cache.pool_maintained());
+        for shard in self.shards.iter_mut() {
+            *shard = ShardCache::default();
+            shard.cache.set_pool_maintained(maintained);
+        }
+        self.placement.clear();
+        self.merged_pool.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrp_ranking::{merge_shard_candidates_into, MergedCandidates, PoolIndex, PopularityIndex};
+
+    fn documents(n: u64) -> Vec<Document> {
+        (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Document::unexplored(i)
+                } else {
+                    Document::established(i, 1.0 - (i % 11) as f64 * 0.05).with_age(i % 6)
+                }
+            })
+            .collect()
+    }
+
+    /// Route like a store would: any deterministic id hash works, the
+    /// invariants only need per-shard ascending global slots.
+    fn shard_of(id: u64, shards: usize) -> usize {
+        (id as usize * 7 + 1) % shards
+    }
+
+    fn filled(docs: &[Document], shards: usize) -> ShardedCorpusCache {
+        let mut cache = ShardedCorpusCache::new(shards);
+        for doc in docs {
+            cache.push(shard_of(doc.id, shards), doc);
+        }
+        cache
+    }
+
+    /// The corpus-wide reference: global stats, order, and pool.
+    fn global_reference(docs: &[Document]) -> (PopularityIndex, PoolIndex) {
+        let mut stats = Vec::new();
+        crate::engine::RankPromotionEngine::document_stats(docs, &mut stats);
+        (PopularityIndex::build(&stats), PoolIndex::build(&stats))
+    }
+
+    fn expected_rest(order: &PopularityIndex, pool: &PoolIndex, limit: usize) -> Vec<usize> {
+        order
+            .order()
+            .iter()
+            .copied()
+            .filter(|&s| !pool.contains(s))
+            .take(limit)
+            .collect()
+    }
+
+    #[test]
+    fn merged_candidates_equal_the_corpus_wide_derivation() {
+        let docs = documents(60);
+        let (order, pool) = global_reference(&docs);
+        for shards in [1usize, 2, 3, 8] {
+            let mut cache = filled(&docs, shards);
+            assert_eq!(cache.len(), 60);
+            assert_eq!(cache.shard_count(), shards);
+            cache.repair();
+
+            // The maintained merged pool is the corpus-wide pool.
+            assert_eq!(cache.pool_slots(), pool.members(), "{shards} shards");
+
+            // And the self-contained per-query collection merges to the
+            // same pool plus the corpus-wide non-pool prefix.
+            let mut candidates = Vec::new();
+            cache.collect_candidates(7, &mut candidates);
+            let mut merged = MergedCandidates::new();
+            merge_shard_candidates_into(&candidates, 7, &mut merged);
+            assert_eq!(merged.pool(), pool.members(), "{shards} shards");
+            let rest_slots: Vec<usize> = merged.rest().iter().map(|p| p.slot).collect();
+            assert_eq!(
+                rest_slots,
+                expected_rest(&order, &pool, 7),
+                "{shards} shards"
+            );
+
+            // The rest-only serving collection yields the same prefix.
+            cache.collect_rest_candidates(7, &mut candidates);
+            merge_shard_candidates_into(&candidates, 7, &mut merged);
+            assert!(merged.pool().is_empty());
+            let rest_slots: Vec<usize> = merged.rest().iter().map(|p| p.slot).collect();
+            assert_eq!(
+                rest_slots,
+                expected_rest(&order, &pool, 7),
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn patches_flow_through_the_shard_local_dirty_lists() {
+        let mut docs = documents(40);
+        let mut cache = filled(&docs, 4);
+        cache.repair();
+        assert_eq!(cache.dirty_len(), 0);
+
+        docs[0].is_unexplored = false; // slot 0 leaves the pool
+        cache.patch(0, &docs[0]);
+        docs[7].popularity = 3.0; // slot 7 moves to the top of the order
+        cache.patch(7, &docs[7]);
+        docs.push(Document::unexplored(99)); // slot 40 joins the pool
+        cache.push(shard_of(99, 4), docs.last().unwrap());
+        assert_eq!(cache.dirty_len(), 3);
+        assert_eq!(cache.repair(), 3);
+
+        let (order, pool) = global_reference(&docs);
+        assert_eq!(cache.pool_slots(), pool.members());
+        assert!(!cache.pool_slots().contains(&0));
+        assert!(cache.pool_slots().contains(&40));
+        let mut candidates = Vec::new();
+        cache.collect_rest_candidates(5, &mut candidates);
+        let mut merged = MergedCandidates::new();
+        merge_shard_candidates_into(&candidates, 5, &mut merged);
+        let rest_slots: Vec<usize> = merged.rest().iter().map(|p| p.slot).collect();
+        assert_eq!(rest_slots[0], 7, "the boosted slot leads the order");
+        assert_eq!(rest_slots, expected_rest(&order, &pool, 5));
+    }
+
+    #[test]
+    fn page_of_resolves_ids_through_the_owning_shard() {
+        let docs = documents(25);
+        let mut cache = filled(&docs, 3);
+        cache.repair();
+        for (slot, doc) in docs.iter().enumerate() {
+            assert_eq!(cache.page_of(slot), PageId::new(doc.id));
+        }
+    }
+
+    #[test]
+    fn clear_keeps_shape_and_pool_setting_for_a_replay() {
+        let docs = documents(20);
+        let mut cache = filled(&docs, 3);
+        cache.set_pool_maintained(false);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.shard_count(), 3);
+        assert!(cache.pool_slots().is_empty());
+        for doc in &docs {
+            cache.push(shard_of(doc.id, 3), doc);
+        }
+        cache.repair();
+        assert_eq!(cache.len(), docs.len());
+        // Pool maintenance stayed off across the clear (candidate
+        // retrieval is gated on it, so the setting must survive a replay).
+        assert!(cache.shards.iter().all(|s| !s.cache.pool_maintained()));
+    }
+
+    /// The PR 4 `is_unexplored` tripwire, at the shard tier: mutating a
+    /// document's awareness *without* routing the mutation through
+    /// [`ShardedCorpusCache::patch`] leaves that shard's pool index stale,
+    /// and the membership debug assertion inside the next shard-local
+    /// repair catches it instead of silently serving a drifted pool.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "is_consistent")]
+    fn unmarked_shard_local_mutation_trips_the_membership_assertion() {
+        let mut docs = documents(12);
+        let mut cache = filled(&docs, 3);
+        cache.repair();
+
+        // Visit the unexplored slot 0 behind the cache's back (no dirty
+        // mark), then dirty the *same shard* through a legitimate patch:
+        // slots 0 and 3 both route to shard `shard_of(0, 3)`, so the next
+        // repair runs on the drifted shard and its membership assertion
+        // fires.
+        assert_eq!(shard_of(0, 3), shard_of(3, 3));
+        docs[0].is_unexplored = false;
+        let (shard, local) = cache.placement[0];
+        let stat = crate::engine::RankPromotionEngine::document_stat(local as usize, &docs[0]);
+        cache.shards[shard as usize].cache.stats_mut_unmarked()[local as usize] = stat;
+        docs[3].popularity = 0.9;
+        cache.patch(3, &docs[3]);
+        cache.repair();
+    }
+}

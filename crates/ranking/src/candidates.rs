@@ -1,0 +1,398 @@
+//! Shard-local top-k candidate retrieval and the deterministic global
+//! merge.
+//!
+//! A sharded serving tier that answers a top-`k` query against one
+//! corpus-wide cache touches `O(n)` state per deployment even though the
+//! selective promotion rule only ever reads the promotion pool plus a
+//! rank-ordered prefix of the popularity order. This module brings
+//! retrieval down to the shards: each shard produces a [`ShardCandidates`]
+//! set — its pool members plus its first `c` *non-pool* entries in
+//! popularity order (`c` from
+//! [`PromotionConfig::candidate_prefix_len`](crate::PromotionConfig::candidate_prefix_len))
+//! — and [`merge_shard_candidates_into`] reassembles the global structures
+//! the pooled ranking path consumes:
+//!
+//! * the **global pool** in ascending global-slot order — exactly the
+//!   scan's pre-shuffle order, so the per-query shuffle consumes the
+//!   identical RNG stream as a corpus-wide
+//!   [`PoolIndex`](crate::PoolIndex); and
+//! * the first `c` **non-pool entries of the global popularity order** —
+//!   exactly the deterministic remainder `L_d` the top-`k` merge may
+//!   consume.
+//!
+//! The two halves have different lifetimes, and the split is what keeps
+//! the per-query path cheap: the *rest* prefix depends on `k` and must be
+//! retrieved per query (it is `O(k)` per shard), while the *pool* half is
+//! query-independent — membership moves only when a mutation flips a
+//! slot — so a serving tier merges it once per repair and reuses it
+//! across every query in between (see
+//! [`ShardCandidates::collect_rest`]). Only the rest entries carry
+//! [`PageStats`] copies (the merge needs their sort keys); pool
+//! candidates are bare global slots, so the pool half of a merge is a
+//! cursor walk over `usize` streams.
+//!
+//! Why the k-way rest merge is *exact* (equal to a derivation from the
+//! global order) even though every shard stream is truncated: each
+//! shard's rest prefix is a true prefix of that shard's non-pool order,
+//! and shard orders agree with the global order restricted to the shard
+//! (the comparator is total and its slot tie-break is relabeled to global
+//! slots, which ascend with shard-local slots). A stream can only run dry
+//! in two ways: either the shard had fewer than `c` non-pool entries —
+//! then *all* of them have been merged and nothing of that shard is
+//! missing — or it contributed all `c` of its entries, at which point at
+//! least `c` entries have been emitted in total and the merge has already
+//! stopped. Either way no unseen element could have preceded an emitted
+//! one.
+
+use crate::poolindex::PoolView;
+use crate::stats::{popularity_order, PageStats};
+
+/// One shard's candidate set: everything the top-`k` promotion merge
+/// could possibly read from this shard.
+#[derive(Debug, Clone, Default)]
+pub struct ShardCandidates {
+    /// The shard's promotion-pool members as global slots, ascending.
+    pool: Vec<usize>,
+    /// The shard's first `limit` non-pool entries in popularity order,
+    /// with `slot` rewritten to the global slot.
+    rest: Vec<PageStats>,
+}
+
+impl ShardCandidates {
+    /// An empty candidate set; buffers grow on first use and are reused.
+    pub fn new() -> Self {
+        ShardCandidates::default()
+    }
+
+    /// The shard's pool members, ascending by global slot.
+    #[inline]
+    pub fn pool(&self) -> &[usize] {
+        &self.pool
+    }
+
+    /// The shard's non-pool popularity-order prefix.
+    #[inline]
+    pub fn rest(&self) -> &[PageStats] {
+        &self.rest
+    }
+
+    /// Fill this set from a shard's maintained [`PoolView`]: copy the pool
+    /// members (ascending local slot) and filter the shard's popularity
+    /// order through the pool mask, stopping after `limit` non-pool
+    /// matches — `O(pool + limit)`, no per-corpus work. Each entry is
+    /// relabeled through `global_slots` (local slot → global slot), which
+    /// must be strictly increasing so that shard-local order agrees with
+    /// the global order's slot tie-break.
+    pub fn collect(&mut self, view: PoolView<'_>, limit: usize, global_slots: &[usize]) {
+        self.collect_rest(view, limit, global_slots);
+        self.pool
+            .extend(view.pool.members().iter().map(|&local| global_slots[local]));
+    }
+
+    /// [`collect`](Self::collect) without the pool half — the steady-state
+    /// serving path: pool membership changes only on mutation, so its
+    /// owner merges the pools once per repair
+    /// ([`ShardedCorpusCache`](../../rrp_core/struct.ShardedCorpusCache.html)
+    /// keeps the result) and per query only the `O(limit)` rest prefix is
+    /// retrieved. Leaves `pool` empty.
+    pub fn collect_rest(&mut self, view: PoolView<'_>, limit: usize, global_slots: &[usize]) {
+        self.pool.clear();
+        debug_assert_eq!(global_slots.len(), view.pages.len());
+        debug_assert!(global_slots.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(
+            view.pool.is_consistent(view.pages),
+            "candidate retrieval requires a maintained pool index"
+        );
+        self.rest.clear();
+        self.rest.extend(
+            view.sorted
+                .iter()
+                .filter(|&&local| !view.pool.contains(local))
+                .take(limit)
+                .map(|&local| {
+                    let mut stat = view.pages[local];
+                    stat.slot = global_slots[local];
+                    stat
+                }),
+        );
+    }
+}
+
+/// The merged global candidate view a top-`k` query ranks against: the
+/// global pool in pre-shuffle order plus the global non-pool popularity
+/// prefix. Produced by [`merge_shard_candidates_into`].
+#[derive(Debug, Clone, Default)]
+pub struct MergedCandidates {
+    /// Global pool members, ascending by global slot.
+    pool: Vec<usize>,
+    /// First `limit` non-pool entries of the global popularity order.
+    rest: Vec<PageStats>,
+    /// Scratch: per-shard stream cursors during a merge (kept here so the
+    /// per-query merge is allocation-free after warm-up).
+    heads: Vec<usize>,
+}
+
+impl MergedCandidates {
+    /// An empty merged view; buffers grow on first use and are reused.
+    pub fn new() -> Self {
+        MergedCandidates::default()
+    }
+
+    /// The global pool, ascending by slot — identical in content and
+    /// order to a corpus-wide
+    /// [`PoolIndex::members`](crate::PoolIndex::members).
+    #[inline]
+    pub fn pool(&self) -> &[usize] {
+        &self.pool
+    }
+
+    /// The first `limit` non-pool entries of the global popularity order —
+    /// the deterministic remainder `L_d`, already truncated to what a
+    /// top-`limit` merge can consume.
+    #[inline]
+    pub fn rest(&self) -> &[PageStats] {
+        &self.rest
+    }
+}
+
+/// K-way merge of disjoint ascending global-slot streams into `out`
+/// (cleared first) — the pool half of the candidate merge, factored out
+/// so the repair-time maintained pool merge (a
+/// `ShardedCorpusCache`'s) runs the *same* procedure as the per-query
+/// candidate form and the two can never diverge. `stream_len(s)` and
+/// `slot_at(s, i)` describe stream `s`; `heads` is caller scratch
+/// (cursor per stream, reused across calls).
+pub fn merge_ascending_slots_into(
+    streams: usize,
+    stream_len: impl Fn(usize) -> usize,
+    slot_at: impl Fn(usize, usize) -> usize,
+    heads: &mut Vec<usize>,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    heads.clear();
+    heads.resize(streams, 0);
+    loop {
+        let mut best: Option<(usize, usize)> = None;
+        for (stream, &head) in heads.iter().enumerate() {
+            if head < stream_len(stream) {
+                let slot = slot_at(stream, head);
+                if best.is_none_or(|(_, b)| slot < b) {
+                    best = Some((stream, slot));
+                }
+            }
+        }
+        let Some((stream, slot)) = best else { break };
+        out.push(slot);
+        heads[stream] += 1;
+    }
+    debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
+}
+
+/// Deterministically k-way merge per-shard candidate sets into the global
+/// candidate view, writing into `merged` (cleared first; storage reused):
+///
+/// * `merged.pool` — all shard pools merged by ascending slot: exactly
+///   the global pool in the scan's pre-shuffle order (empty when the
+///   candidates were collected rest-only);
+/// * `merged.rest` — shard rest prefixes merged by
+///   [`popularity_order`], stopping after `limit` entries: exactly the
+///   first `limit` non-pool entries of the global popularity order
+///   (see the module docs for why truncated shard streams cannot lose an
+///   element).
+///
+/// Shard candidate sets must be disjoint in global slots (they come from a
+/// partition of the corpus) and each collected with a `limit` of at least
+/// this call's `limit`.
+pub fn merge_shard_candidates_into(
+    shards: &[ShardCandidates],
+    limit: usize,
+    merged: &mut MergedCandidates,
+) {
+    let MergedCandidates { pool, rest, heads } = merged;
+    rest.clear();
+
+    // Shard counts are deployment-sized (a handful to a few dozen), so a
+    // linear scan over the stream heads beats a binary heap's bookkeeping.
+    merge_ascending_slots_into(
+        shards.len(),
+        |s| shards[s].pool.len(),
+        |s, i| shards[s].pool[i],
+        heads,
+        pool,
+    );
+
+    heads.clear();
+    heads.resize(shards.len(), 0);
+    while rest.len() < limit {
+        let mut best: Option<usize> = None;
+        for (shard, candidates) in shards.iter().enumerate() {
+            if let Some(head) = candidates.rest.get(heads[shard]) {
+                if best.is_none_or(|b| popularity_order(head, &shards[b].rest[heads[b]]).is_lt()) {
+                    best = Some(shard);
+                }
+            }
+        }
+        let Some(shard) = best else { break };
+        rest.push(shards[shard].rest[heads[shard]]);
+        heads[shard] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poolindex::PoolIndex;
+    use crate::popindex::PopularityIndex;
+    use rrp_model::PageId;
+
+    /// A corpus where every third slot is unexplored and popularity ties
+    /// (including across the pool/non-pool boundary) exercise the age and
+    /// slot tie-breaks.
+    fn corpus(n: usize) -> Vec<PageStats> {
+        (0..n)
+            .map(|slot| {
+                let unexplored = slot % 3 == 0;
+                let (pop, aw) = if unexplored {
+                    (((slot % 5) as f64) * 0.1, 0.0)
+                } else {
+                    (1.0 - ((slot % 7) as f64) * 0.1, 0.6)
+                };
+                PageStats::new(slot, PageId::new(slot as u64), pop, aw).with_age((slot % 4) as u64)
+            })
+            .collect()
+    }
+
+    /// Partition `stats` into `shards` shard-local corpora (dense local
+    /// slots) by a deterministic routing, returning per-shard stats and
+    /// the local→global slot maps.
+    fn partition(stats: &[PageStats], shards: usize) -> Vec<(Vec<PageStats>, Vec<usize>)> {
+        let mut out: Vec<(Vec<PageStats>, Vec<usize>)> = vec![Default::default(); shards];
+        for stat in stats {
+            let shard = (stat.slot * 7 + 3) % shards;
+            let (locals, globals) = &mut out[shard];
+            let mut local = *stat;
+            local.slot = locals.len();
+            locals.push(local);
+            globals.push(stat.slot);
+        }
+        out
+    }
+
+    fn collect_all(stats: &[PageStats], shards: usize, limit: usize) -> Vec<ShardCandidates> {
+        partition(stats, shards)
+            .iter()
+            .map(|(locals, globals)| {
+                let order = PopularityIndex::build(locals);
+                let pool = PoolIndex::build(locals);
+                let mut candidates = ShardCandidates::new();
+                candidates.collect(PoolView::new(locals, order.order(), &pool), limit, globals);
+                candidates
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merged_pool_equals_the_global_pool_index() {
+        let stats = corpus(40);
+        let global_pool = PoolIndex::build(&stats);
+        for shards in [1usize, 2, 3, 8] {
+            let candidates = collect_all(&stats, shards, 5);
+            let mut merged = MergedCandidates::new();
+            merge_shard_candidates_into(&candidates, 5, &mut merged);
+            assert_eq!(merged.pool(), global_pool.members(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn merged_rest_equals_the_global_non_pool_prefix() {
+        let stats = corpus(40);
+        let order = PopularityIndex::build(&stats);
+        let pool = PoolIndex::build(&stats);
+        for limit in [0usize, 1, 4, 11, 100] {
+            let expected: Vec<usize> = order
+                .order()
+                .iter()
+                .copied()
+                .filter(|&s| !pool.contains(s))
+                .take(limit)
+                .collect();
+            for shards in [1usize, 2, 3, 8] {
+                let candidates = collect_all(&stats, shards, limit);
+                let mut merged = MergedCandidates::new();
+                merge_shard_candidates_into(&candidates, limit, &mut merged);
+                let slots: Vec<usize> = merged.rest().iter().map(|p| p.slot).collect();
+                assert_eq!(slots, expected, "{shards} shards, limit {limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn rest_only_collection_matches_the_full_collection_rest() {
+        let stats = corpus(36);
+        for shards in [1usize, 3] {
+            let full = collect_all(&stats, shards, 6);
+            let rest_only: Vec<ShardCandidates> = partition(&stats, shards)
+                .iter()
+                .map(|(locals, globals)| {
+                    let order = PopularityIndex::build(locals);
+                    let pool = PoolIndex::build(locals);
+                    let mut candidates = ShardCandidates::new();
+                    candidates.collect_rest(
+                        PoolView::new(locals, order.order(), &pool),
+                        6,
+                        globals,
+                    );
+                    candidates
+                })
+                .collect();
+            for (a, b) in full.iter().zip(&rest_only) {
+                assert_eq!(a.rest(), b.rest(), "{shards} shards");
+                assert!(b.pool().is_empty(), "rest-only collection skips the pool");
+            }
+        }
+    }
+
+    #[test]
+    fn high_popularity_pool_members_never_crowd_out_the_rest_prefix() {
+        // Pool members can outrank every established page (an unexplored
+        // document may carry any popularity score), yet the rest prefix
+        // must still deliver `limit` established entries: the collect
+        // filter skips pool members instead of truncating around them.
+        let mut stats = corpus(30);
+        for stat in stats.iter_mut() {
+            if stat.is_unexplored() {
+                stat.popularity = 9.0;
+            }
+        }
+        let order = PopularityIndex::build(&stats);
+        let pool = PoolIndex::build(&stats);
+        let expected: Vec<usize> = order
+            .order()
+            .iter()
+            .copied()
+            .filter(|&s| !pool.contains(s))
+            .take(6)
+            .collect();
+        assert_eq!(expected.len(), 6);
+        for shards in [2usize, 5] {
+            let candidates = collect_all(&stats, shards, 6);
+            let mut merged = MergedCandidates::new();
+            merge_shard_candidates_into(&candidates, 6, &mut merged);
+            let slots: Vec<usize> = merged.rest().iter().map(|p| p.slot).collect();
+            assert_eq!(slots, expected, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn empty_shards_and_empty_sets_merge_to_empty() {
+        let mut merged = MergedCandidates::new();
+        merge_shard_candidates_into(&[], 5, &mut merged);
+        assert!(merged.pool().is_empty());
+        assert!(merged.rest().is_empty());
+        let empties = vec![ShardCandidates::new(); 3];
+        merge_shard_candidates_into(&empties, 5, &mut merged);
+        assert!(merged.pool().is_empty());
+        assert!(merged.rest().is_empty());
+    }
+}

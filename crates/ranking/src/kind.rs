@@ -10,6 +10,7 @@
 //! implementing [`RankingPolicy`] for callers that want the trait.
 
 use crate::buffers::RankBuffers;
+use crate::candidates::MergedCandidates;
 use crate::deterministic::{FullyRandomRanking, PopularityRanking, QualityOracleRanking};
 use crate::policy::RankingPolicy;
 use crate::poolindex::PoolView;
@@ -191,6 +192,52 @@ impl PolicyKind {
             }
             _ => self.rank_top_k_presorted_into(view.pages, view.sorted, k, rng, buffers, out),
         }
+    }
+
+    /// The top-`k` prefix of the full rerank computed from **merged shard
+    /// candidates** ([`MergedCandidates`], built with a limit of at least
+    /// `k`) — the distributed serving path that touches no corpus-wide
+    /// structure, forwarding to
+    /// [`RandomizedRankPromotion::rank_top_k_candidates_into`]. Output is
+    /// bit-identical to the length-`k` prefix of the full rerank.
+    ///
+    /// # Panics
+    /// Panics for every kind whose prefix depends on the whole corpus —
+    /// all but selective promotion: the quality oracle orders by quality,
+    /// the fully-random shuffle permutes all `n` pages, plain popularity
+    /// ranking already has an `O(k)` answer in the maintained order
+    /// itself, and the Uniform promotion rule draws per-page coins. Gate
+    /// on [`supports_candidate_retrieval`](Self::supports_candidate_retrieval).
+    pub fn rank_top_k_candidates_into<R: RngCore + ?Sized>(
+        &self,
+        candidates: &MergedCandidates,
+        k: usize,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        match self {
+            PolicyKind::Promotion(policy) => {
+                policy.rank_top_k_candidates_into(candidates, k, rng, buffers, out)
+            }
+            PolicyKind::Popularity | PolicyKind::QualityOracle | PolicyKind::FullyRandom => {
+                panic!(
+                    "{} does not rank from shard candidates; serve it from the corpus-wide state",
+                    self.name()
+                )
+            }
+        }
+    }
+
+    /// Whether [`rank_top_k_candidates_into`](Self::rank_top_k_candidates_into)
+    /// can answer for this kind — exactly when the policy reads the pool
+    /// index: selective promotion's top-`k` is a pure function of the
+    /// pool and a non-pool popularity-order prefix, which is precisely
+    /// what shard-local retrieval reassembles. Every other kind needs the
+    /// corpus-wide state (or, for plain popularity ranking, already has a
+    /// cheaper `O(k)` answer in the maintained order).
+    pub fn supports_candidate_retrieval(&self) -> bool {
+        self.reads_pool_index()
     }
 
     /// Whether the pooled paths actually read the pool index: only the
@@ -401,6 +448,91 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn candidate_dispatch_matches_the_full_rerank_prefix_where_supported() {
+        use crate::candidates::{merge_shard_candidates_into, MergedCandidates, ShardCandidates};
+        use crate::popindex::PopularityIndex;
+        use crate::PoolIndex;
+
+        let ps = pages();
+        let mut buffers = RankBuffers::new();
+        let mut out = Vec::new();
+        let mut merged = MergedCandidates::new();
+        for shards in [1usize, 2, 4] {
+            let mut locals: Vec<Vec<PageStats>> = vec![Vec::new(); shards];
+            let mut globals: Vec<Vec<usize>> = vec![Vec::new(); shards];
+            for p in &ps {
+                let shard = (p.slot * 11 + 2) % shards;
+                let mut local = *p;
+                local.slot = locals[shard].len();
+                locals[shard].push(local);
+                globals[shard].push(p.slot);
+            }
+            for kind in all_kinds()
+                .into_iter()
+                .filter(PolicyKind::supports_candidate_retrieval)
+            {
+                for k in [0usize, 1, 2, 5, 10, 30, 64] {
+                    let candidates: Vec<ShardCandidates> = (0..shards)
+                        .map(|s| {
+                            let order = PopularityIndex::build(&locals[s]);
+                            let pool = PoolIndex::build(&locals[s]);
+                            let mut c = ShardCandidates::new();
+                            c.collect(
+                                PoolView::new(&locals[s], order.order(), &pool),
+                                k,
+                                &globals[s],
+                            );
+                            c
+                        })
+                        .collect();
+                    merge_shard_candidates_into(&candidates, k, &mut merged);
+                    for seed in 0..5 {
+                        let full = kind.rank(&ps, &mut new_rng(seed));
+                        kind.rank_top_k_candidates_into(
+                            &merged,
+                            k,
+                            &mut new_rng(seed),
+                            &mut buffers,
+                            &mut out,
+                        );
+                        assert_eq!(
+                            out,
+                            full[..k.min(full.len())],
+                            "{} with {shards} shards, k={k}, seed={seed}",
+                            kind.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_retrieval_support_matches_what_each_kind_reads() {
+        assert!(PolicyKind::recommended(2).supports_candidate_retrieval());
+        assert!(!PolicyKind::Popularity.supports_candidate_retrieval());
+        assert!(!PolicyKind::QualityOracle.supports_candidate_retrieval());
+        assert!(!PolicyKind::FullyRandom.supports_candidate_retrieval());
+        assert!(!PolicyKind::promotion(
+            PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap()
+        )
+        .supports_candidate_retrieval());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not rank from shard candidates")]
+    fn candidate_dispatch_rejects_whole_corpus_kinds() {
+        use crate::candidates::MergedCandidates;
+        PolicyKind::FullyRandom.rank_top_k_candidates_into(
+            &MergedCandidates::new(),
+            3,
+            &mut new_rng(0),
+            &mut RankBuffers::new(),
+            &mut Vec::new(),
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod buffers;
+pub mod candidates;
 pub mod deterministic;
 pub mod kind;
 pub mod merge;
@@ -43,6 +44,9 @@ pub mod randomized;
 pub mod stats;
 
 pub use buffers::RankBuffers;
+pub use candidates::{
+    merge_ascending_slots_into, merge_shard_candidates_into, MergedCandidates, ShardCandidates,
+};
 pub use deterministic::{FullyRandomRanking, PopularityRanking, QualityOracleRanking};
 pub use kind::PolicyKind;
 pub use merge::{merge_promoted, merge_promoted_into, merge_promoted_top_k_into};

@@ -294,6 +294,88 @@ impl RandomizedRankPromotion {
         );
     }
 
+    /// The top-`k` prefix of the full rerank, computed from **merged shard
+    /// candidates** instead of any corpus-wide structure — the serving
+    /// tier's shard-retrieval path. `candidates` must come from
+    /// [`merge_shard_candidates_into`](crate::merge_shard_candidates_into)
+    /// with a limit of at least
+    /// [`candidate_prefix_len(k)`](PromotionConfig::candidate_prefix_len):
+    /// its pool is then byte-identical (content *and* pre-shuffle order)
+    /// to the global [`PoolIndex`](crate::PoolIndex) members and its rest
+    /// prefix to the first `k` non-pool entries of the global popularity
+    /// order, so the shuffle and every merge coin consume exactly the RNG
+    /// draws of [`rank_top_k_pooled_into`](Self::rank_top_k_pooled_into)
+    /// — the output (global slots) is bit-identical to the length-`k`
+    /// prefix of the full corpus-wide rerank.
+    ///
+    /// # Panics
+    /// Panics for the Uniform rule: its per-page coins are part of the
+    /// observable RNG stream and require a pass over the whole corpus, so
+    /// no candidate set short of "everything" can reproduce them. Callers
+    /// gate on [`PolicyKind::reads_pool_index`](crate::PolicyKind::reads_pool_index)
+    /// (or equivalent) before retrieving candidates.
+    pub fn rank_top_k_candidates_into<R: RngCore + ?Sized>(
+        &self,
+        candidates: &crate::MergedCandidates,
+        k: usize,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        let RankBuffers { rest, .. } = buffers;
+        rest.clear();
+        rest.extend(candidates.rest().iter().take(k).map(|p| p.slot));
+        let rest = std::mem::take(rest);
+        self.rank_top_k_retrieved_into(candidates.pool(), &rest, k, rng, buffers, out);
+        buffers.rest = rest;
+    }
+
+    /// The primitive under
+    /// [`rank_top_k_candidates_into`](Self::rank_top_k_candidates_into):
+    /// rank from an already-assembled global pool (pre-shuffle order,
+    /// i.e. ascending slot) and non-pool order prefix (at least
+    /// `min(k, available)` slots, best rank first). A serving tier whose
+    /// pool half is *maintained* rather than re-merged per query — pool
+    /// membership only moves on mutation — feeds it here directly and
+    /// pays `O(pool)` only for the mandatory copy-and-shuffle. There is
+    /// exactly one copy of this draw sequence, shared by the candidate
+    /// path and the goldens pinning it, so the two can never diverge.
+    ///
+    /// # Panics
+    /// Panics for the Uniform rule: its per-page coins are part of the
+    /// observable RNG stream and require a pass over the whole corpus, so
+    /// no candidate set short of "everything" can reproduce them. Callers
+    /// gate on [`PolicyKind::reads_pool_index`](crate::PolicyKind::reads_pool_index)
+    /// (or equivalent) before retrieving candidates.
+    pub fn rank_top_k_retrieved_into<R: RngCore + ?Sized>(
+        &self,
+        pool: &[usize],
+        rest: &[usize],
+        k: usize,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        assert_eq!(
+            self.config.rule,
+            PromotionRule::Selective,
+            "the Uniform rule draws per-page coins and cannot rank from shard candidates"
+        );
+        let RankBuffers { pool: pool_buf, .. } = buffers;
+        pool_buf.clear();
+        pool_buf.extend_from_slice(pool);
+        pool_buf.shuffle(rng);
+        merge_promoted_top_k_into(
+            &rest[..k.min(rest.len())],
+            pool_buf,
+            self.config.start_rank,
+            self.config.degree,
+            k,
+            rng,
+            out,
+        );
+    }
+
     /// The top-`k` prefix of
     /// [`rank_presorted_into`](Self::rank_presorted_into), emitting only the
     /// first `k` ranks and stopping the coin-flip merge early.
@@ -634,6 +716,93 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn candidate_path_matches_the_pooled_path_across_shard_counts() {
+        use crate::candidates::{merge_shard_candidates_into, MergedCandidates, ShardCandidates};
+        use crate::popindex::PopularityIndex;
+
+        let ps = pages();
+        let mut sorted: Vec<usize> = (0..ps.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| popularity_order(&ps[a], &ps[b]));
+        let pool = PoolIndex::build(&ps);
+        let view = PoolView::new(&ps, &sorted, &pool);
+        let mut buffers = RankBuffers::new();
+        let (mut pooled, mut from_candidates) = (Vec::new(), Vec::new());
+        let mut merged = MergedCandidates::new();
+
+        for shards in [1usize, 2, 3] {
+            // Partition the corpus into shard-local corpora with dense
+            // local slots, exactly as a sharded cache tier would hold it.
+            let mut locals: Vec<Vec<PageStats>> = vec![Vec::new(); shards];
+            let mut globals: Vec<Vec<usize>> = vec![Vec::new(); shards];
+            for p in &ps {
+                let shard = (p.slot * 5 + 1) % shards;
+                let mut local = *p;
+                local.slot = locals[shard].len();
+                locals[shard].push(local);
+                globals[shard].push(p.slot);
+            }
+            for start_rank in [1usize, 2, 4] {
+                let policy = RandomizedRankPromotion::new(
+                    PromotionConfig::new(PromotionRule::Selective, start_rank, 0.4).unwrap(),
+                );
+                for k in [0usize, 1, 3, 5, 10, 50] {
+                    let limit = policy.config().candidate_prefix_len(k);
+                    let candidates: Vec<ShardCandidates> = (0..shards)
+                        .map(|s| {
+                            let order = PopularityIndex::build(&locals[s]);
+                            let shard_pool = PoolIndex::build(&locals[s]);
+                            let mut c = ShardCandidates::new();
+                            c.collect(
+                                PoolView::new(&locals[s], order.order(), &shard_pool),
+                                limit,
+                                &globals[s],
+                            );
+                            c
+                        })
+                        .collect();
+                    merge_shard_candidates_into(&candidates, limit, &mut merged);
+                    for seed in 0..10 {
+                        policy.rank_top_k_pooled_into(
+                            view,
+                            k,
+                            &mut new_rng(seed),
+                            &mut buffers,
+                            &mut pooled,
+                        );
+                        policy.rank_top_k_candidates_into(
+                            &merged,
+                            k,
+                            &mut new_rng(seed),
+                            &mut buffers,
+                            &mut from_candidates,
+                        );
+                        assert_eq!(
+                            from_candidates, pooled,
+                            "{shards} shards, start_rank {start_rank}, k {k}, seed {seed}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "per-page coins")]
+    fn candidate_path_rejects_the_uniform_rule() {
+        use crate::candidates::MergedCandidates;
+        let policy = RandomizedRankPromotion::new(
+            PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap(),
+        );
+        policy.rank_top_k_candidates_into(
+            &MergedCandidates::new(),
+            3,
+            &mut new_rng(0),
+            &mut RankBuffers::new(),
+            &mut Vec::new(),
+        );
     }
 
     #[test]

@@ -332,6 +332,95 @@ proptest! {
         prop_assert_eq!(&pooled, &scan[..k.min(scan.len())].to_vec());
     }
 
+    /// Shard-candidate retrieval is invisible: partitioning an arbitrary
+    /// population into an arbitrary number of shards, collecting each
+    /// shard's candidates off shard-local indexes and running the
+    /// deterministic k-way merge reproduces (a) the corpus-wide pool in
+    /// its exact pre-shuffle order, (b) the corpus-wide non-pool order
+    /// prefix, and (c) a top-k ranking byte-identical to the scanning
+    /// path's prefix — for selective promotion and plain popularity
+    /// ranking alike. A single mis-merged, stale, or re-ordered candidate
+    /// would silently shift the RNG stream, so equality is exact.
+    #[test]
+    fn shard_candidate_merge_matches_the_corpus_wide_derivation(
+        pages in arb_pages(),
+        seed in proptest::num::u64::ANY,
+        shards in 1usize..9,
+        start_rank in 1usize..50,
+        degree in 0.0f64..=1.0,
+        k in 0usize..140,
+        route_salt in 0usize..1000,
+    ) {
+        use rrp_ranking::{merge_shard_candidates_into, MergedCandidates, PopularityIndex, ShardCandidates};
+
+        let config = PromotionConfig::new(PromotionRule::Selective, start_rank, degree).unwrap();
+        let policy = RandomizedRankPromotion::new(config);
+        let mut sorted: Vec<usize> = (0..pages.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| popularity_order(&pages[a], &pages[b]));
+        let pool = PoolIndex::build(&pages);
+
+        // Partition into shard-local corpora with dense local slots under
+        // an arbitrary (but slot-order-preserving) routing.
+        let mut locals: Vec<Vec<PageStats>> = vec![Vec::new(); shards];
+        let mut globals: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for p in &pages {
+            let shard = (p.slot * 31 + route_salt) % shards;
+            let mut local = *p;
+            local.slot = locals[shard].len();
+            locals[shard].push(local);
+            globals[shard].push(p.slot);
+        }
+        let limit = config.candidate_prefix_len(k);
+        let candidates: Vec<ShardCandidates> = (0..shards)
+            .map(|s| {
+                let order = PopularityIndex::build(&locals[s]);
+                let shard_pool = PoolIndex::build(&locals[s]);
+                let mut c = ShardCandidates::new();
+                c.collect(PoolView::new(&locals[s], order.order(), &shard_pool), limit, &globals[s]);
+                c
+            })
+            .collect();
+        let mut merged = MergedCandidates::new();
+        merge_shard_candidates_into(&candidates, limit, &mut merged);
+
+        // (a) + (b): the merged view equals the corpus-wide derivation.
+        prop_assert_eq!(&merged.pool().to_vec(), &pool.members().to_vec());
+        let merged_rest: Vec<usize> = merged.rest().iter().map(|p| p.slot).collect();
+        let expected_rest: Vec<usize> = sorted
+            .iter()
+            .copied()
+            .filter(|&s| !pool.contains(s))
+            .take(limit)
+            .collect();
+        prop_assert_eq!(&merged_rest, &expected_rest);
+
+        // (c): ranking from the merged view is the scanning prefix —
+        // through the self-contained candidate form and through the
+        // maintained-pool primitive the serving tier uses (pool merged at
+        // repair time, rest retrieved per query).
+        let mut buffers = RankBuffers::new();
+        let (mut scan, mut from_merge) = (Vec::new(), Vec::new());
+        policy.rank_presorted_into(&pages, &sorted, &mut new_rng(seed), &mut buffers, &mut scan);
+        policy.rank_top_k_candidates_into(&merged, k, &mut new_rng(seed), &mut buffers, &mut from_merge);
+        prop_assert_eq!(&from_merge, &scan[..k.min(scan.len())].to_vec());
+
+        policy.rank_top_k_retrieved_into(
+            pool.members(),
+            &merged_rest,
+            k,
+            &mut new_rng(seed),
+            &mut buffers,
+            &mut from_merge,
+        );
+        prop_assert_eq!(&from_merge, &scan[..k.min(scan.len())].to_vec());
+
+        // And through the enum dispatch used by policy-generic callers.
+        let kind = PolicyKind::promotion(config);
+        prop_assert!(kind.supports_candidate_retrieval());
+        kind.rank_top_k_candidates_into(&merged, k, &mut new_rng(seed), &mut buffers, &mut from_merge);
+        prop_assert_eq!(&from_merge, &scan[..k.min(scan.len())].to_vec());
+    }
+
     /// For *any* valid promotion configuration, ranks better than `k` are
     /// never perturbed: the first `k − 1` positions of the randomized
     /// result equal the deterministic popularity ranking of the pages that

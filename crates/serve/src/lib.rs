@@ -3,18 +3,28 @@
 //! The paper pitches rank promotion as something a production search engine
 //! embeds; this crate is the serving tier of that picture. It partitions a
 //! document corpus across N shards, answers batches of queries on std
-//! scoped threads, and keeps its serving state — the canonical snapshot,
-//! per-document ranking statistics, and the popularity order — **alive
-//! across batches**: mutations ([`ShardedPromotionService::insert`],
+//! scoped threads, and keeps its serving state **alive across batches** in
+//! two tiers: the canonical snapshot with its corpus-wide ranking caches
+//! (consulted only by full reranks), and one per-shard ranking cache per
+//! store shard — what top-k queries read. Mutations
+//! ([`ShardedPromotionService::insert`],
 //! [`ShardedPromotionService::record_visit`],
-//! [`ShardedPromotionService::update_popularity`]) patch single slots and
-//! the popularity order is repaired by dirty-slot binary-search
-//! reinsertion, so an unchanged corpus pays zero sorts and zero snapshot
-//! rebuilds per batch. Batch fan-out writes into disjoint `&mut` result
-//! regions (no result lock), and a top-k path
-//! ([`ShardedPromotionService::rerank_top_k`]) stops the coin-flip merge
-//! after `k` ranks. All of it preserves the
-//! `(engine seed, query, session)` determinism of
+//! [`ShardedPromotionService::update_popularity`]) patch single slots in
+//! both tiers and each tier is repaired by dirty-slot reinsertion when
+//! next consulted, so an unchanged corpus pays zero sorts and zero
+//! snapshot rebuilds per batch.
+//!
+//! The top-k path ([`ShardedPromotionService::rerank_top_k`],
+//! [`ShardedPromotionService::rerank_batch_top_k_into`]) is
+//! **shard-local**: per query each shard contributes only its
+//! popularity-order prefix, a deterministic k-way merge reassembles the
+//! exact global order prefix, and the (maintained) merged global pool is
+//! shuffled into it — the canonical full-corpus snapshot is neither
+//! rebuilt nor consulted, pinned by
+//! [`ServeStats::global_materialisations`]` == 0` and
+//! [`ServeStats::shard_retrievals`]` == shards × queries`. Batch fan-out
+//! writes into disjoint `&mut` result regions (no result lock). All of it
+//! preserves the `(engine seed, query, session)` determinism of
 //! [`rrp_core::RankPromotionEngine`] exactly: batch, sequential and top-k
 //! answers are bit-identical (top-k ≡ the full rerank's prefix) at any
 //! shard or worker count.

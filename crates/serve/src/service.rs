@@ -1,8 +1,8 @@
 //! The sharded batch rerank service.
 
 use crate::store::ShardedStore;
-use rrp_core::{CorpusCache, Document, QueryContext, RankPromotionEngine};
-use rrp_ranking::RankBuffers;
+use rrp_core::{CorpusCache, Document, QueryContext, RankPromotionEngine, ShardedCorpusCache};
+use rrp_ranking::{merge_shard_candidates_into, MergedCandidates, RankBuffers, ShardCandidates};
 use std::marker::PhantomData;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -30,7 +30,8 @@ pub struct ServeStats {
     /// Incremental repairs of the popularity order (runs only when at
     /// least one slot is dirty).
     pub index_repairs: u64,
-    /// Dirty-slot entries handed to those repairs (pre-deduplication).
+    /// Dirty slots handed to those repairs (distinct slots: the dirty
+    /// lists deduplicate on entry).
     pub dirty_slots_repaired: u64,
     /// Full-corpus promotion-pool derivations (`O(n)` scan over every
     /// document) — incremented only by
@@ -48,15 +49,41 @@ pub struct ServeStats {
     /// a Uniform-rule engine necessarily pays one per query, its per-page
     /// coins being part of the observable RNG stream.
     pub mask_resets: u64,
+    /// Shard-local candidate retrievals: one per shard per top-k query
+    /// answered through the retrieve→merge→rank path, so a clean top-k
+    /// batch reads exactly `shards × queries` (pinned in tests). The
+    /// corpus-wide snapshot is never consulted on that path.
+    pub shard_retrievals: u64,
+    /// Queries answered from the canonical full-corpus state — a full
+    /// rank materialisation (`rerank_one`/`rerank_batch`) or the Uniform
+    /// rule's mandatory per-page coin scan on its top-k fallback. Top-k
+    /// batches under a selective engine perform **zero** of these (the
+    /// acceptance gate for shard-local retrieval; pinned in tests).
+    pub global_materialisations: u64,
+    /// Repair events on the per-shard caches (the shard-tier mirror of
+    /// [`index_repairs`](Self::index_repairs): one per query-or-batch that
+    /// found at least one shard-local dirty slot).
+    pub shard_repairs: u64,
 }
 
-/// The persistent serving state: the canonical snapshot plus the
-/// [`CorpusCache`] bundling its ranking statistics, popularity order and
-/// promotion-pool membership, kept current *incrementally*. Inserts
-/// append; visit/popularity mutations patch one slot and mark it dirty;
-/// both indexes are repaired from the shared dirty list at the next
-/// query. Nothing is ever re-derived from the store wholesale.
-#[derive(Debug, Default)]
+/// The persistent serving state, two tiers kept current *incrementally*:
+///
+/// * the **global tier** — the canonical snapshot plus the [`CorpusCache`]
+///   bundling its ranking statistics, popularity order and promotion-pool
+///   membership. Consulted only by paths that genuinely need all `n`
+///   ranks: full reranks, and the Uniform rule's per-page coin scan.
+/// * the **shard tier** — one [`CorpusCache`] per store shard
+///   ([`ShardedCorpusCache`]), each under dense shard-local slots with its
+///   own dirty list. The top-k path reads *only* this tier: per query
+///   each shard contributes its pool members plus a popularity-order
+///   prefix, and the deterministic merge reassembles exactly the global
+///   pool and order prefix.
+///
+/// Inserts append to both tiers; visit/popularity mutations patch one slot
+/// per tier and mark it dirty; each tier is repaired lazily by the first
+/// query that consults it. Nothing is ever re-derived from the store
+/// wholesale.
+#[derive(Debug)]
 struct ServingState {
     /// Canonical snapshot (slot = global sequence number), append-only,
     /// patched in place on mutation.
@@ -64,6 +91,9 @@ struct ServingState {
     /// Statistics + popularity order + pool membership over the snapshot
     /// slots, repaired via the shared dirty list.
     cache: CorpusCache,
+    /// Per-shard caches mirroring the store's placement, repaired from
+    /// shard-local dirty lists — what top-k queries retrieve from.
+    shards: ShardedCorpusCache,
 }
 
 /// Serves randomized rank promotion over a sharded document store.
@@ -106,24 +136,35 @@ pub struct ShardedPromotionService {
     buffers: RankBuffers,
     /// Slot-index scratch for the sequential paths.
     slots: Vec<usize>,
+    /// Candidate retrieval/merge scratch for the sequential top-k path.
+    retrieval: TopKRetrieval,
 }
 
 impl ShardedPromotionService {
     /// A service over an empty `shard_count`-way store (at least 1 shard),
     /// answering batches with up to [`available_workers`] threads.
     pub fn new(engine: RankPromotionEngine, shard_count: usize) -> Self {
-        let mut state = ServingState::default();
+        let store = ShardedStore::new(shard_count);
+        let mut state = ServingState {
+            snapshot: Vec::new(),
+            cache: CorpusCache::new(),
+            shards: ShardedCorpusCache::new(store.shard_count()),
+        };
         // Pool maintenance is dead weight for engines that re-derive
-        // their pool per query (the Uniform rule's coin scan).
+        // their pool per query (the Uniform rule's coin scan) — and for
+        // those engines the shard tier is never consulted either, so its
+        // pools stay off too.
         state.cache.set_pool_maintained(engine.reads_pool_index());
+        state.shards.set_pool_maintained(engine.reads_pool_index());
         ShardedPromotionService {
             engine,
-            store: ShardedStore::new(shard_count),
+            store,
             workers: available_workers(),
             state,
             probe: ServeStats::default(),
             buffers: RankBuffers::new(),
             slots: Vec::new(),
+            retrieval: TopKRetrieval::default(),
         }
     }
 
@@ -164,6 +205,15 @@ impl ShardedPromotionService {
         let seq = self.store.insert(document);
         self.state.snapshot.push(document);
         self.state.cache.push(&document);
+        // The shard tier exists for the candidate-retrieval path, which
+        // only selective engines ever take (the Uniform rule's coin scan
+        // pins it to the global tier) — mirroring the corpus into it for
+        // an engine that can never read it would double every mutation
+        // and the cache memory for nothing.
+        if self.engine.reads_pool_index() {
+            let shard = self.store.shard_of_id(document.id);
+            self.state.shards.push(shard, &document);
+        }
         seq
     }
 
@@ -201,10 +251,15 @@ impl ShardedPromotionService {
         }
     }
 
-    /// Patch one cached slot after a store mutation and mark it dirty.
+    /// Patch one cached slot after a store mutation and mark it dirty —
+    /// in both tiers, so whichever one the next query consults repairs
+    /// exactly this slot.
     fn patch_slot(&mut self, slot: usize, document: Document) {
         self.state.snapshot[slot] = document;
         self.state.cache.patch(slot, &document);
+        if self.engine.reads_pool_index() {
+            self.state.shards.patch(slot, &document);
+        }
     }
 
     /// Discard the incremental state and re-derive it from the store:
@@ -224,11 +279,25 @@ impl ShardedPromotionService {
         }
         self.store.snapshot_into(&mut self.state.snapshot);
         self.state.cache.rebuild(&self.state.snapshot);
+        // Shard tier: replay the store's placement document by document
+        // (global order keeps the local↔global slot maps dense), then
+        // repair in place — a from-scratch derivation of every shard
+        // cache, part of the same rebuild event. Skipped entirely for
+        // engines that never read the tier.
+        if self.engine.reads_pool_index() {
+            self.state.shards.clear();
+            for document in &self.state.snapshot {
+                self.state
+                    .shards
+                    .push(self.store.shard_of_id(document.id), document);
+            }
+            self.state.shards.repair();
+        }
     }
 
     /// Bring the popularity order and pool membership current by repairing
-    /// the dirty slots (no-op when nothing changed). Every query path
-    /// calls this first.
+    /// the dirty slots (no-op when nothing changed). Every query path that
+    /// consults the **global tier** calls this first.
     fn repair_state(&mut self) {
         if self.state.cache.dirty_len() > 0 {
             self.probe.index_repairs += 1;
@@ -248,6 +317,17 @@ impl ShardedPromotionService {
                 RankPromotionEngine::document_stats(&self.state.snapshot, &mut fresh);
                 fresh == self.state.cache.stats()
             });
+        }
+    }
+
+    /// Bring the **shard tier** current by repairing every shard cache
+    /// with dirty slots (no-op when nothing changed). The top-k retrieval
+    /// path calls this — and only this: it never repairs, reads, or
+    /// rebuilds the global tier.
+    fn repair_shard_state(&mut self) {
+        if self.state.shards.dirty_len() > 0 {
+            self.probe.shard_repairs += 1;
+            self.state.shards.repair();
         }
     }
 
@@ -281,6 +361,7 @@ impl ShardedPromotionService {
     pub fn rerank_one_into(&mut self, context: QueryContext, out: &mut Vec<u64>) {
         self.repair_state();
         self.probe.queries += 1;
+        self.probe.global_materialisations += 1;
         self.engine.rerank_cached_slots_into(
             &self.state.cache,
             context,
@@ -294,8 +375,17 @@ impl ShardedPromotionService {
 
     /// The first `min(k, n)` document ids of
     /// [`rerank_one`](Self::rerank_one), computed with the early-exit
-    /// merge: bit-identical to the length-`k` prefix of the full rerank,
-    /// at `O(pool + k)` cost past the pool scan.
+    /// merge: bit-identical to the length-`k` prefix of the full rerank.
+    ///
+    /// Under a selective engine this is the **shard-retrieval path**: each
+    /// shard cache contributes only its pool members and a
+    /// popularity-order prefix, the deterministic merge reassembles the
+    /// global pool and order prefix, and the query ranks against that view
+    /// alone — the canonical full-corpus snapshot is neither rebuilt nor
+    /// consulted (pinned by
+    /// [`ServeStats::global_materialisations`]). A Uniform-rule engine
+    /// must keep scanning the corpus for its per-page coins and falls back
+    /// to the global tier.
     pub fn rerank_top_k(&mut self, context: QueryContext, k: usize) -> Vec<u64> {
         let mut out = Vec::with_capacity(k.min(self.store.len()));
         self.rerank_top_k_into(context, k, &mut out);
@@ -305,8 +395,23 @@ impl ShardedPromotionService {
     /// [`rerank_top_k`](Self::rerank_top_k) writing into `out` (cleared
     /// first); allocation-free after warm-up.
     pub fn rerank_top_k_into(&mut self, context: QueryContext, k: usize, out: &mut Vec<u64>) {
-        self.repair_state();
         self.probe.queries += 1;
+        if self.engine.reads_pool_index() {
+            self.repair_shard_state();
+            self.probe.shard_retrievals += self.state.shards.shard_count() as u64;
+            self.retrieval.answer_into(
+                &self.engine,
+                &self.state.shards,
+                context,
+                k,
+                &mut self.buffers,
+                &mut self.slots,
+                out,
+            );
+            return;
+        }
+        self.repair_state();
+        self.probe.global_materialisations += 1;
         self.engine.rerank_top_k_cached_slots_into(
             &self.state.cache,
             k,
@@ -340,7 +445,11 @@ impl ShardedPromotionService {
 
     /// The top-`k` batch path: every result holds only the first
     /// `min(k, n)` ranks, each bit-identical to the length-`k` prefix of
-    /// the corresponding full rerank.
+    /// the corresponding full rerank. Routed through shard-local candidate
+    /// retrieval for selective engines (see
+    /// [`rerank_top_k`](Self::rerank_top_k)): the batch performs **zero**
+    /// global rank materialisations and exactly `shards × queries`
+    /// shard retrievals.
     pub fn rerank_batch_top_k_into(
         &mut self,
         queries: &[QueryContext],
@@ -356,7 +465,6 @@ impl ShardedPromotionService {
         k: Option<usize>,
         results: &mut Vec<Vec<u64>>,
     ) {
-        self.repair_state();
         self.probe.batches += 1;
         self.probe.queries += queries.len() as u64;
 
@@ -364,16 +472,42 @@ impl ShardedPromotionService {
         results.truncate(queries.len());
         results.resize_with(queries.len(), Vec::new);
         if queries.is_empty() {
+            // Explicit early return: an empty batch must repair nothing
+            // and, above all, never reach the region-claim fan-out below —
+            // `chunk_len`/`SlotRegions` are defined over at least one
+            // result slot.
             return;
         }
+
+        // Route the batch: top-k under a selective engine reads only the
+        // shard tier; everything else (full reranks, the Uniform rule's
+        // coin scan) needs the canonical full-corpus state.
+        let mode = match k {
+            Some(k) if self.engine.reads_pool_index() => {
+                self.repair_shard_state();
+                self.probe.shard_retrievals +=
+                    (self.state.shards.shard_count() * queries.len()) as u64;
+                BatchMode::TopKShards(k)
+            }
+            Some(k) => {
+                self.repair_state();
+                self.probe.global_materialisations += queries.len() as u64;
+                BatchMode::TopKGlobal(k)
+            }
+            None => {
+                self.repair_state();
+                self.probe.global_materialisations += queries.len() as u64;
+                BatchMode::Full
+            }
+        };
 
         let engine = &self.engine;
         let state = &self.state;
         let workers = self.workers.min(queries.len());
         if workers <= 1 {
-            let mut worker = BatchWorker::new(engine, state);
+            let mut worker = BatchWorker::new(engine, state, mode);
             for (&ctx, out) in queries.iter().zip(results.iter_mut()) {
-                worker.answer_into(ctx, k, out);
+                worker.answer_into(ctx, mode, out);
             }
             self.probe.mask_resets += worker.buffers.take_mask_resets();
             return;
@@ -395,10 +529,10 @@ impl ShardedPromotionService {
                     // Each worker owns its scratch: queries are
                     // allocation-free once the claimed result slots have
                     // warmed up to the corpus size.
-                    let mut worker = BatchWorker::new(engine, state);
+                    let mut worker = BatchWorker::new(engine, state, mode);
                     while let Some((range, slots)) = regions.claim() {
                         for (&ctx, out) in queries[range].iter().zip(slots.iter_mut()) {
-                            worker.answer_into(ctx, k, out);
+                            worker.answer_into(ctx, mode, out);
                         }
                     }
                     mask_resets.fetch_add(worker.buffers.take_mask_resets(), Ordering::Relaxed);
@@ -407,6 +541,18 @@ impl ShardedPromotionService {
         });
         self.probe.mask_resets += mask_resets.into_inner();
     }
+}
+
+/// How a batch's queries are answered (decided once per batch).
+#[derive(Clone, Copy)]
+enum BatchMode {
+    /// Full rerank off the global tier (all `n` ranks materialised).
+    Full,
+    /// Top-k off the global tier (the Uniform rule's mandatory fallback).
+    TopKGlobal(usize),
+    /// Top-k via per-shard candidate retrieval and the deterministic
+    /// merge — no global state touched.
+    TopKShards(usize),
 }
 
 /// Chunk width for the batch fan-out: a handful of chunks per worker
@@ -468,42 +614,112 @@ impl<'a> SlotRegions<'a> {
     }
 }
 
+/// Reusable scratch for one top-k query's retrieve→merge→rank round trip:
+/// the per-shard rest candidates, the merged view, and the slot list the
+/// merged rest flattens into. Owned per caller (the service's sequential
+/// path, or one per batch worker), so steady-state top-k queries allocate
+/// nothing.
+#[derive(Debug, Default)]
+struct TopKRetrieval {
+    shards: Vec<ShardCandidates>,
+    merged: MergedCandidates,
+    rest_slots: Vec<usize>,
+}
+
+impl TopKRetrieval {
+    /// Answer one top-`k` query from the shard caches alone: retrieve each
+    /// shard's rest prefix (`O(k)` per shard), merge them
+    /// deterministically, and rank against that prefix plus the maintained
+    /// merged pool — the canonical snapshot, order and pool are never
+    /// read, and the ranked global slots resolve to document ids through
+    /// their owning shard's cache. Output is bit-identical to the
+    /// length-`k` prefix of the full rerank.
+    #[allow(clippy::too_many_arguments)]
+    fn answer_into(
+        &mut self,
+        engine: &RankPromotionEngine,
+        shards: &ShardedCorpusCache,
+        context: QueryContext,
+        k: usize,
+        buffers: &mut RankBuffers,
+        slots: &mut Vec<usize>,
+        out: &mut Vec<u64>,
+    ) {
+        let limit = engine.config().candidate_prefix_len(k);
+        shards.collect_rest_candidates(limit, &mut self.shards);
+        merge_shard_candidates_into(&self.shards, limit, &mut self.merged);
+        self.rest_slots.clear();
+        self.rest_slots
+            .extend(self.merged.rest().iter().map(|p| p.slot));
+        engine.rerank_top_k_retrieved_into(
+            shards.pool_slots(),
+            &self.rest_slots,
+            k,
+            context,
+            buffers,
+            slots,
+        );
+        out.clear();
+        out.extend(slots.iter().map(|&s| shards.page_of(s).0));
+    }
+}
+
 /// Per-worker state: shared read-only serving state plus private scratch.
 struct BatchWorker<'a> {
     engine: &'a RankPromotionEngine,
     state: &'a ServingState,
     buffers: RankBuffers,
     slots: Vec<usize>,
+    retrieval: TopKRetrieval,
 }
 
 impl<'a> BatchWorker<'a> {
-    fn new(engine: &'a RankPromotionEngine, state: &'a ServingState) -> Self {
+    fn new(engine: &'a RankPromotionEngine, state: &'a ServingState, mode: BatchMode) -> Self {
+        // Full and global-top-k batches fill `O(n)` arenas; the
+        // shard-retrieval path only ever touches the pool plus `k` ranks,
+        // so its workers pre-grow to that instead of the corpus size.
+        let capacity = match mode {
+            BatchMode::TopKShards(k) => state.shards.pool_slots().len() + k,
+            BatchMode::Full | BatchMode::TopKGlobal(_) => state.cache.len(),
+        };
         BatchWorker {
             engine,
             state,
-            buffers: RankBuffers::with_capacity(state.cache.len()),
-            slots: Vec::with_capacity(state.cache.len()),
+            buffers: RankBuffers::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            retrieval: TopKRetrieval::default(),
         }
     }
 
-    /// Answer one query into `out` (cleared first): the full rerank, or
-    /// its first `k` ranks when `k` is set. Reuses the worker's arenas and
-    /// `out`'s storage — no allocation once both have warmed up.
-    fn answer_into(&mut self, context: QueryContext, k: Option<usize>, out: &mut Vec<u64>) {
-        match k {
-            None => self.engine.rerank_cached_slots_into(
+    /// Answer one query into `out` (cleared first) according to the
+    /// batch's mode. Reuses the worker's arenas and `out`'s storage — no
+    /// allocation once both have warmed up.
+    fn answer_into(&mut self, context: QueryContext, mode: BatchMode, out: &mut Vec<u64>) {
+        match mode {
+            BatchMode::Full => self.engine.rerank_cached_slots_into(
                 &self.state.cache,
                 context,
                 &mut self.buffers,
                 &mut self.slots,
             ),
-            Some(k) => self.engine.rerank_top_k_cached_slots_into(
+            BatchMode::TopKGlobal(k) => self.engine.rerank_top_k_cached_slots_into(
                 &self.state.cache,
                 k,
                 context,
                 &mut self.buffers,
                 &mut self.slots,
             ),
+            BatchMode::TopKShards(k) => {
+                return self.retrieval.answer_into(
+                    self.engine,
+                    &self.state.shards,
+                    context,
+                    k,
+                    &mut self.buffers,
+                    &mut self.slots,
+                    out,
+                );
+            }
         }
         out.clear();
         out.extend(self.slots.iter().map(|&s| self.state.snapshot[s].id));
@@ -669,6 +885,104 @@ mod tests {
         assert_eq!(after.pool_rebuilds, 0);
         assert_eq!(after.index_repairs, before.index_repairs);
         assert_eq!(after.queries, before.queries + 64);
+    }
+
+    #[test]
+    fn top_k_batches_perform_zero_global_materialisations() {
+        // The acceptance gate for shard-local retrieval: a selective
+        // engine's top-k traffic — batched or sequential, clean or
+        // mutated — never materialises a global ranking or consults the
+        // canonical snapshot, and performs exactly one candidate
+        // retrieval per shard per query.
+        let shards = 4u64;
+        let mut service =
+            ShardedPromotionService::new(RankPromotionEngine::recommended(), shards as usize)
+                .with_workers(4);
+        service.extend(corpus(300));
+        let qs = queries(16);
+
+        let mut results = Vec::new();
+        service.rerank_batch_top_k_into(&qs, 10, &mut results);
+        for (i, &ctx) in qs.iter().enumerate() {
+            service.rerank_top_k(ctx, 1 + i % 8);
+        }
+        assert!(service.record_visit(0));
+        assert!(service.update_popularity(7, 0.99));
+        service.rerank_batch_top_k_into(&qs, 10, &mut results);
+
+        let stats = service.serve_stats();
+        assert_eq!(stats.global_materialisations, 0, "no global path on top-k");
+        assert_eq!(stats.shard_retrievals, shards * (16 + 16 + 16));
+        assert_eq!(stats.snapshot_rebuilds, 0);
+        assert_eq!(stats.full_sorts, 0);
+        assert_eq!(stats.mask_resets, 0);
+        // Two repair events on the shard tier: the warm-up (300 inserted
+        // slots) and the two mutations; the global tier was never
+        // consulted, so its dirty list is still pending.
+        assert_eq!(stats.shard_repairs, 2);
+        assert_eq!(stats.index_repairs, 0, "the global tier stayed untouched");
+
+        // The first full batch repairs the (still dirty) global tier and
+        // counts one materialisation per query. The backlog is exactly
+        // the 300 inserted slots: the two mutations hit slots that were
+        // already pending, and the dirty list deduplicates on entry so a
+        // deferred tier's backlog stays bounded by the corpus size.
+        service.rerank_batch(&qs);
+        let stats = service.serve_stats();
+        assert_eq!(stats.global_materialisations, 16);
+        assert_eq!(stats.index_repairs, 1);
+        assert_eq!(stats.dirty_slots_repaired, 300);
+    }
+
+    #[test]
+    fn empty_batches_skip_repair_and_fan_out() {
+        // Regression for the empty-batch edge: zero queries must not
+        // exercise the region-claim path (`chunk_len`/`SlotRegions` are
+        // defined over at least one slot) and must not trigger a repair
+        // of either tier.
+        let mut service =
+            ShardedPromotionService::new(RankPromotionEngine::recommended(), 3).with_workers(4);
+        service.extend(corpus(50));
+
+        let mut results = vec![vec![1u64, 2, 3]];
+        service.rerank_batch_into(&[], &mut results);
+        assert!(results.is_empty(), "stale results are truncated away");
+        service.rerank_batch_top_k_into(&[], 10, &mut results);
+        assert!(results.is_empty());
+
+        let stats = service.serve_stats();
+        assert_eq!(stats.batches, 2, "empty batches are still counted");
+        assert_eq!(stats.queries, 0);
+        assert_eq!(
+            stats.index_repairs, 0,
+            "nothing consulted, nothing repaired"
+        );
+        assert_eq!(stats.shard_repairs, 0);
+        assert_eq!(stats.shard_retrievals, 0);
+        assert_eq!(stats.global_materialisations, 0);
+
+        // The pending warm-up dirt is repaired by the first real query.
+        service.rerank_batch(&queries(2));
+        assert_eq!(service.serve_stats().index_repairs, 1);
+    }
+
+    #[test]
+    fn uniform_top_k_falls_back_to_the_global_tier() {
+        // The Uniform rule's per-page coins require the whole corpus, so
+        // its top-k traffic keeps materialising from the global tier —
+        // and the probe says so instead of pretending it scaled.
+        let engine =
+            RankPromotionEngine::new(PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap());
+        let mut service = ShardedPromotionService::new(engine, 4).with_workers(2);
+        service.extend(corpus(80));
+        let qs = queries(6);
+        let mut results = Vec::new();
+        service.rerank_batch_top_k_into(&qs, 5, &mut results);
+        service.rerank_top_k(qs[0], 5);
+        let stats = service.serve_stats();
+        assert_eq!(stats.shard_retrievals, 0);
+        assert_eq!(stats.global_materialisations, 7);
+        assert_eq!(stats.shard_repairs, 0, "the shard tier is never repaired");
     }
 
     #[test]

@@ -66,6 +66,15 @@ impl ShardedStore {
         self.shards[shard].len()
     }
 
+    /// The shard a document with `id` routes to. Exposed so the serving
+    /// tier can mirror the store's placement in its per-shard ranking
+    /// caches — the two layouts must agree document by document for
+    /// shard-local candidate retrieval to cover the corpus exactly.
+    #[inline]
+    pub fn shard_of_id(&self, id: u64) -> usize {
+        shard_of(id, self.shards.len())
+    }
+
     /// Insert one document, returning its global sequence number — the
     /// stable handle for later [`record_visit`](Self::record_visit) /
     /// [`update_popularity`](Self::update_popularity) calls, and the
@@ -222,6 +231,17 @@ mod tests {
             for id in [0u64, 1, 7, u64::MAX, u64::MAX - 1, 0x8000_0000_0000_0000] {
                 assert!(shard_of(id, shards) < shards, "id {id}, {shards} shards");
             }
+        }
+    }
+
+    #[test]
+    fn shard_of_id_reports_where_inserts_land() {
+        let mut store = ShardedStore::new(5);
+        for doc in docs(200) {
+            let shard = store.shard_of_id(doc.id);
+            let before = store.shard_len(shard);
+            store.insert(doc);
+            assert_eq!(store.shard_len(shard), before + 1, "id {}", doc.id);
         }
     }
 

@@ -1,0 +1,144 @@
+//! Shared mutate-while-serving schedule scaffolding for the `rrp-serve`
+//! property suites.
+//!
+//! Every suite in this directory drives a [`ShardedPromotionService`]
+//! through an arbitrary interleaving of inserts, visit feedback,
+//! popularity updates and serve points, then pins some invariant after
+//! every serve step. The schedule generator, the document shapes and the
+//! query derivation live here once so the suites can never drift apart in
+//! *what* they exercise — they differ only in what they assert.
+
+// Each test binary compiles this module independently and uses a subset
+// of it.
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+use rrp_core::{Document, QueryContext};
+use rrp_serve::ShardedPromotionService;
+
+/// One step of a mutate-while-serving schedule.
+#[derive(Debug, Clone, Copy)]
+pub enum Op {
+    /// Insert a fresh document (unexplored when `popularity` rounds to 0,
+    /// see [`inserted_document`]).
+    Insert { id: u64, popularity: f64, age: u64 },
+    /// Record a user visit to sequence `seq % len` (pool membership off).
+    Visit { seq: u64 },
+    /// Replace the popularity score of sequence `seq % len` (membership
+    /// unchanged — the pool must not move when only popularity does).
+    SetPopularity { seq: u64, popularity: f64 },
+    /// Serve a batch right here, mid-schedule, so repairs interleave with
+    /// serving: a full-rerank batch when `k` is `None`, a top-`k` batch
+    /// otherwise.
+    Serve { queries: u64, k: Option<usize> },
+}
+
+/// Which serve points a schedule contains.
+#[derive(Debug, Clone, Copy)]
+pub enum ServeShape {
+    /// Full-rerank batches.
+    Full,
+    /// Top-`k` batches with `k ∈ 1..=12`.
+    TopK,
+}
+
+/// Arbitrary interleavings of inserts, visits, popularity updates and
+/// serve points (1–40 steps; roughly a quarter of the steps serve).
+pub fn arb_ops(shape: ServeShape) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0usize..4, 0u64..10_000, 0.0f64..1.5, 0u64..300), 1..40).prop_map(
+        move |raw| {
+            raw.into_iter()
+                .map(|(kind, a, popularity, age)| match kind {
+                    0 => Op::Insert {
+                        id: a,
+                        popularity,
+                        age,
+                    },
+                    1 => Op::Visit { seq: a },
+                    2 => Op::SetPopularity { seq: a, popularity },
+                    _ => Op::Serve {
+                        queries: 1 + a % 5,
+                        k: match shape {
+                            ServeShape::Full => None,
+                            ServeShape::TopK => Some(1 + (age as usize % 12)),
+                        },
+                    },
+                })
+                .collect()
+        },
+    )
+}
+
+/// The document an `Insert` op produces: unexplored when the drawn
+/// popularity rounds to zero, established otherwise.
+pub fn inserted_document(id: u64, popularity: f64, age: u64) -> Document {
+    if popularity < 0.05 {
+        Document::unexplored(id)
+    } else {
+        Document::established(id, popularity).with_age(age)
+    }
+}
+
+/// Seed a service with `initial` documents, every `unexplored_every`-th
+/// one unexplored, the rest established with linearly decreasing
+/// popularity (`1 − i · popularity_step`) and age `i`.
+pub fn seed_service(
+    service: &mut ShardedPromotionService,
+    initial: usize,
+    unexplored_every: usize,
+    popularity_step: f64,
+) {
+    for i in 0..initial {
+        let doc = if i % unexplored_every == 0 {
+            Document::unexplored(i as u64)
+        } else {
+            Document::established(i as u64, 1.0 - i as f64 * popularity_step).with_age(i as u64)
+        };
+        service.insert(doc);
+    }
+}
+
+/// A batch of query contexts derived from a per-serve-point salt, shared
+/// by every suite so "the same schedule" means the same queries.
+pub fn queries(n: u64, salt: u64) -> Vec<QueryContext> {
+    (0..n)
+        .map(|q| QueryContext::new(q * 7 + salt, q ^ (salt << 3)))
+        .collect()
+}
+
+/// Apply one mutation op to the service (sequence-targeting ops are
+/// remapped modulo the live corpus and skipped while it is empty).
+/// `Serve` ops are *not* executed — their `(queries, k)` is handed back so
+/// each suite can serve and assert its own invariant.
+pub fn apply_mutation(
+    service: &mut ShardedPromotionService,
+    op: Op,
+) -> Option<(u64, Option<usize>)> {
+    match op {
+        Op::Insert {
+            id,
+            popularity,
+            age,
+        } => {
+            service.insert(inserted_document(id, popularity, age));
+        }
+        Op::Visit { seq } => {
+            let len = service.store().len() as u64;
+            if len > 0 {
+                assert!(service.record_visit(seq % len));
+            }
+        }
+        Op::SetPopularity { seq, popularity } => {
+            let len = service.store().len() as u64;
+            if len > 0 {
+                assert!(service.update_popularity(seq % len, popularity));
+            }
+        }
+        Op::Serve { queries, k } => return Some((queries, k)),
+    }
+    None
+}
+
+/// The shard and worker counts every final sweep pins: singleton,
+/// power-of-two, and "more than the corpus has any use for".
+pub const GRID: [usize; 3] = [1, 2, 8];

@@ -8,48 +8,12 @@
 //! popularity order ever drifted from a from-scratch derivation, some
 //! mutation schedule here would surface it as a differing answer.
 
+mod common;
+
+use common::{apply_mutation, arb_ops, queries, seed_service, Op, ServeShape, GRID};
 use proptest::prelude::*;
-use rrp_core::{Document, QueryContext, RankPromotionEngine};
+use rrp_core::RankPromotionEngine;
 use rrp_serve::ShardedPromotionService;
-
-/// One mutation applied to the serving corpus between batches.
-#[derive(Debug, Clone, Copy)]
-enum Op {
-    /// Insert a fresh document (unexplored when `popularity` rounds to 0).
-    Insert { id: u64, popularity: f64, age: u64 },
-    /// Record a user visit to sequence `seq % len`.
-    Visit { seq: u64 },
-    /// Replace the popularity score of sequence `seq % len`.
-    SetPopularity { seq: u64, popularity: f64 },
-    /// Answer a batch of queries right here (mid-schedule, not just at the
-    /// end) so repairs interleave with serving.
-    Batch { queries: u64 },
-}
-
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec((0usize..4, 0u64..10_000, 0.0f64..1.5, 0u64..300), 1..40).prop_map(
-        |raw| {
-            raw.into_iter()
-                .map(|(kind, a, popularity, age)| match kind {
-                    0 => Op::Insert {
-                        id: a,
-                        popularity,
-                        age,
-                    },
-                    1 => Op::Visit { seq: a },
-                    2 => Op::SetPopularity { seq: a, popularity },
-                    _ => Op::Batch { queries: 1 + a % 6 },
-                })
-                .collect()
-        },
-    )
-}
-
-fn queries(n: u64, salt: u64) -> Vec<QueryContext> {
-    (0..n)
-        .map(|q| QueryContext::new(q * 7 + salt, q ^ (salt << 3)))
-        .collect()
-}
 
 proptest! {
     /// Apply an arbitrary interleaving of inserts, visits, popularity
@@ -58,52 +22,23 @@ proptest! {
     /// over the current corpus, for every shard × worker combination.
     #[test]
     fn interleaved_mutations_answer_like_from_scratch(
-        ops in arb_ops(),
+        ops in arb_ops(ServeShape::Full),
         initial in 0usize..40,
         seed in 0u64..1_000,
     ) {
         let engine = RankPromotionEngine::recommended().with_seed(seed);
         let mut service = ShardedPromotionService::new(engine, 4).with_workers(4);
-        for i in 0..initial {
-            let doc = if i % 5 == 0 {
-                Document::unexplored(i as u64)
-            } else {
-                Document::established(i as u64, 1.0 - i as f64 * 0.02).with_age(i as u64)
-            };
-            service.insert(doc);
-        }
+        seed_service(&mut service, initial, 5, 0.02);
 
         let mut batch_salt = 0u64;
-        for op in &ops {
-            match *op {
-                Op::Insert { id, popularity, age } => {
-                    let doc = if popularity < 0.05 {
-                        Document::unexplored(id)
-                    } else {
-                        Document::established(id, popularity).with_age(age)
-                    };
-                    service.insert(doc);
-                }
-                Op::Visit { seq } => {
-                    let len = service.store().len() as u64;
-                    if len > 0 {
-                        prop_assert!(service.record_visit(seq % len));
-                    }
-                }
-                Op::SetPopularity { seq, popularity } => {
-                    let len = service.store().len() as u64;
-                    if len > 0 {
-                        prop_assert!(service.update_popularity(seq % len, popularity));
-                    }
-                }
-                Op::Batch { queries: q } => {
-                    batch_salt += 1;
-                    let qs = queries(q, batch_salt);
-                    let incremental = service.rerank_batch(&qs);
-                    let mut fresh = ShardedPromotionService::new(engine, 1).with_workers(1);
-                    fresh.extend(service.store().snapshot());
-                    prop_assert_eq!(&incremental, &fresh.rerank_batch(&qs));
-                }
+        for &op in &ops {
+            if let Some((q, _)) = apply_mutation(&mut service, op) {
+                batch_salt += 1;
+                let qs = queries(q, batch_salt);
+                let incremental = service.rerank_batch(&qs);
+                let mut fresh = ShardedPromotionService::new(engine, 1).with_workers(1);
+                fresh.extend(service.store().snapshot());
+                prop_assert_eq!(&incremental, &fresh.rerank_batch(&qs));
             }
         }
 
@@ -113,8 +48,8 @@ proptest! {
         let corpus = service.store().snapshot();
         let qs = queries(9, 0xC0FFEE);
         let incremental = service.rerank_batch(&qs);
-        for shards in [1usize, 2, 8] {
-            for workers in [1usize, 2, 8] {
+        for shards in GRID {
+            for workers in GRID {
                 let mut fresh =
                     ShardedPromotionService::new(engine, shards).with_workers(workers);
                 fresh.extend(corpus.iter().copied());
@@ -145,4 +80,30 @@ proptest! {
         prop_assert_eq!(service.serve_stats().pool_rebuilds, 0);
         prop_assert_eq!(service.serve_stats().mask_resets, 0);
     }
+}
+
+/// The shared scaffolding itself stays honest: every generated schedule
+/// draws from the four op kinds and serve points carry the requested
+/// shape.
+#[test]
+fn schedule_generator_covers_every_op_kind() {
+    use proptest::{Strategy, TestRng};
+    let strategy = arb_ops(ServeShape::Full);
+    let (mut inserts, mut visits, mut sets, mut serves) = (0u32, 0u32, 0u32, 0u32);
+    for seed in 0..64 {
+        let ops = strategy.generate(&mut TestRng::new(seed));
+        for op in ops {
+            match op {
+                Op::Insert { .. } => inserts += 1,
+                Op::Visit { .. } => visits += 1,
+                Op::SetPopularity { .. } => sets += 1,
+                Op::Serve { queries, k } => {
+                    assert!(k.is_none(), "Full shape must not produce top-k serves");
+                    assert!((1..=5).contains(&queries));
+                    serves += 1;
+                }
+            }
+        }
+    }
+    assert!(inserts > 0 && visits > 0 && sets > 0 && serves > 0);
 }

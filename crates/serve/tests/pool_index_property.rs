@@ -13,51 +13,12 @@
 //! `is_unexplored` scan, some schedule here would surface it either as a
 //! differing pool or as a differing answer.
 
+mod common;
+
+use common::{apply_mutation, arb_ops, queries, seed_service, ServeShape, GRID};
 use proptest::prelude::*;
-use rrp_core::{Document, QueryContext, RankPromotionEngine};
+use rrp_core::{Document, RankPromotionEngine};
 use rrp_serve::ShardedPromotionService;
-
-/// One step of the mutate-while-serving schedule.
-#[derive(Debug, Clone, Copy)]
-enum Op {
-    /// Insert a fresh document (unexplored when `popularity` rounds to 0).
-    Insert { id: u64, popularity: f64, age: u64 },
-    /// Record a user visit to sequence `seq % len` (pool membership off).
-    Visit { seq: u64 },
-    /// Replace the popularity score of sequence `seq % len` (membership
-    /// unchanged — the pool must not move when only popularity does).
-    SetPopularity { seq: u64, popularity: f64 },
-    /// Serve a top-k batch right here, mid-schedule.
-    TopK { queries: u64, k: usize },
-}
-
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec((0usize..4, 0u64..10_000, 0.0f64..1.5, 0u64..300), 1..40).prop_map(
-        |raw| {
-            raw.into_iter()
-                .map(|(kind, a, popularity, age)| match kind {
-                    0 => Op::Insert {
-                        id: a,
-                        popularity,
-                        age,
-                    },
-                    1 => Op::Visit { seq: a },
-                    2 => Op::SetPopularity { seq: a, popularity },
-                    _ => Op::TopK {
-                        queries: 1 + a % 5,
-                        k: 1 + (age as usize % 12),
-                    },
-                })
-                .collect()
-        },
-    )
-}
-
-fn queries(n: u64, salt: u64) -> Vec<QueryContext> {
-    (0..n)
-        .map(|q| QueryContext::new(q * 11 + salt, q ^ (salt << 2)))
-        .collect()
-}
 
 /// The from-scratch pool: unexplored documents' canonical slots, in
 /// sequence order — what the per-query scan used to derive.
@@ -79,62 +40,33 @@ proptest! {
     /// combination at the end.
     #[test]
     fn incremental_pool_equals_from_scratch_and_top_k_stays_a_prefix(
-        ops in arb_ops(),
+        ops in arb_ops(ServeShape::TopK),
         initial in 0usize..30,
         seed in 0u64..1_000,
     ) {
         let engine = RankPromotionEngine::recommended().with_seed(seed);
         let mut service = ShardedPromotionService::new(engine, 4).with_workers(4);
-        for i in 0..initial {
-            let doc = if i % 3 == 0 {
-                Document::unexplored(i as u64)
-            } else {
-                Document::established(i as u64, 1.0 - i as f64 * 0.03).with_age(i as u64)
-            };
-            service.insert(doc);
-        }
+        seed_service(&mut service, initial, 3, 0.03);
 
         let mut batch_salt = 0u64;
-        for op in &ops {
-            match *op {
-                Op::Insert { id, popularity, age } => {
-                    let doc = if popularity < 0.05 {
-                        Document::unexplored(id)
-                    } else {
-                        Document::established(id, popularity).with_age(age)
-                    };
-                    service.insert(doc);
-                }
-                Op::Visit { seq } => {
-                    let len = service.store().len() as u64;
-                    if len > 0 {
-                        prop_assert!(service.record_visit(seq % len));
-                    }
-                }
-                Op::SetPopularity { seq, popularity } => {
-                    let len = service.store().len() as u64;
-                    if len > 0 {
-                        prop_assert!(service.update_popularity(seq % len, popularity));
-                    }
-                }
-                Op::TopK { queries: q, k } => {
-                    batch_salt += 1;
-                    let qs = queries(q, batch_salt);
-                    let mut top = Vec::new();
-                    service.rerank_batch_top_k_into(&qs, k, &mut top);
-                    let mut fresh =
-                        ShardedPromotionService::new(engine, 1).with_workers(1);
-                    fresh.extend(service.store().snapshot());
-                    let full = fresh.rerank_batch(&qs);
-                    for (i, got) in top.iter().enumerate() {
-                        prop_assert_eq!(
-                            got,
-                            &full[i][..k.min(full[i].len())],
-                            "mid-schedule top-{} of query {}",
-                            k,
-                            i
-                        );
-                    }
+        for &op in &ops {
+            if let Some((q, Some(k))) = apply_mutation(&mut service, op) {
+                batch_salt += 1;
+                let qs = queries(q, batch_salt);
+                let mut top = Vec::new();
+                service.rerank_batch_top_k_into(&qs, k, &mut top);
+                let mut fresh =
+                    ShardedPromotionService::new(engine, 1).with_workers(1);
+                fresh.extend(service.store().snapshot());
+                let full = fresh.rerank_batch(&qs);
+                for (i, got) in top.iter().enumerate() {
+                    prop_assert_eq!(
+                        got,
+                        &full[i][..k.min(full[i].len())],
+                        "mid-schedule top-{} of query {}",
+                        k,
+                        i
+                    );
                 }
             }
             // The pool index is repaired, never rebuilt — and after every
@@ -150,8 +82,8 @@ proptest! {
         let corpus = service.store().snapshot();
         let qs = queries(6, 0xF00D);
         let full = service.rerank_batch(&qs);
-        for shards in [1usize, 2, 8] {
-            for workers in [1usize, 2, 8] {
+        for shards in GRID {
+            for workers in GRID {
                 let mut fresh =
                     ShardedPromotionService::new(engine, shards).with_workers(workers);
                 fresh.extend(corpus.iter().copied());
@@ -175,7 +107,9 @@ proptest! {
 
         // The steady-state probe: nothing in this schedule may have caused
         // a snapshot rebuild, a from-scratch sort, a pool rebuild, or a
-        // single per-query pool scan (the engine is selective).
+        // single per-query pool scan (the engine is selective) — and no
+        // top-k batch may have materialised a global ranking: every one
+        // was answered from shard-local candidate retrieval.
         prop_assert_eq!(service.serve_stats().snapshot_rebuilds, 0);
         prop_assert_eq!(service.serve_stats().full_sorts, 0);
         prop_assert_eq!(service.serve_stats().pool_rebuilds, 0);

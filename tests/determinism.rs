@@ -250,6 +250,179 @@ fn mutate_then_serve_top_k_matches_its_golden() {
     assert_eq!(stats.mask_resets, 0);
 }
 
+/// Layer 3, the shard-merge serving path: top-k answered by per-shard
+/// candidate retrieval plus the deterministic k-way merge reproduces the
+/// recorded goldens for **all four serving policies**, at every shard
+/// count, for `k` at 1, at the protected-prefix boundary (`start_rank`),
+/// and at 10. The merged pool's pre-shuffle order and the merged order
+/// prefix feed the RNG and the coin-flip merge directly, so a merge that
+/// reassembled either one differently — even only at some shard count —
+/// would shift these vectors. Selective engines take the shard-retrieval
+/// path; Uniform engines pin their mandatory global fallback to the same
+/// bar.
+#[test]
+fn shard_merged_top_k_reproduces_the_recorded_goldens_for_all_four_policies() {
+    let policies: [(RankPromotionEngine, [u64; 10]); 4] = [
+        (
+            RankPromotionEngine::recommended(),
+            GOLDEN_RERANK_7_11_13_TOP10,
+        ),
+        (
+            RankPromotionEngine::new(
+                PromotionConfig::new(PromotionRule::Selective, 1, 0.5).unwrap(),
+            ),
+            GOLDEN_TOP10_SELECTIVE_R50_K1_7_11_13,
+        ),
+        (
+            RankPromotionEngine::new(PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap()),
+            GOLDEN_TOP10_UNIFORM_R30_K1_7_11_13,
+        ),
+        (
+            RankPromotionEngine::new(PromotionConfig::new(PromotionRule::Uniform, 2, 0.1).unwrap()),
+            GOLDEN_TOP10_UNIFORM_R10_K2_7_11_13,
+        ),
+    ];
+    // The recommended engine's vector is exactly the documented full
+    // golden's prefix — one source of truth, restated as `[u64; 10]`.
+    assert_eq!(GOLDEN_RERANK_7_11_13_TOP10, GOLDEN_RERANK_7_11_13[..10]);
+    let ctx = QueryContext::new(11, 13);
+    let docs = corpus();
+    for (engine, golden) in policies {
+        let engine = engine.with_seed(7);
+        let label = engine.config().label();
+        for shards in [1usize, 3, 8] {
+            let mut service = ShardedPromotionService::new(engine, shards).with_workers(2);
+            service.extend(docs.iter().copied());
+            for k in [1usize, engine.config().start_rank, 10] {
+                assert_eq!(
+                    service.rerank_top_k(ctx, k),
+                    golden[..k],
+                    "{label}, {shards} shards, top-{k}"
+                );
+                let mut batch = Vec::new();
+                service.rerank_batch_top_k_into(&[ctx], k, &mut batch);
+                assert_eq!(
+                    batch[0],
+                    golden[..k],
+                    "{label}, {shards} shards, batch top-{k}"
+                );
+            }
+            // Every vector above was served without materialising a
+            // global ranking iff the engine reads the pool index.
+            let stats = service.serve_stats();
+            if engine.reads_pool_index() {
+                assert_eq!(stats.global_materialisations, 0, "{label}");
+            } else {
+                assert_eq!(stats.shard_retrievals, 0, "{label}");
+            }
+        }
+    }
+}
+
+/// Layer 3, the merge at the ranking layer: partitioning the documented
+/// corpus into 1, 3 or 8 shard-local corpora, collecting per-shard
+/// candidates and running the deterministic merge reproduces the *same*
+/// recorded pooled golden as the corpus-wide path, from the same RNG
+/// state — through both the self-contained candidate form and the
+/// maintained-pool primitive the serving tier uses.
+#[test]
+fn shard_candidate_merge_reproduces_the_pooled_goldens() {
+    use rrp_ranking::{
+        merge_shard_candidates_into, MergedCandidates, PageStats, PopularityIndex, ShardCandidates,
+    };
+
+    let docs = corpus();
+    let mut stats = Vec::new();
+    RankPromotionEngine::document_stats(&docs, &mut stats);
+    let kind = PolicyKind::recommended(2);
+    let mut buffers = RankBuffers::new();
+    let mut out = Vec::new();
+    let mut merged = MergedCandidates::new();
+    for shards in [1usize, 3, 8] {
+        let mut locals: Vec<Vec<PageStats>> = vec![Vec::new(); shards];
+        let mut globals: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for p in &stats {
+            let shard = (p.slot * 13 + 5) % shards;
+            let mut local = *p;
+            local.slot = locals[shard].len();
+            locals[shard].push(local);
+            globals[shard].push(p.slot);
+        }
+        let candidates: Vec<ShardCandidates> = (0..shards)
+            .map(|s| {
+                let order = PopularityIndex::build(&locals[s]);
+                let pool = PoolIndex::build(&locals[s]);
+                let mut c = ShardCandidates::new();
+                c.collect(
+                    PoolView::new(&locals[s], order.order(), &pool),
+                    10,
+                    &globals[s],
+                );
+                c
+            })
+            .collect();
+        merge_shard_candidates_into(&candidates, 10, &mut merged);
+        kind.rank_top_k_candidates_into(&merged, 10, &mut new_rng(123), &mut buffers, &mut out);
+        assert_eq!(
+            out, GOLDEN_TOP10_SELECTIVE_123,
+            "candidate form via {shards}-shard merge"
+        );
+
+        // The maintained-pool primitive (pool merged once per repair,
+        // rest retrieved per query) draws the identical stream.
+        let PolicyKind::Promotion(policy) = kind else {
+            unreachable!()
+        };
+        let rest_slots: Vec<usize> = merged.rest().iter().map(|p| p.slot).collect();
+        policy.rank_top_k_retrieved_into(
+            merged.pool(),
+            &rest_slots,
+            10,
+            &mut new_rng(123),
+            &mut buffers,
+            &mut out,
+        );
+        assert_eq!(
+            out, GOLDEN_TOP10_SELECTIVE_123,
+            "retrieved form via {shards}-shard merge"
+        );
+    }
+}
+
+/// Layer 3, mutate-then-merge: the documented mutation schedule (two
+/// visits, a popularity boost, two inserts) served *exclusively* through
+/// shard retrieval — no warm-up full batch, so the canonical global tier
+/// is never consulted at all — reproduces the same recorded golden at
+/// every shard count. Mutations here cross shard boundaries (the two
+/// inserts land on different shards as the count changes), so a shard
+/// cache that mis-repaired its local dirty slots would desynchronise the
+/// merge at some count and shift this vector.
+#[test]
+fn mutate_then_merge_schedule_reproduces_its_golden_at_every_shard_count() {
+    let engine = RankPromotionEngine::recommended().with_seed(7);
+    for shards in [1usize, 3, 8] {
+        let mut service = ShardedPromotionService::new(engine, shards).with_workers(2);
+        service.extend(corpus());
+        assert!(service.record_visit(22));
+        assert!(service.record_visit(25));
+        assert!(service.update_popularity(3, 1.5));
+        service.insert(Document::established(40, 0.77).with_age(9));
+        service.insert(Document::unexplored(41));
+        assert_eq!(
+            service.rerank_top_k(QueryContext::new(11, 13), 12),
+            GOLDEN_MUTATE_THEN_SERVE_TOP12,
+            "{shards} shards"
+        );
+        let stats = service.serve_stats();
+        assert_eq!(stats.global_materialisations, 0, "{shards} shards");
+        assert_eq!(stats.shard_retrievals, shards as u64);
+        assert_eq!(stats.shard_repairs, 1, "one repair covers the schedule");
+        assert_eq!(stats.snapshot_rebuilds, 0);
+        assert_eq!(stats.pool_rebuilds, 0);
+        assert_eq!(stats.mask_resets, 0);
+    }
+}
+
 /// Golden outputs of `new_rng(123)`.
 const GOLDEN_RNG_123: [u64; 4] = [
     17369494502333954609,
@@ -284,3 +457,13 @@ const GOLDEN_TOP10_SELECTIVE_123: [usize; 10] = [0, 1, 28, 2, 3, 4, 5, 6, 7, 8];
 /// Golden top-12 document ids after the documented mutate-then-serve
 /// schedule (engine seed 7, `QueryContext::new(11, 13)`).
 const GOLDEN_MUTATE_THEN_SERVE_TOP12: [u64; 12] = [3, 0, 1, 2, 4, 5, 40, 6, 7, 8, 9, 10];
+
+/// Golden top-10 document ids over the documented corpus for the other
+/// three serving policies (engine seed 7, `QueryContext::new(11, 13)`;
+/// the recommended engine's vector is the `GOLDEN_RERANK_7_11_13`
+/// prefix). Recorded from the single sequential engine; the shard-merge
+/// serving path is held to them at every shard count.
+const GOLDEN_RERANK_7_11_13_TOP10: [u64; 10] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9];
+const GOLDEN_TOP10_SELECTIVE_R50_K1_7_11_13: [u64; 10] = [0, 23, 1, 2, 22, 27, 3, 26, 4, 5];
+const GOLDEN_TOP10_UNIFORM_R30_K1_7_11_13: [u64; 10] = [0, 1, 3, 4, 5, 25, 22, 6, 8, 7];
+const GOLDEN_TOP10_UNIFORM_R10_K2_7_11_13: [u64; 10] = [0, 1, 3, 4, 5, 6, 7, 8, 9, 10];
