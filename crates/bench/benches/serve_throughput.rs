@@ -13,7 +13,7 @@
 //!   by dirty-slot binary-search reinsertion, then the batch runs;
 //! * `top10_mutated` — same mutation schedule, but each query asks for
 //!   only the top 10 ranks — answered by per-shard candidate retrieval
-//!   plus the deterministic merge (zero global materialisations), on the
+//!   plus the deterministic merge (zero complete-order merges), on the
 //!   default 8-way service;
 //! * `top10_mutated_shards{1,2}` — the same top-10 workload at narrower
 //!   shard counts (`top10_mutated` itself is the 8-shard point): the
@@ -23,7 +23,7 @@
 //!   visited sequentially, so the total is what one machine pays — a
 //!   deployment overlaps them across index servers).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rrp_core::{Document, QueryContext, RankPromotionEngine};
 use rrp_model::{new_rng, PowerLawQuality, QualityDistribution};
 use rrp_serve::ShardedPromotionService;
@@ -80,7 +80,8 @@ fn bench_serve_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_throughput");
     group
         .measurement_time(Duration::from_secs(3))
-        .sample_size(20);
+        .sample_size(20)
+        .throughput(Throughput::Elements(BATCH));
     for &n in &[10_000u64, 100_000] {
         let qs = queries(1);
 

@@ -1,0 +1,67 @@
+//! Resident-set probe for the serving tier: build an 8-shard service over
+//! `n = 100_000` documents, warm every serving path (one full batch, one
+//! top-k batch), and print `VmRSS` deltas from `/proc/self/status`.
+//!
+//! Run with `cargo run --release -p rrp-bench --example serve_rss`. The
+//! numbers feed the ROADMAP perf ledger; they are deltas over the process
+//! baseline so the binary's own footprint is subtracted out.
+
+use rrp_core::{Document, QueryContext, RankPromotionEngine};
+use rrp_ranking::{PromotionConfig, PromotionRule};
+use rrp_serve::ShardedPromotionService;
+
+const N: usize = 100_000;
+
+fn vm_rss_kib() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .expect("VmRSS line")
+}
+
+fn corpus() -> Vec<Document> {
+    (0..N as u64)
+        .map(|i| {
+            if i % 16 == 0 {
+                Document::unexplored(i)
+            } else {
+                Document::established(i, 1.0 / (1.0 + i as f64)).with_age(i % 365)
+            }
+        })
+        .collect()
+}
+
+fn measure(label: &str, engine: RankPromotionEngine) -> ShardedPromotionService {
+    let before = vm_rss_kib();
+    let mut service = ShardedPromotionService::new(engine, 8).with_workers(1);
+    service.extend(corpus());
+    let queries: Vec<QueryContext> = (0..4u64).map(|q| QueryContext::new(q, q * 31)).collect();
+    let mut results = Vec::new();
+    service.rerank_batch_into(&queries, &mut results);
+    let mut top = Vec::new();
+    service.rerank_batch_top_k_into(&queries, 10, &mut top);
+    let after = vm_rss_kib();
+    println!(
+        "{label}: warmed service over n={N} holds ~{} KiB ({} -> {} KiB RSS)",
+        after - before,
+        before,
+        after
+    );
+    service
+}
+
+fn main() {
+    let selective = measure("selective", RankPromotionEngine::recommended().with_seed(7));
+    let uniform = measure(
+        "uniform",
+        RankPromotionEngine::new(PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap())
+            .with_seed(7),
+    );
+    // Keep both services alive so the second measurement cannot reuse the
+    // first one's freed pages for its own state.
+    std::hint::black_box((&selective, &uniform));
+    println!("total RSS at exit: {} KiB", vm_rss_kib());
+}

@@ -3,11 +3,27 @@
 //!
 //! Implements the API surface the workspace's micro-benchmarks use:
 //! [`Criterion`], [`BenchmarkGroup`] (with `measurement_time` /
-//! `sample_size` / `bench_function` / `bench_with_input`), [`Bencher::iter`],
-//! [`BenchmarkId`], [`black_box`] and the `criterion_group!` /
-//! `criterion_main!` macros. Statistics are simple — per sample it measures
-//! one timed batch and reports the median and min/max of the per-iteration
-//! time — but the measurement loop is real, so regressions still show.
+//! `sample_size` / `throughput` / `bench_function` / `bench_with_input`),
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], [`black_box`] and
+//! the `criterion_group!` / `criterion_main!` macros. Statistics are
+//! simple — per sample it measures one timed batch and reports the median
+//! and min/max of the per-iteration time — but the measurement loop is
+//! real, so regressions still show.
+//!
+//! ## Machine-readable output
+//!
+//! When the `CRITERION_OUTPUT_JSON` environment variable names a file,
+//! every benchmark appends one JSON line to it as it completes:
+//!
+//! ```json
+//! {"label":"group/bench/10000","median_ns":123.4,"min_ns":120.0,
+//!  "max_ns":130.9,"samples":20,"iterations":512}
+//! ```
+//!
+//! Benchmarks that declare [`Throughput::Elements`] additionally report
+//! `"elements"` and `"per_element_median_ns"` — the per-query medians CI
+//! archives from the serving benchmark. The file is appended to, never
+//! truncated, so delete it first for a fresh run.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -54,6 +70,16 @@ impl From<String> for BenchmarkId {
     fn from(text: String) -> Self {
         BenchmarkId { text }
     }
+}
+
+/// Declared throughput of one benchmark iteration, used to derive
+/// per-element cost from the measured per-iteration time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// One iteration processes this many logical elements (e.g. queries).
+    Elements(u64),
+    /// One iteration processes this many bytes.
+    Bytes(u64),
 }
 
 /// The measurement driver passed to benchmark closures.
@@ -116,6 +142,7 @@ impl Criterion {
             name,
             measurement_time: Duration::from_secs(1),
             sample_size: 10,
+            throughput: None,
         }
     }
 
@@ -123,7 +150,7 @@ impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
         let budget = self.measurement_time;
         let samples = self.sample_size;
-        run_benchmark(id, budget, samples, f);
+        run_benchmark(id, budget, samples, None, f);
         self
     }
 }
@@ -134,6 +161,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     measurement_time: Duration,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -149,6 +177,13 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declare how many elements one iteration of the following
+    /// benchmarks processes; reports gain a derived per-element median.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     /// Benchmark a routine under this group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(
         &mut self,
@@ -157,7 +192,13 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let id = id.into();
         let label = format!("{}/{id}", self.name);
-        run_benchmark(&label, self.measurement_time, self.sample_size, f);
+        run_benchmark(
+            &label,
+            self.measurement_time,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
         self
     }
 
@@ -180,6 +221,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     label: &str,
     budget: Duration,
     samples: usize,
+    throughput: Option<Throughput>,
     mut routine: F,
 ) {
     // Calibration: find how many iterations fit one sample's time slice.
@@ -207,12 +249,81 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     let median = per_iter_nanos[per_iter_nanos.len() / 2];
     let min = per_iter_nanos.first().copied().unwrap_or(0.0);
     let max = per_iter_nanos.last().copied().unwrap_or(0.0);
+    let per_element = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if n > 0 => {
+            Some((n, median / n as f64))
+        }
+        _ => None,
+    };
+    let per_element_note = per_element
+        .map(|(n, per)| format!(", {} / element × {n}", format_nanos(per)))
+        .unwrap_or_default();
     println!(
-        "  {label}: median {} [min {}, max {}] ({samples} samples × {iterations} iters)",
+        "  {label}: median {} [min {}, max {}] ({samples} samples × {iterations} iters{per_element_note})",
         format_nanos(median),
         format_nanos(min),
         format_nanos(max),
     );
+    if let Ok(path) = std::env::var("CRITERION_OUTPUT_JSON") {
+        if !path.is_empty() {
+            let record = json_record(label, median, min, max, samples, iterations, per_element);
+            append_line(&path, &record);
+        }
+    }
+}
+
+/// Render one benchmark result as a single JSON object (no trailing
+/// newline). Kept separate from the file append so tests can pin the
+/// exact format without touching the environment.
+fn json_record(
+    label: &str,
+    median: f64,
+    min: f64,
+    max: f64,
+    samples: usize,
+    iterations: u64,
+    per_element: Option<(u64, f64)>,
+) -> String {
+    let mut record = format!(
+        "{{\"label\":\"{}\",\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\
+         \"samples\":{samples},\"iterations\":{iterations}",
+        escape_json(label)
+    );
+    if let Some((elements, per)) = per_element {
+        record.push_str(&format!(
+            ",\"elements\":{elements},\"per_element_median_ns\":{per:.1}"
+        ));
+    }
+    record.push('}');
+    record
+}
+
+/// Append one line to the JSON sink; measurement must not die on a bad
+/// path, so I/O failures only warn.
+fn append_line(path: &str, line: &str) {
+    use std::io::Write;
+    let opened = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path);
+    let written = opened.and_then(|mut file| writeln!(file, "{line}"));
+    if let Err(error) = written {
+        eprintln!("warning: CRITERION_OUTPUT_JSON append to {path} failed: {error}");
+    }
+}
+
+/// Minimal JSON string escaping for benchmark labels.
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn format_nanos(nanos: f64) -> String {
@@ -284,5 +395,41 @@ mod tests {
         assert_eq!(format_nanos(12.34), "12.3 ns");
         assert_eq!(format_nanos(12_340.0), "12.34 µs");
         assert_eq!(format_nanos(12_340_000.0), "12.34 ms");
+    }
+
+    #[test]
+    fn json_record_shapes() {
+        assert_eq!(
+            json_record("g/b/10000", 128.0, 120.5, 140.24, 20, 512, None),
+            "{\"label\":\"g/b/10000\",\"median_ns\":128.0,\"min_ns\":120.5,\
+             \"max_ns\":140.2,\"samples\":20,\"iterations\":512}"
+        );
+        assert_eq!(
+            json_record("g", 640.0, 640.0, 640.0, 2, 1, Some((64, 10.0))),
+            "{\"label\":\"g\",\"median_ns\":640.0,\"min_ns\":640.0,\
+             \"max_ns\":640.0,\"samples\":2,\"iterations\":1,\
+             \"elements\":64,\"per_element_median_ns\":10.0}"
+        );
+    }
+
+    #[test]
+    fn json_labels_are_escaped() {
+        assert_eq!(escape_json("plain/label_10"), "plain/label_10");
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn append_line_appends_without_truncating() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion-compat-append-{}.jsonl",
+            std::process::id()
+        ));
+        let path = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(path);
+        append_line(path, "{\"label\":\"first\"}");
+        append_line(path, "{\"label\":\"second\"}");
+        let contents = std::fs::read_to_string(path).expect("sink readable");
+        assert_eq!(contents, "{\"label\":\"first\"}\n{\"label\":\"second\"}\n");
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -295,6 +295,55 @@ impl RankPromotionEngine {
         policy.rank_top_k_retrieved_into(pool, rest, k, &mut rng, buffers, out);
     }
 
+    /// A **full rerank from merged shard state** — the single-tier serving
+    /// path: `order` is the complete global popularity order reassembled
+    /// by the deterministic shard merge (a
+    /// [`ShardedCorpusCache`](crate::ShardedCorpusCache)'s
+    /// [`merged_order`](crate::ShardedCorpusCache::merged_order)), `pool`
+    /// the maintained global pool in pre-shuffle (ascending-slot) order
+    /// and `in_pool` its membership predicate (both read only by the
+    /// Selective rule; the Uniform rule draws its per-page coins over
+    /// `0..order.len()` in slot order). No corpus-wide snapshot, order,
+    /// or pool index is consulted, yet the output (global slots) is
+    /// bit-identical to
+    /// [`rerank_cached_slots_into`](Self::rerank_cached_slots_into) over
+    /// the equivalent corpus-wide cache.
+    pub fn rerank_merged_into(
+        &self,
+        pool: &[usize],
+        order: &[usize],
+        in_pool: impl Fn(usize) -> bool,
+        context: QueryContext,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        let policy = RandomizedRankPromotion::new(self.config);
+        let mut rng = new_rng(context.seed(self.seed));
+        policy.rank_merged_into(pool, order, in_pool, &mut rng, buffers, out);
+    }
+
+    /// The top-`k` prefix of
+    /// [`rerank_merged_into`](Self::rerank_merged_into): merge stopped at
+    /// rank `k`, `L_d` materialised only up to `k` entries. Unlike the
+    /// candidate-retrieval path this serves Uniform-rule engines too —
+    /// the complete merged order is corpus enough for their coins. Output
+    /// equals the length-`k` prefix of the full rerank bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rerank_top_k_merged_into(
+        &self,
+        pool: &[usize],
+        order: &[usize],
+        in_pool: impl Fn(usize) -> bool,
+        k: usize,
+        context: QueryContext,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        let policy = RandomizedRankPromotion::new(self.config);
+        let mut rng = new_rng(context.seed(self.seed));
+        policy.rank_top_k_merged_into(pool, order, in_pool, k, &mut rng, buffers, out);
+    }
+
     /// [`rerank_top_k_pooled_slots_into`](Self::rerank_top_k_pooled_slots_into)
     /// read straight off a repaired [`CorpusCache`].
     pub fn rerank_top_k_cached_slots_into(
@@ -583,6 +632,53 @@ mod tests {
             for k in [0usize, 1, 2, 5, 10, 30, 99] {
                 engine.rerank_top_k_cached_slots_into(&cache, k, ctx, &mut buffers, &mut pooled);
                 assert_eq!(pooled, scan[..k.min(scan.len())], "pooled k={k}, q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_paths_match_the_scanning_path_for_both_rules() {
+        let docs = corpus();
+        let engines = [
+            RankPromotionEngine::recommended().with_seed(21),
+            RankPromotionEngine::new(PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap())
+                .with_seed(21),
+        ];
+        for engine in engines {
+            let mut cache = CorpusCache::new();
+            cache.rebuild(&docs);
+            let mut buffers = RankBuffers::new();
+            let (mut scan, mut merged) = (Vec::new(), Vec::new());
+            for q in 0..20u64 {
+                let ctx = QueryContext::new(q, q.wrapping_mul(77));
+                engine.rerank_presorted_slots_into(
+                    cache.stats(),
+                    cache.order(),
+                    ctx,
+                    &mut buffers,
+                    &mut scan,
+                );
+                engine.rerank_merged_into(
+                    cache.pool().members(),
+                    cache.order(),
+                    |s| cache.pool().contains(s),
+                    ctx,
+                    &mut buffers,
+                    &mut merged,
+                );
+                assert_eq!(merged, scan, "full merged, q={q}");
+                for k in [0usize, 1, 2, 5, 10, 30, 99] {
+                    engine.rerank_top_k_merged_into(
+                        cache.pool().members(),
+                        cache.order(),
+                        |s| cache.pool().contains(s),
+                        k,
+                        ctx,
+                        &mut buffers,
+                        &mut merged,
+                    );
+                    assert_eq!(merged, scan[..k.min(scan.len())], "merged k={k}, q={q}");
+                }
             }
         }
     }

@@ -17,6 +17,14 @@
 //! re-merged from the shard pools at repair time exactly as
 //! `merge_shard_candidates_into` would merge per-query pool candidates.
 //!
+//! Full reranks (and the Uniform rule's per-page coin scan) are served
+//! from the same shard-local state: the **complete** merged global
+//! popularity order
+//! ([`merge_shard_orders_into`](rrp_ranking::merge_shard_orders_into)) is
+//! maintained lazily — repairs mark it stale, the next full-order read
+//! re-merges once ([`ensure_merged_order`](ShardedCorpusCache::ensure_merged_order))
+//! — so there is exactly one tier of serving state at every query shape.
+//!
 //! The local↔global mapping rides on two invariants the owner must keep
 //! (both debug-asserted):
 //!
@@ -54,6 +62,15 @@ pub struct ShardedCorpusCache {
     /// slot), so queries between repairs reuse it instead of re-merging
     /// `O(pool)` state each.
     merged_pool: Vec<usize>,
+    /// The **complete** merged global popularity order (global slots) —
+    /// what a full rerank and the Uniform rule's per-page coin scan
+    /// consume instead of any corpus-wide snapshot. Re-merged *lazily*:
+    /// [`repair`](Self::repair) only marks it stale, and
+    /// [`ensure_merged_order`](Self::ensure_merged_order) re-merges on the
+    /// next read, so top-k-only traffic never pays the `O(n)` merge.
+    merged_order: Vec<usize>,
+    /// Whether `merged_order` must be re-merged before its next read.
+    merged_order_stale: bool,
     /// Scratch: per-shard cursors for the repair-time pool merge.
     merge_heads: Vec<usize>,
 }
@@ -67,6 +84,8 @@ impl ShardedCorpusCache {
             shards,
             placement: Vec::new(),
             merged_pool: Vec::new(),
+            merged_order: Vec::new(),
+            merged_order_stale: false,
             merge_heads: Vec::new(),
         }
     }
@@ -135,6 +154,7 @@ impl ShardedCorpusCache {
         let handed: u64 = self.shards.iter_mut().map(|s| s.cache.repair()).sum();
         if handed > 0 {
             self.merge_pools();
+            self.merged_order_stale = true;
         }
         handed
     }
@@ -155,6 +175,87 @@ impl ShardedCorpusCache {
     pub fn page_of(&self, global_slot: usize) -> PageId {
         let (shard, local) = self.placement[global_slot];
         self.shards[shard as usize].cache.stats()[local as usize].page
+    }
+
+    /// The cached [`PageStats`](rrp_ranking::PageStats) of the document at
+    /// `global_slot`, relabeled to its global slot (`O(1)`).
+    #[inline]
+    pub fn stat_of(&self, global_slot: usize) -> rrp_ranking::PageStats {
+        let (shard, local) = self.placement[global_slot];
+        let mut stat = self.shards[shard as usize].cache.stats()[local as usize];
+        stat.slot = global_slot;
+        stat
+    }
+
+    /// Whether `global_slot` is a member of its shard's promotion pool
+    /// (`O(1)`). Requires maintained pools and a preceding
+    /// [`repair`](Self::repair) — the membership predicate the merged
+    /// full-rerank path filters the global order through.
+    #[inline]
+    pub fn in_pool(&self, global_slot: usize) -> bool {
+        let (shard, local) = self.placement[global_slot];
+        self.shards[shard as usize]
+            .cache
+            .pool()
+            .contains(local as usize)
+    }
+
+    /// Whether pool maintenance is enabled on the shard caches (see
+    /// [`set_pool_maintained`](Self::set_pool_maintained)).
+    pub fn pool_maintained(&self) -> bool {
+        self.shards
+            .first()
+            .is_some_and(|s| s.cache.pool_maintained())
+    }
+
+    /// The complete merged global popularity order (global slots), kept
+    /// current by [`ensure_merged_order`](Self::ensure_merged_order) —
+    /// identical in content and order to a corpus-wide
+    /// [`PopularityIndex::order`](rrp_ranking::PopularityIndex::order).
+    #[inline]
+    pub fn merged_order(&self) -> &[usize] {
+        debug_assert!(!self.merged_order_stale, "read of a stale merged order");
+        &self.merged_order
+    }
+
+    /// Re-merge the complete global popularity order if a repair left it
+    /// stale, returning whether a merge actually ran (the owner's
+    /// `order_merges` probe counts these — steady-state traffic between
+    /// mutations pays zero). Requires a preceding [`repair`](Self::repair)
+    /// (debug-asserted: the shard orders being merged must be clean).
+    pub fn ensure_merged_order(&mut self) -> bool {
+        if !self.merged_order_stale && self.merged_order.len() == self.len() {
+            return false;
+        }
+        debug_assert_eq!(self.dirty_len(), 0, "merge of an unrepaired shard order");
+        let ShardedCorpusCache {
+            shards,
+            merged_order,
+            merge_heads,
+            ..
+        } = self;
+        rrp_ranking::merge_shard_orders_into(
+            shards.len(),
+            |s| shards[s].globals.len(),
+            |s, i| {
+                let shard = &shards[s];
+                let local = shard.cache.order()[i];
+                let mut stat = shard.cache.stats()[local];
+                stat.slot = shard.globals[local];
+                stat
+            },
+            merge_heads,
+            merged_order,
+        );
+        self.merged_order_stale = false;
+        debug_assert_eq!(self.merged_order.len(), self.len());
+        debug_assert!(
+            self.merged_order.windows(2).all(|w| {
+                rrp_ranking::popularity_order(&self.stat_of(w[0]), &self.stat_of(w[1])).is_lt()
+            }),
+            "merged order must be the global popularity order"
+        );
+        true
     }
 
     /// Re-merge the shard pools into the maintained global pool — the
@@ -212,6 +313,8 @@ impl ShardedCorpusCache {
         }
         self.placement.clear();
         self.merged_pool.clear();
+        self.merged_order.clear();
+        self.merged_order_stale = false;
     }
 }
 
@@ -330,6 +433,52 @@ mod tests {
         let rest_slots: Vec<usize> = merged.rest().iter().map(|p| p.slot).collect();
         assert_eq!(rest_slots[0], 7, "the boosted slot leads the order");
         assert_eq!(rest_slots, expected_rest(&order, &pool, 5));
+    }
+
+    #[test]
+    fn merged_order_equals_the_corpus_wide_popularity_order() {
+        let mut docs = documents(60);
+        let (order, _) = global_reference(&docs);
+        for shards in [1usize, 2, 3, 8] {
+            let mut cache = filled(&docs, shards);
+            cache.repair();
+            assert!(cache.ensure_merged_order(), "first read merges");
+            assert_eq!(cache.merged_order(), order.order(), "{shards} shards");
+            assert!(
+                !cache.ensure_merged_order(),
+                "clean order must not re-merge"
+            );
+        }
+
+        // Mutations repair into a stale order; the next read re-merges to
+        // the fresh corpus-wide derivation, and only that read pays.
+        let mut cache = filled(&docs, 4);
+        cache.repair();
+        cache.ensure_merged_order();
+        docs[5].popularity = 4.0;
+        cache.patch(5, &docs[5]);
+        docs.push(Document::unexplored(77));
+        cache.push(shard_of(77, 4), docs.last().unwrap());
+        cache.repair();
+        assert!(cache.ensure_merged_order(), "repair leaves the order stale");
+        let (order, _) = global_reference(&docs);
+        assert_eq!(cache.merged_order(), order.order());
+        assert_eq!(cache.merged_order()[0], 5, "the boosted slot leads");
+        assert!(!cache.ensure_merged_order());
+    }
+
+    #[test]
+    fn stat_of_and_in_pool_resolve_through_the_placement_map() {
+        let docs = documents(30);
+        let mut cache = filled(&docs, 3);
+        cache.repair();
+        let mut stats = Vec::new();
+        crate::engine::RankPromotionEngine::document_stats(&docs, &mut stats);
+        for (slot, stat) in stats.iter().enumerate() {
+            assert_eq!(cache.stat_of(slot), *stat);
+            assert_eq!(cache.in_pool(slot), docs[slot].is_unexplored);
+        }
+        assert!(cache.pool_maintained());
     }
 
     #[test]

@@ -189,6 +189,69 @@ pub fn merge_ascending_slots_into(
     debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
 }
 
+/// The shared core of every stat-keyed shard merge: k-way merge streams of
+/// [`PageStats`] — each already sorted by [`popularity_order`] — emitting
+/// entries in global popularity order until `limit` entries have been
+/// emitted or every stream has run dry. `stream_len(s)` and `stat_at(s, i)`
+/// describe stream `s` (entries must carry *global* slots, and streams must
+/// be disjoint in them); `heads` is caller scratch, reused across calls.
+///
+/// Shard counts are deployment-sized (a handful to a few dozen), so a
+/// linear scan over the stream heads beats a binary heap's bookkeeping.
+fn merge_stat_streams(
+    streams: usize,
+    stream_len: impl Fn(usize) -> usize,
+    stat_at: impl Fn(usize, usize) -> PageStats,
+    limit: usize,
+    heads: &mut Vec<usize>,
+    mut emit: impl FnMut(PageStats),
+) {
+    heads.clear();
+    heads.resize(streams, 0);
+    let mut emitted = 0usize;
+    while emitted < limit {
+        let mut best: Option<(usize, PageStats)> = None;
+        for (stream, &head) in heads.iter().enumerate() {
+            if head < stream_len(stream) {
+                let stat = stat_at(stream, head);
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, b)| popularity_order(&stat, b).is_lt())
+                {
+                    best = Some((stream, stat));
+                }
+            }
+        }
+        let Some((stream, stat)) = best else { break };
+        emit(stat);
+        heads[stream] += 1;
+        emitted += 1;
+    }
+}
+
+/// K-way merge of *complete* per-shard popularity orders into the global
+/// popularity order, written into `out` (cleared first) as global slots.
+///
+/// This is [`merge_shard_candidates_into`]'s rest merge with the prefix
+/// cap dropped: every stream is a shard's full order (relabeled to global
+/// slots via `stat_at`), so the merge reassembles the *entire* global
+/// popularity order — the structure a full rerank and the Uniform rule's
+/// per-page coin scan consume. Exactness needs no truncation argument
+/// here: the streams are complete, the comparator is total, and its
+/// global-slot tie-break makes the merge order unique.
+pub fn merge_shard_orders_into(
+    streams: usize,
+    stream_len: impl Fn(usize) -> usize,
+    stat_at: impl Fn(usize, usize) -> PageStats,
+    heads: &mut Vec<usize>,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    merge_stat_streams(streams, stream_len, stat_at, usize::MAX, heads, |stat| {
+        out.push(stat.slot)
+    });
+}
+
 /// Deterministically k-way merge per-shard candidate sets into the global
 /// candidate view, writing into `merged` (cleared first; storage reused):
 ///
@@ -212,8 +275,6 @@ pub fn merge_shard_candidates_into(
     let MergedCandidates { pool, rest, heads } = merged;
     rest.clear();
 
-    // Shard counts are deployment-sized (a handful to a few dozen), so a
-    // linear scan over the stream heads beats a binary heap's bookkeeping.
     merge_ascending_slots_into(
         shards.len(),
         |s| shards[s].pool.len(),
@@ -222,21 +283,14 @@ pub fn merge_shard_candidates_into(
         pool,
     );
 
-    heads.clear();
-    heads.resize(shards.len(), 0);
-    while rest.len() < limit {
-        let mut best: Option<usize> = None;
-        for (shard, candidates) in shards.iter().enumerate() {
-            if let Some(head) = candidates.rest.get(heads[shard]) {
-                if best.is_none_or(|b| popularity_order(head, &shards[b].rest[heads[b]]).is_lt()) {
-                    best = Some(shard);
-                }
-            }
-        }
-        let Some(shard) = best else { break };
-        rest.push(shards[shard].rest[heads[shard]]);
-        heads[shard] += 1;
-    }
+    merge_stat_streams(
+        shards.len(),
+        |s| shards[s].rest.len(),
+        |s, i| shards[s].rest[i],
+        limit,
+        heads,
+        |stat| rest.push(stat),
+    );
 }
 
 #[cfg(test)]
@@ -325,6 +379,36 @@ mod tests {
                 assert_eq!(slots, expected, "{shards} shards, limit {limit}");
             }
         }
+    }
+
+    #[test]
+    fn merged_complete_orders_equal_the_global_popularity_order() {
+        let stats = corpus(40);
+        let expected = PopularityIndex::build(&stats).order().to_vec();
+        let (mut heads, mut out) = (Vec::new(), Vec::new());
+        for shards in [1usize, 2, 3, 8] {
+            let parts = partition(&stats, shards);
+            let orders: Vec<Vec<usize>> = parts
+                .iter()
+                .map(|(locals, _)| PopularityIndex::build(locals).order().to_vec())
+                .collect();
+            merge_shard_orders_into(
+                shards,
+                |s| orders[s].len(),
+                |s, i| {
+                    let local = orders[s][i];
+                    let (locals, globals) = &parts[s];
+                    let mut stat = locals[local];
+                    stat.slot = globals[local];
+                    stat
+                },
+                &mut heads,
+                &mut out,
+            );
+            assert_eq!(out, expected, "{shards} shards");
+        }
+        merge_shard_orders_into(0, |_| 0, |_, _| unreachable!(), &mut heads, &mut out);
+        assert!(out.is_empty(), "no streams merge to an empty order");
     }
 
     #[test]

@@ -240,6 +240,76 @@ impl PolicyKind {
         self.reads_pool_index()
     }
 
+    /// A **full rerank from merged shard state** — the distributed path
+    /// that consumes the complete global popularity order reassembled by
+    /// [`merge_shard_orders_into`](crate::merge_shard_orders_into) and no
+    /// corpus-wide stats snapshot. Plain popularity ranking's answer *is*
+    /// the merged order; promotion forwards to
+    /// [`RandomizedRankPromotion::rank_merged_into`] (both rules — the
+    /// Uniform rule's per-page coins are drawn over `0..order.len()` in
+    /// slot order, so the complete merged order is corpus enough). Output
+    /// is bit-identical to [`rank_pooled_into`](Self::rank_pooled_into)
+    /// over the equivalent corpus-wide view.
+    ///
+    /// # Panics
+    /// Panics for the quality oracle and the fully-random shuffle: their
+    /// permutations read per-page state the popularity-ordered merge does
+    /// not carry.
+    pub fn rank_merged_into<R: RngCore + ?Sized>(
+        &self,
+        pool: &[usize],
+        order: &[usize],
+        in_pool: impl Fn(usize) -> bool,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        match self {
+            PolicyKind::Popularity => {
+                out.clear();
+                out.extend_from_slice(order);
+            }
+            PolicyKind::QualityOracle | PolicyKind::FullyRandom => panic!(
+                "{} does not rank from merged shard state; it reads per-page state \
+                 the popularity-ordered merge does not carry",
+                self.name()
+            ),
+            PolicyKind::Promotion(policy) => {
+                policy.rank_merged_into(pool, order, in_pool, rng, buffers, out)
+            }
+        }
+    }
+
+    /// The top-`k` prefix of [`rank_merged_into`](Self::rank_merged_into)
+    /// (same panics); for the supported kinds the output equals the
+    /// length-`k` prefix of the full rerank bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rank_top_k_merged_into<R: RngCore + ?Sized>(
+        &self,
+        pool: &[usize],
+        order: &[usize],
+        in_pool: impl Fn(usize) -> bool,
+        k: usize,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        match self {
+            PolicyKind::Popularity => {
+                out.clear();
+                out.extend_from_slice(&order[..k.min(order.len())]);
+            }
+            PolicyKind::QualityOracle | PolicyKind::FullyRandom => panic!(
+                "{} does not rank from merged shard state; it reads per-page state \
+                 the popularity-ordered merge does not carry",
+                self.name()
+            ),
+            PolicyKind::Promotion(policy) => {
+                policy.rank_top_k_merged_into(pool, order, in_pool, k, rng, buffers, out)
+            }
+        }
+    }
+
     /// Whether the pooled paths actually read the pool index: only the
     /// selective promotion rule does. Every other kind either ignores the
     /// pool entirely or (the Uniform rule) must re-draw its per-page
@@ -520,6 +590,65 @@ mod tests {
             PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap()
         )
         .supports_candidate_retrieval());
+    }
+
+    #[test]
+    fn merged_dispatch_matches_the_full_rerank_where_supported() {
+        let ps = pages();
+        let mut sorted: Vec<usize> = (0..ps.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| popularity_order(&ps[a], &ps[b]));
+        let pool = crate::PoolIndex::build(&ps);
+        let mut buffers = RankBuffers::new();
+        let mut out = Vec::new();
+        let supported = [
+            PolicyKind::Popularity,
+            PolicyKind::recommended(2),
+            PolicyKind::promotion(PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap()),
+        ];
+        for kind in supported {
+            for seed in 0..10 {
+                let full = kind.rank(&ps, &mut new_rng(seed));
+                kind.rank_merged_into(
+                    pool.members(),
+                    &sorted,
+                    |s| pool.contains(s),
+                    &mut new_rng(seed),
+                    &mut buffers,
+                    &mut out,
+                );
+                assert_eq!(out, full, "{} merged full, seed={seed}", kind.name());
+                for k in [0usize, 1, 2, 5, 10, 30, 64] {
+                    kind.rank_top_k_merged_into(
+                        pool.members(),
+                        &sorted,
+                        |s| pool.contains(s),
+                        k,
+                        &mut new_rng(seed),
+                        &mut buffers,
+                        &mut out,
+                    );
+                    assert_eq!(
+                        out,
+                        full[..k.min(full.len())],
+                        "{} merged with k={k}, seed={seed}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not rank from merged shard state")]
+    fn merged_dispatch_rejects_per_page_state_kinds() {
+        PolicyKind::QualityOracle.rank_merged_into(
+            &[],
+            &[],
+            |_| false,
+            &mut new_rng(0),
+            &mut RankBuffers::new(),
+            &mut Vec::new(),
+        );
     }
 
     #[test]

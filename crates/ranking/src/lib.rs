@@ -45,7 +45,8 @@ pub mod stats;
 
 pub use buffers::RankBuffers;
 pub use candidates::{
-    merge_ascending_slots_into, merge_shard_candidates_into, MergedCandidates, ShardCandidates,
+    merge_ascending_slots_into, merge_shard_candidates_into, merge_shard_orders_into,
+    MergedCandidates, ShardCandidates,
 };
 pub use deterministic::{FullyRandomRanking, PopularityRanking, QualityOracleRanking};
 pub use kind::PolicyKind;

@@ -376,6 +376,124 @@ impl RandomizedRankPromotion {
         );
     }
 
+    /// The front half of the merged-order paths: build `L_p` and `L_d`
+    /// from a reassembled **global popularity order** (`order`, complete —
+    /// e.g. from
+    /// [`merge_shard_orders_into`](crate::merge_shard_orders_into)) with
+    /// no corpus-wide stats snapshot in sight.
+    ///
+    /// The Selective rule copies `pool` (the global pool in pre-shuffle,
+    /// ascending-slot order) and filters `order` through `in_pool`,
+    /// exactly as [`build_pooled_lists`](Self::build_pooled_lists) does
+    /// against a corpus-wide [`PoolIndex`](crate::PoolIndex). The Uniform
+    /// rule ignores `pool` and `in_pool` entirely (`in_pool` is never
+    /// invoked): its mandatory per-page coins are drawn in slot order —
+    /// one per slot `0..order.len()`, the same draws as the scanning
+    /// path's pass over `pages` — into the membership mask, and `order` is
+    /// filtered through that. Either way the RNG draws are identical to
+    /// the corpus-wide paths, so outputs stay byte-identical.
+    fn build_merged_lists<R: RngCore + ?Sized>(
+        &self,
+        pool: &[usize],
+        order: &[usize],
+        in_pool: impl Fn(usize) -> bool,
+        rest_limit: usize,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+    ) {
+        match self.config.rule {
+            PromotionRule::Selective => {
+                debug_assert!(pool.windows(2).all(|w| w[0] < w[1]));
+                let RankBuffers {
+                    pool: pool_buf,
+                    rest,
+                    ..
+                } = buffers;
+                pool_buf.clear();
+                pool_buf.extend_from_slice(pool);
+                fill_rest_and_shuffle(order, in_pool, rest_limit, rng, pool_buf, rest);
+            }
+            PromotionRule::Uniform => {
+                buffers.reset_mask(order.len());
+                let RankBuffers {
+                    pool: pool_buf,
+                    rest,
+                    mask,
+                    ..
+                } = buffers;
+                pool_buf.clear();
+                for (slot, promoted) in mask.iter_mut().enumerate().take(order.len()) {
+                    if rng.gen::<f64>() < self.config.degree {
+                        *promoted = true;
+                        pool_buf.push(slot);
+                    }
+                }
+                fill_rest_and_shuffle(order, |s| mask[s], rest_limit, rng, pool_buf, rest);
+            }
+        }
+    }
+
+    /// A **full rerank from merged shard state**: rank against the
+    /// complete global popularity order reassembled by the deterministic
+    /// shard merge, with no corpus-wide stats snapshot, order, or pool
+    /// index anywhere. `order` must be the complete merged popularity
+    /// order (global slots); `pool` the global pool in pre-shuffle
+    /// (ascending-slot) order and `in_pool` its membership predicate —
+    /// both read only by the Selective rule, whose pool a sharded cache
+    /// tier maintains across queries. The Uniform rule draws its per-page
+    /// coins over `0..order.len()` in slot order, exactly the scanning
+    /// path's draws. Output (global slots) is bit-identical to
+    /// [`rank_pooled_into`](Self::rank_pooled_into) over the equivalent
+    /// corpus-wide view.
+    pub fn rank_merged_into<R: RngCore + ?Sized>(
+        &self,
+        pool: &[usize],
+        order: &[usize],
+        in_pool: impl Fn(usize) -> bool,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        self.build_merged_lists(pool, order, in_pool, order.len(), rng, buffers);
+        merge_promoted_into(
+            &buffers.rest,
+            &buffers.pool,
+            self.config.start_rank,
+            self.config.degree,
+            rng,
+            out,
+        );
+    }
+
+    /// The top-`k` prefix of [`rank_merged_into`](Self::rank_merged_into):
+    /// `L_d` is materialised only up to its first `k` entries and the
+    /// coin-flip merge stops at rank `k`. Unlike the candidate-retrieval
+    /// path this serves the Uniform rule too (the complete merged order is
+    /// enough corpus for its per-page coins); output equals the length-`k`
+    /// prefix of the full rerank bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rank_top_k_merged_into<R: RngCore + ?Sized>(
+        &self,
+        pool: &[usize],
+        order: &[usize],
+        in_pool: impl Fn(usize) -> bool,
+        k: usize,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        self.build_merged_lists(pool, order, in_pool, k, rng, buffers);
+        merge_promoted_top_k_into(
+            &buffers.rest,
+            &buffers.pool,
+            self.config.start_rank,
+            self.config.degree,
+            k,
+            rng,
+            out,
+        );
+    }
+
     /// The top-`k` prefix of
     /// [`rank_presorted_into`](Self::rank_presorted_into), emitting only the
     /// first `k` ranks and stopping the coin-flip merge early.
@@ -783,6 +901,98 @@ mod tests {
                             from_candidates, pooled,
                             "{shards} shards, start_rank {start_rank}, k {k}, seed {seed}"
                         );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merged_paths_match_the_scanning_paths_for_both_rules() {
+        use crate::candidates::merge_shard_orders_into;
+
+        let ps = pages();
+        let mut sorted: Vec<usize> = (0..ps.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| popularity_order(&ps[a], &ps[b]));
+        let pool = PoolIndex::build(&ps);
+        let mut buffers = RankBuffers::new();
+        let (mut scan, mut merged_out) = (Vec::new(), Vec::new());
+
+        for shards in [1usize, 2, 3] {
+            // Shard the corpus and reassemble the complete global order
+            // through the k-way merge, as the serving tier does.
+            let mut locals: Vec<Vec<PageStats>> = vec![Vec::new(); shards];
+            let mut globals: Vec<Vec<usize>> = vec![Vec::new(); shards];
+            for p in &ps {
+                let shard = (p.slot * 5 + 1) % shards;
+                let mut local = *p;
+                local.slot = locals[shard].len();
+                locals[shard].push(local);
+                globals[shard].push(p.slot);
+            }
+            let shard_orders: Vec<Vec<usize>> = (0..shards)
+                .map(|s| {
+                    let mut order: Vec<usize> = (0..locals[s].len()).collect();
+                    order.sort_unstable_by(|&a, &b| popularity_order(&locals[s][a], &locals[s][b]));
+                    order
+                })
+                .collect();
+            let (mut heads, mut order) = (Vec::new(), Vec::new());
+            merge_shard_orders_into(
+                shards,
+                |s| shard_orders[s].len(),
+                |s, i| {
+                    let local = shard_orders[s][i];
+                    let mut stat = locals[s][local];
+                    stat.slot = globals[s][local];
+                    stat
+                },
+                &mut heads,
+                &mut order,
+            );
+            assert_eq!(order, sorted, "{shards} shards: merged order is global");
+
+            for rule in [PromotionRule::Selective, PromotionRule::Uniform] {
+                for start_rank in [1usize, 2, 4] {
+                    let policy = RandomizedRankPromotion::new(
+                        PromotionConfig::new(rule, start_rank, 0.4).unwrap(),
+                    );
+                    for seed in 0..10 {
+                        policy.rank_presorted_into(
+                            &ps,
+                            &sorted,
+                            &mut new_rng(seed),
+                            &mut buffers,
+                            &mut scan,
+                        );
+                        policy.rank_merged_into(
+                            pool.members(),
+                            &order,
+                            |s| pool.contains(s),
+                            &mut new_rng(seed),
+                            &mut buffers,
+                            &mut merged_out,
+                        );
+                        assert_eq!(
+                            merged_out, scan,
+                            "full merged {rule:?}, {shards} shards, start_rank {start_rank}, seed {seed}"
+                        );
+                        for k in [0usize, 1, 3, 5, 10, 50] {
+                            policy.rank_top_k_merged_into(
+                                pool.members(),
+                                &order,
+                                |s| pool.contains(s),
+                                k,
+                                &mut new_rng(seed),
+                                &mut buffers,
+                                &mut merged_out,
+                            );
+                            assert_eq!(
+                                merged_out,
+                                scan[..k.min(scan.len())],
+                                "top-k merged {rule:?}, {shards} shards, k {k}, seed {seed}"
+                            );
+                        }
                     }
                 }
             }

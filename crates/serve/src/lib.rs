@@ -4,24 +4,28 @@
 //! embeds; this crate is the serving tier of that picture. It partitions a
 //! document corpus across N shards, answers batches of queries on std
 //! scoped threads, and keeps its serving state **alive across batches** in
-//! two tiers: the canonical snapshot with its corpus-wide ranking caches
-//! (consulted only by full reranks), and one per-shard ranking cache per
-//! store shard — what top-k queries read. Mutations
-//! ([`ShardedPromotionService::insert`],
+//! a *single* tier: one per-shard ranking cache per store shard, holding
+//! that shard's statistics, popularity order and promotion-pool
+//! membership — there is no corpus-wide snapshot or cache anywhere in the
+//! service. Mutations ([`ShardedPromotionService::insert`],
 //! [`ShardedPromotionService::record_visit`],
-//! [`ShardedPromotionService::update_popularity`]) patch single slots in
-//! both tiers and each tier is repaired by dirty-slot reinsertion when
-//! next consulted, so an unchanged corpus pays zero sorts and zero
-//! snapshot rebuilds per batch.
+//! [`ShardedPromotionService::update_popularity`]) patch one shard-local
+//! slot, repaired by dirty-slot reinsertion when next queried, so an
+//! unchanged corpus pays zero sorts and zero rebuilds per batch.
 //!
-//! The top-k path ([`ShardedPromotionService::rerank_top_k`],
+//! Every query route reads that tier. Full reranks (and the Uniform
+//! rule's per-page coin scan, which needs every slot) consume the
+//! **complete merged order** — the shard popularity orders streamed
+//! through the same deterministic k-way merge as top-k candidates,
+//! re-merged lazily at most once per mutation epoch (pinned by
+//! [`ServeStats::order_merges`]). Selective top-k
+//! ([`ShardedPromotionService::rerank_top_k`],
 //! [`ShardedPromotionService::rerank_batch_top_k_into`]) is
-//! **shard-local**: per query each shard contributes only its
-//! popularity-order prefix, a deterministic k-way merge reassembles the
-//! exact global order prefix, and the (maintained) merged global pool is
-//! shuffled into it — the canonical full-corpus snapshot is neither
-//! rebuilt nor consulted, pinned by
-//! [`ServeStats::global_materialisations`]` == 0` and
+//! **shard-local retrieval**: per query each shard contributes only its
+//! popularity-order prefix, the merge reassembles the exact global order
+//! prefix, and the maintained merged global pool is shuffled into it —
+//! the complete order is never consulted, pinned by
+//! [`ServeStats::order_merges`]` == 0` and
 //! [`ServeStats::shard_retrievals`]` == shards × queries`. Batch fan-out
 //! writes into disjoint `&mut` result regions (no result lock). All of it
 //! preserves the `(engine seed, query, session)` determinism of

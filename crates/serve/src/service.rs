@@ -1,7 +1,7 @@
 //! The sharded batch rerank service.
 
 use crate::store::ShardedStore;
-use rrp_core::{CorpusCache, Document, QueryContext, RankPromotionEngine, ShardedCorpusCache};
+use rrp_core::{Document, QueryContext, RankPromotionEngine, ShardedCorpusCache};
 use rrp_ranking::{merge_shard_candidates_into, MergedCandidates, RankBuffers, ShardCandidates};
 use std::marker::PhantomData;
 use std::ops::Range;
@@ -9,39 +9,40 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Operation counters for the incremental serving state — the probe that
 /// pins the steady-state contract in tests: when the corpus is unchanged a
-/// batch performs **zero** snapshot rebuilds and **zero** sorts, and a
-/// mutated corpus costs one repair of exactly the dirty slots.
+/// batch performs **zero** repairs and **zero** order merges, and a
+/// mutated corpus costs one repair of exactly the dirty slots plus one
+/// lazy re-merge of the complete order (paid only by the next full-order
+/// consumer).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Batches answered (one per `rerank_batch*` call).
     pub batches: u64,
     /// Queries answered, across batch, single and top-k paths.
     pub queries: u64,
-    /// Full snapshot reassemblies from the sharded store — incremented
-    /// only by [`ShardedPromotionService::rebuild_from_store`]. The cached
-    /// snapshot is maintained in place on every mutation, so no query or
-    /// mutation path ever triggers one; tests pin this at 0 to catch a
-    /// future change that routes serving back through a rebuild.
+    /// Full re-derivations of the serving tier from the store —
+    /// incremented only by
+    /// [`ShardedPromotionService::rebuild_from_store`]. The shard caches
+    /// are maintained in place on every mutation, so no query or mutation
+    /// path ever triggers one; tests pin this at 0 to catch a future
+    /// change that routes serving back through a rebuild.
     pub snapshot_rebuilds: u64,
-    /// From-scratch `O(n log n)` sorts of the popularity order — likewise
+    /// From-scratch `O(n log n)` sorts of the popularity orders — likewise
     /// incremented only by the explicit rebuild path; the query paths
     /// only ever repair.
     pub full_sorts: u64,
-    /// Incremental repairs of the popularity order (runs only when at
-    /// least one slot is dirty).
-    pub index_repairs: u64,
-    /// Dirty slots handed to those repairs (distinct slots: the dirty
-    /// lists deduplicate on entry).
+    /// Dirty slots handed to the shard-tier repairs (distinct slots per
+    /// shard: the dirty lists deduplicate on entry).
     pub dirty_slots_repaired: u64,
     /// Full-corpus promotion-pool derivations (`O(n)` scan over every
     /// document) — incremented only by
     /// [`ShardedPromotionService::rebuild_from_store`]. The pool
-    /// membership persists in the [`CorpusCache`]'s `PoolIndex` and is
-    /// repaired alongside the popularity order, so no query or mutation
+    /// membership persists in each shard cache's `PoolIndex` and is
+    /// repaired alongside the popularity orders, so no query or mutation
     /// path ever re-derives it; tests pin this at 0.
     pub pool_rebuilds: u64,
     /// Incremental repairs of the pool membership (runs with every
-    /// popularity repair, from the same dirty slots).
+    /// shard-tier repair, from the same dirty slots — counted only while
+    /// pools are maintained, i.e. for selective engines).
     pub pool_repairs: u64,
     /// Per-query membership-mask resets reported by the ranking arenas —
     /// each one marks an `O(n)` pool scan inside a query. The pooled
@@ -52,48 +53,20 @@ pub struct ServeStats {
     /// Shard-local candidate retrievals: one per shard per top-k query
     /// answered through the retrieve→merge→rank path, so a clean top-k
     /// batch reads exactly `shards × queries` (pinned in tests). The
-    /// corpus-wide snapshot is never consulted on that path.
+    /// complete merged order is never consulted on that path.
     pub shard_retrievals: u64,
-    /// Queries answered from the canonical full-corpus state — a full
-    /// rank materialisation (`rerank_one`/`rerank_batch`) or the Uniform
-    /// rule's mandatory per-page coin scan on its top-k fallback. Top-k
-    /// batches under a selective engine perform **zero** of these (the
-    /// acceptance gate for shard-local retrieval; pinned in tests).
-    pub global_materialisations: u64,
-    /// Repair events on the per-shard caches (the shard-tier mirror of
-    /// [`index_repairs`](Self::index_repairs): one per query-or-batch that
-    /// found at least one shard-local dirty slot).
+    /// Repair events on the per-shard caches: one per query-or-batch that
+    /// found at least one shard-local dirty slot. Every query path runs
+    /// through this single repair site — there is no other tier to keep
+    /// current.
     pub shard_repairs: u64,
-}
-
-/// The persistent serving state, two tiers kept current *incrementally*:
-///
-/// * the **global tier** — the canonical snapshot plus the [`CorpusCache`]
-///   bundling its ranking statistics, popularity order and promotion-pool
-///   membership. Consulted only by paths that genuinely need all `n`
-///   ranks: full reranks, and the Uniform rule's per-page coin scan.
-/// * the **shard tier** — one [`CorpusCache`] per store shard
-///   ([`ShardedCorpusCache`]), each under dense shard-local slots with its
-///   own dirty list. The top-k path reads *only* this tier: per query
-///   each shard contributes its pool members plus a popularity-order
-///   prefix, and the deterministic merge reassembles exactly the global
-///   pool and order prefix.
-///
-/// Inserts append to both tiers; visit/popularity mutations patch one slot
-/// per tier and mark it dirty; each tier is repaired lazily by the first
-/// query that consults it. Nothing is ever re-derived from the store
-/// wholesale.
-#[derive(Debug)]
-struct ServingState {
-    /// Canonical snapshot (slot = global sequence number), append-only,
-    /// patched in place on mutation.
-    snapshot: Vec<Document>,
-    /// Statistics + popularity order + pool membership over the snapshot
-    /// slots, repaired via the shared dirty list.
-    cache: CorpusCache,
-    /// Per-shard caches mirroring the store's placement, repaired from
-    /// shard-local dirty lists — what top-k queries retrieve from.
-    shards: ShardedCorpusCache,
+    /// Lazy re-merges of the **complete** global popularity order — the
+    /// `O(n)` k-way merge a full rerank or a Uniform-rule query reads
+    /// instead of any corpus-wide snapshot. Paid at most once per repair
+    /// epoch: clean batches between mutations re-merge nothing (pinned in
+    /// tests), and top-k traffic under a selective engine never merges at
+    /// all.
+    pub order_merges: u64,
 }
 
 /// Serves randomized rank promotion over a sharded document store.
@@ -109,14 +82,17 @@ struct ServingState {
 ///    function of `(engine seed, query, session)`, never of scheduling, so
 ///    [`rerank_batch`](Self::rerank_batch) equals a sequential loop of
 ///    [`rerank_one`](Self::rerank_one) bit for bit at any worker count.
-/// 3. **Incremental steady state** — the canonical snapshot, its ranking
-///    statistics, the popularity order *and the promotion-pool
-///    membership* persist *across* batches and are repaired on mutation
+/// 3. **Incremental steady state** — the serving state is a *single*
+///    tier: one shard-local cache per store shard
+///    ([`ShardedCorpusCache`]), holding the ranking statistics,
+///    popularity order and promotion-pool membership of its shard's
+///    documents. It persists *across* batches and is repaired on mutation
 ///    ([`insert`](Self::insert), [`record_visit`](Self::record_visit),
 ///    [`update_popularity`](Self::update_popularity)) instead of being
 ///    re-derived per batch or per query: an unchanged corpus pays zero
-///    sorts, zero snapshot rebuilds and zero pool rebuilds (pinned by
-///    [`ServeStats`]), and a selective-promotion
+///    sorts, zero rebuilds and zero order merges (pinned by
+///    [`ServeStats`]), a full rerank reads the lazily maintained complete
+///    merged order, and a selective-promotion
 ///    [`rerank_top_k`](Self::rerank_top_k) query is truly `O(pool + k)` —
 ///    no full-corpus scan, no membership-mask reset (also pinned, via
 ///    [`ServeStats::mask_resets`]).
@@ -130,7 +106,11 @@ pub struct ShardedPromotionService {
     engine: RankPromotionEngine,
     store: ShardedStore,
     workers: usize,
-    state: ServingState,
+    /// The single serving tier: one cache per store shard, each under
+    /// dense shard-local slots with its own dirty list, plus the merged
+    /// global pool and the lazily merged complete global order. Every
+    /// query path — full, top-k, one-off or batched — reads only this.
+    shards: ShardedCorpusCache,
     probe: ServeStats,
     /// Scratch for the sequential paths (`rerank_one`, top-k).
     buffers: RankBuffers,
@@ -138,6 +118,9 @@ pub struct ShardedPromotionService {
     slots: Vec<usize>,
     /// Candidate retrieval/merge scratch for the sequential top-k path.
     retrieval: TopKRetrieval,
+    /// Snapshot scratch for [`rebuild_from_store`](Self::rebuild_from_store)'s
+    /// replay — the one path that still assembles a global document list.
+    rebuild_scratch: Vec<Document>,
 }
 
 impl ShardedPromotionService {
@@ -145,26 +128,21 @@ impl ShardedPromotionService {
     /// answering batches with up to [`available_workers`] threads.
     pub fn new(engine: RankPromotionEngine, shard_count: usize) -> Self {
         let store = ShardedStore::new(shard_count);
-        let mut state = ServingState {
-            snapshot: Vec::new(),
-            cache: CorpusCache::new(),
-            shards: ShardedCorpusCache::new(store.shard_count()),
-        };
+        let mut shards = ShardedCorpusCache::new(store.shard_count());
         // Pool maintenance is dead weight for engines that re-derive
-        // their pool per query (the Uniform rule's coin scan) — and for
-        // those engines the shard tier is never consulted either, so its
-        // pools stay off too.
-        state.cache.set_pool_maintained(engine.reads_pool_index());
-        state.shards.set_pool_maintained(engine.reads_pool_index());
+        // their pool per query (the Uniform rule's coin scan draws one
+        // coin per page instead of reading any membership index).
+        shards.set_pool_maintained(engine.reads_pool_index());
         ShardedPromotionService {
             engine,
             store,
             workers: available_workers(),
-            state,
+            shards,
             probe: ServeStats::default(),
             buffers: RankBuffers::new(),
             slots: Vec::new(),
             retrieval: TopKRetrieval::default(),
+            rebuild_scratch: Vec::new(),
         }
     }
 
@@ -198,22 +176,13 @@ impl ShardedPromotionService {
 
     /// Insert one document into its shard, returning its global sequence
     /// number — the handle for [`record_visit`](Self::record_visit) and
-    /// [`update_popularity`](Self::update_popularity). The cached serving
-    /// state is extended in place (`O(1)`): the new slot joins the
+    /// [`update_popularity`](Self::update_popularity). The owning shard's
+    /// cache is extended in place (`O(1)`): the new slot joins its
     /// popularity order at the next query via dirty-slot reinsertion.
     pub fn insert(&mut self, document: Document) -> u64 {
         let seq = self.store.insert(document);
-        self.state.snapshot.push(document);
-        self.state.cache.push(&document);
-        // The shard tier exists for the candidate-retrieval path, which
-        // only selective engines ever take (the Uniform rule's coin scan
-        // pins it to the global tier) — mirroring the corpus into it for
-        // an engine that can never read it would double every mutation
-        // and the cache memory for nothing.
-        if self.engine.reads_pool_index() {
-            let shard = self.store.shard_of_id(document.id);
-            self.state.shards.push(shard, &document);
-        }
+        let shard = self.store.shard_of_id(document.id);
+        self.shards.push(shard, &document);
         seq
     }
 
@@ -231,7 +200,7 @@ impl ShardedPromotionService {
     pub fn record_visit(&mut self, seq: u64) -> bool {
         match self.store.record_visit(seq) {
             Some(document) => {
-                self.patch_slot(seq as usize, document);
+                self.shards.patch(seq as usize, &document);
                 true
             }
             None => false,
@@ -244,110 +213,80 @@ impl ShardedPromotionService {
     pub fn update_popularity(&mut self, seq: u64, popularity: f64) -> bool {
         match self.store.update_popularity(seq, popularity) {
             Some(document) => {
-                self.patch_slot(seq as usize, document);
+                self.shards.patch(seq as usize, &document);
                 true
             }
             None => false,
         }
     }
 
-    /// Patch one cached slot after a store mutation and mark it dirty —
-    /// in both tiers, so whichever one the next query consults repairs
-    /// exactly this slot.
-    fn patch_slot(&mut self, slot: usize, document: Document) {
-        self.state.snapshot[slot] = document;
-        self.state.cache.patch(slot, &document);
-        if self.engine.reads_pool_index() {
-            self.state.shards.patch(slot, &document);
-        }
-    }
-
     /// Discard the incremental state and re-derive it from the store:
-    /// reassemble the canonical snapshot, recompute every `PageStats`,
-    /// re-sort the popularity order and re-scan the pool membership from
-    /// scratch. **Not** part of any query or mutation path — serving
-    /// never needs it, and the [`ServeStats`] counters it increments are
-    /// pinned at 0 in the steady-state tests precisely to catch a change
-    /// that reintroduces per-batch rebuilds. It exists as the
-    /// recovery/maintenance escape hatch (and as the one honest increment
-    /// site for those counters).
+    /// replay the store's placement document by document (global order
+    /// keeps the local↔global slot maps dense), recompute every
+    /// `PageStats`, re-sort the per-shard popularity orders and re-scan
+    /// the pool membership from scratch. **Not** part of any query or
+    /// mutation path — serving never needs it, and the [`ServeStats`]
+    /// counters it increments are pinned at 0 in the steady-state tests
+    /// precisely to catch a change that reintroduces per-batch rebuilds.
+    /// It exists as the recovery/maintenance escape hatch (and as the one
+    /// honest increment site for those counters).
     pub fn rebuild_from_store(&mut self) {
         self.probe.snapshot_rebuilds += 1;
         self.probe.full_sorts += 1;
-        if self.state.cache.pool_maintained() {
+        if self.shards.pool_maintained() {
             self.probe.pool_rebuilds += 1;
         }
-        self.store.snapshot_into(&mut self.state.snapshot);
-        self.state.cache.rebuild(&self.state.snapshot);
-        // Shard tier: replay the store's placement document by document
-        // (global order keeps the local↔global slot maps dense), then
-        // repair in place — a from-scratch derivation of every shard
-        // cache, part of the same rebuild event. Skipped entirely for
-        // engines that never read the tier.
-        if self.engine.reads_pool_index() {
-            self.state.shards.clear();
-            for document in &self.state.snapshot {
-                self.state
-                    .shards
-                    .push(self.store.shard_of_id(document.id), document);
-            }
-            self.state.shards.repair();
+        self.store.snapshot_into(&mut self.rebuild_scratch);
+        self.shards.clear();
+        for document in &self.rebuild_scratch {
+            self.shards
+                .push(self.store.shard_of_id(document.id), document);
         }
+        // Part of the same rebuild event, not a lazy repair — left out of
+        // the repair counters on purpose. The complete merged order goes
+        // stale here and is re-merged by the next full-order consumer.
+        self.shards.repair();
     }
 
-    /// Bring the popularity order and pool membership current by repairing
-    /// the dirty slots (no-op when nothing changed). Every query path that
-    /// consults the **global tier** calls this first.
-    fn repair_state(&mut self) {
-        if self.state.cache.dirty_len() > 0 {
-            self.probe.index_repairs += 1;
-            if self.state.cache.pool_maintained() {
+    /// Bring the serving tier current by repairing every shard cache with
+    /// dirty slots (no-op when nothing changed). Every query path calls
+    /// this first — it is the only repair site.
+    fn repair_shard_state(&mut self) {
+        if self.shards.dirty_len() > 0 {
+            self.probe.shard_repairs += 1;
+            if self.shards.pool_maintained() {
                 self.probe.pool_repairs += 1;
             }
-            self.probe.dirty_slots_repaired += self.state.cache.repair();
-            // The cache is maintained, never rebuilt: right after a repair
-            // the snapshot, stats, order and pool must equal a
-            // from-scratch derivation. (Checked only here — on a clean
-            // corpus nothing can have moved since the last repair
-            // validated it; the order and pool assertions live inside the
-            // index repairs themselves.)
-            debug_assert_eq!(self.state.snapshot, self.store.snapshot());
-            debug_assert!({
-                let mut fresh = Vec::new();
-                RankPromotionEngine::document_stats(&self.state.snapshot, &mut fresh);
-                fresh == self.state.cache.stats()
-            });
+            self.probe.dirty_slots_repaired += self.shards.repair();
         }
     }
 
-    /// Bring the **shard tier** current by repairing every shard cache
-    /// with dirty slots (no-op when nothing changed). The top-k retrieval
-    /// path calls this — and only this: it never repairs, reads, or
-    /// rebuilds the global tier.
-    fn repair_shard_state(&mut self) {
-        if self.state.shards.dirty_len() > 0 {
-            self.probe.shard_repairs += 1;
-            self.state.shards.repair();
+    /// Re-merge the complete global popularity order if a repair left it
+    /// stale (no-op on a clean stretch). Called by the paths that consume
+    /// the full order — full reranks and the Uniform rule's top-k.
+    fn ensure_merged_order(&mut self) {
+        if self.shards.ensure_merged_order() {
+            self.probe.order_merges += 1;
         }
     }
 
     /// The current selective-promotion pool: the unexplored slots in
-    /// ascending canonical-sequence order, read off the persistent pool
-    /// index after bringing it current. Exposed for introspection and for
-    /// the property suite that pins the incremental pool against a
-    /// from-scratch recomputation. Empty for engines that never read the
-    /// pool index (the Uniform rule) — their pool is re-drawn per query
-    /// and no index is maintained.
+    /// ascending canonical-sequence order, read off the merged per-shard
+    /// pool indexes after bringing them current. Exposed for
+    /// introspection and for the property suite that pins the incremental
+    /// pool against a from-scratch recomputation. Empty for engines that
+    /// never read the pool index (the Uniform rule) — their pool is
+    /// re-drawn per query and no index is maintained.
     pub fn pooled_slots(&mut self) -> &[usize] {
-        self.repair_state();
-        self.state.cache.pool().members()
+        self.repair_shard_state();
+        self.shards.pool_slots()
     }
 
-    /// Answer one query sequentially: the canonical snapshot re-ranked by
-    /// the engine. This is the reference the batch path is measured
-    /// against — and must stay bit-identical to. Served from the cached
-    /// snapshot and popularity order, so the only per-call allocation
-    /// after warm-up is the returned vector itself
+    /// Answer one query sequentially: the canonical snapshot order
+    /// re-ranked by the engine. This is the reference the batch path is
+    /// measured against — and must stay bit-identical to. Served from the
+    /// complete merged shard order, so the only per-call allocation after
+    /// warm-up is the returned vector itself
     /// ([`rerank_one_into`](Self::rerank_one_into) removes that too).
     pub fn rerank_one(&mut self, context: QueryContext) -> Vec<u64> {
         let mut out = Vec::with_capacity(self.store.len());
@@ -359,18 +298,28 @@ impl ShardedPromotionService {
     /// `out` (cleared first): allocation-free once the serving state and
     /// `out` have grown to the corpus size.
     pub fn rerank_one_into(&mut self, context: QueryContext, out: &mut Vec<u64>) {
-        self.repair_state();
         self.probe.queries += 1;
-        self.probe.global_materialisations += 1;
-        self.engine.rerank_cached_slots_into(
-            &self.state.cache,
+        if self.store.is_empty() {
+            // Degenerate path: answer without touching (or charging) the
+            // serving tier.
+            out.clear();
+            return;
+        }
+        self.repair_shard_state();
+        self.ensure_merged_order();
+        let engine = &self.engine;
+        let shards = &self.shards;
+        engine.rerank_merged_into(
+            shards.pool_slots(),
+            shards.merged_order(),
+            |s| shards.in_pool(s),
             context,
             &mut self.buffers,
             &mut self.slots,
         );
         self.probe.mask_resets += self.buffers.take_mask_resets();
         out.clear();
-        out.extend(self.slots.iter().map(|&s| self.state.snapshot[s].id));
+        out.extend(self.slots.iter().map(|&s| shards.page_of(s).0));
     }
 
     /// The first `min(k, n)` document ids of
@@ -381,11 +330,10 @@ impl ShardedPromotionService {
     /// shard cache contributes only its pool members and a
     /// popularity-order prefix, the deterministic merge reassembles the
     /// global pool and order prefix, and the query ranks against that view
-    /// alone — the canonical full-corpus snapshot is neither rebuilt nor
-    /// consulted (pinned by
-    /// [`ServeStats::global_materialisations`]). A Uniform-rule engine
-    /// must keep scanning the corpus for its per-page coins and falls back
-    /// to the global tier.
+    /// alone — the complete merged order is neither re-merged nor
+    /// consulted (pinned by [`ServeStats::order_merges`]). A Uniform-rule
+    /// engine must keep scanning every slot for its per-page coins and
+    /// reads the complete merged order instead.
     pub fn rerank_top_k(&mut self, context: QueryContext, k: usize) -> Vec<u64> {
         let mut out = Vec::with_capacity(k.min(self.store.len()));
         self.rerank_top_k_into(context, k, &mut out);
@@ -396,12 +344,18 @@ impl ShardedPromotionService {
     /// first); allocation-free after warm-up.
     pub fn rerank_top_k_into(&mut self, context: QueryContext, k: usize, out: &mut Vec<u64>) {
         self.probe.queries += 1;
+        if self.store.is_empty() {
+            // Degenerate path first: an empty corpus must not book
+            // retrievals (or merges) that never happen.
+            out.clear();
+            return;
+        }
+        self.repair_shard_state();
         if self.engine.reads_pool_index() {
-            self.repair_shard_state();
-            self.probe.shard_retrievals += self.state.shards.shard_count() as u64;
+            self.probe.shard_retrievals += self.shards.shard_count() as u64;
             self.retrieval.answer_into(
                 &self.engine,
-                &self.state.shards,
+                &self.shards,
                 context,
                 k,
                 &mut self.buffers,
@@ -410,10 +364,13 @@ impl ShardedPromotionService {
             );
             return;
         }
-        self.repair_state();
-        self.probe.global_materialisations += 1;
-        self.engine.rerank_top_k_cached_slots_into(
-            &self.state.cache,
+        self.ensure_merged_order();
+        let engine = &self.engine;
+        let shards = &self.shards;
+        engine.rerank_top_k_merged_into(
+            shards.pool_slots(),
+            shards.merged_order(),
+            |s| shards.in_pool(s),
             k,
             context,
             &mut self.buffers,
@@ -421,7 +378,7 @@ impl ShardedPromotionService {
         );
         self.probe.mask_resets += self.buffers.take_mask_resets();
         out.clear();
-        out.extend(self.slots.iter().map(|&s| self.state.snapshot[s].id));
+        out.extend(self.slots.iter().map(|&s| shards.page_of(s).0));
     }
 
     /// Answer a batch of queries, fanning out across scoped worker
@@ -448,8 +405,8 @@ impl ShardedPromotionService {
     /// the corresponding full rerank. Routed through shard-local candidate
     /// retrieval for selective engines (see
     /// [`rerank_top_k`](Self::rerank_top_k)): the batch performs **zero**
-    /// global rank materialisations and exactly `shards × queries`
-    /// shard retrievals.
+    /// complete-order merges and exactly `shards × queries` shard
+    /// retrievals.
     pub fn rerank_batch_top_k_into(
         &mut self,
         queries: &[QueryContext],
@@ -478,34 +435,42 @@ impl ShardedPromotionService {
             // result slot.
             return;
         }
+        if self.store.is_empty() {
+            // An empty corpus answers every query with an empty ranking
+            // and charges nothing — no repair, no retrievals, no merge.
+            // `resize_with` keeps reused entries' stale contents, so
+            // clear each result explicitly.
+            for out in results.iter_mut() {
+                out.clear();
+            }
+            return;
+        }
 
-        // Route the batch: top-k under a selective engine reads only the
-        // shard tier; everything else (full reranks, the Uniform rule's
-        // coin scan) needs the canonical full-corpus state.
+        // One repair site for every route, then pick the batch's path:
+        // top-k under a selective engine retrieves per shard; everything
+        // else (full reranks, the Uniform rule's coin scan) consumes the
+        // complete merged order, brought current once for the batch.
+        self.repair_shard_state();
         let mode = match k {
             Some(k) if self.engine.reads_pool_index() => {
-                self.repair_shard_state();
-                self.probe.shard_retrievals +=
-                    (self.state.shards.shard_count() * queries.len()) as u64;
+                self.probe.shard_retrievals += (self.shards.shard_count() * queries.len()) as u64;
                 BatchMode::TopKShards(k)
             }
             Some(k) => {
-                self.repair_state();
-                self.probe.global_materialisations += queries.len() as u64;
-                BatchMode::TopKGlobal(k)
+                self.ensure_merged_order();
+                BatchMode::TopKMerged(k)
             }
             None => {
-                self.repair_state();
-                self.probe.global_materialisations += queries.len() as u64;
+                self.ensure_merged_order();
                 BatchMode::Full
             }
         };
 
         let engine = &self.engine;
-        let state = &self.state;
+        let shards = &self.shards;
         let workers = self.workers.min(queries.len());
         if workers <= 1 {
-            let mut worker = BatchWorker::new(engine, state, mode);
+            let mut worker = BatchWorker::new(engine, shards, mode);
             for (&ctx, out) in queries.iter().zip(results.iter_mut()) {
                 worker.answer_into(ctx, mode, out);
             }
@@ -529,7 +494,7 @@ impl ShardedPromotionService {
                     // Each worker owns its scratch: queries are
                     // allocation-free once the claimed result slots have
                     // warmed up to the corpus size.
-                    let mut worker = BatchWorker::new(engine, state, mode);
+                    let mut worker = BatchWorker::new(engine, shards, mode);
                     while let Some((range, slots)) = regions.claim() {
                         for (&ctx, out) in queries[range].iter().zip(slots.iter_mut()) {
                             worker.answer_into(ctx, mode, out);
@@ -546,12 +511,14 @@ impl ShardedPromotionService {
 /// How a batch's queries are answered (decided once per batch).
 #[derive(Clone, Copy)]
 enum BatchMode {
-    /// Full rerank off the global tier (all `n` ranks materialised).
+    /// Full rerank off the complete merged order (all `n` ranks
+    /// materialised per query).
     Full,
-    /// Top-k off the global tier (the Uniform rule's mandatory fallback).
-    TopKGlobal(usize),
+    /// Top-k off the complete merged order (the Uniform rule's per-page
+    /// coin scan needs every slot).
+    TopKMerged(usize),
     /// Top-k via per-shard candidate retrieval and the deterministic
-    /// merge — no global state touched.
+    /// merge — no complete order touched.
     TopKShards(usize),
 }
 
@@ -630,10 +597,10 @@ impl TopKRetrieval {
     /// Answer one top-`k` query from the shard caches alone: retrieve each
     /// shard's rest prefix (`O(k)` per shard), merge them
     /// deterministically, and rank against that prefix plus the maintained
-    /// merged pool — the canonical snapshot, order and pool are never
-    /// read, and the ranked global slots resolve to document ids through
-    /// their owning shard's cache. Output is bit-identical to the
-    /// length-`k` prefix of the full rerank.
+    /// merged pool — the complete order is never read, and the ranked
+    /// global slots resolve to document ids through their owning shard's
+    /// cache. Output is bit-identical to the length-`k` prefix of the
+    /// full rerank.
     #[allow(clippy::too_many_arguments)]
     fn answer_into(
         &mut self,
@@ -667,24 +634,28 @@ impl TopKRetrieval {
 /// Per-worker state: shared read-only serving state plus private scratch.
 struct BatchWorker<'a> {
     engine: &'a RankPromotionEngine,
-    state: &'a ServingState,
+    shards: &'a ShardedCorpusCache,
     buffers: RankBuffers,
     slots: Vec<usize>,
     retrieval: TopKRetrieval,
 }
 
 impl<'a> BatchWorker<'a> {
-    fn new(engine: &'a RankPromotionEngine, state: &'a ServingState, mode: BatchMode) -> Self {
-        // Full and global-top-k batches fill `O(n)` arenas; the
+    fn new(
+        engine: &'a RankPromotionEngine,
+        shards: &'a ShardedCorpusCache,
+        mode: BatchMode,
+    ) -> Self {
+        // Full and merged-top-k batches fill `O(n)` arenas; the
         // shard-retrieval path only ever touches the pool plus `k` ranks,
         // so its workers pre-grow to that instead of the corpus size.
         let capacity = match mode {
-            BatchMode::TopKShards(k) => state.shards.pool_slots().len() + k,
-            BatchMode::Full | BatchMode::TopKGlobal(_) => state.cache.len(),
+            BatchMode::TopKShards(k) => shards.pool_slots().len() + k,
+            BatchMode::Full | BatchMode::TopKMerged(_) => shards.len(),
         };
         BatchWorker {
             engine,
-            state,
+            shards,
             buffers: RankBuffers::with_capacity(capacity),
             slots: Vec::with_capacity(capacity),
             retrieval: TopKRetrieval::default(),
@@ -696,14 +667,18 @@ impl<'a> BatchWorker<'a> {
     /// allocation once both have warmed up.
     fn answer_into(&mut self, context: QueryContext, mode: BatchMode, out: &mut Vec<u64>) {
         match mode {
-            BatchMode::Full => self.engine.rerank_cached_slots_into(
-                &self.state.cache,
+            BatchMode::Full => self.engine.rerank_merged_into(
+                self.shards.pool_slots(),
+                self.shards.merged_order(),
+                |s| self.shards.in_pool(s),
                 context,
                 &mut self.buffers,
                 &mut self.slots,
             ),
-            BatchMode::TopKGlobal(k) => self.engine.rerank_top_k_cached_slots_into(
-                &self.state.cache,
+            BatchMode::TopKMerged(k) => self.engine.rerank_top_k_merged_into(
+                self.shards.pool_slots(),
+                self.shards.merged_order(),
+                |s| self.shards.in_pool(s),
                 k,
                 context,
                 &mut self.buffers,
@@ -712,7 +687,7 @@ impl<'a> BatchWorker<'a> {
             BatchMode::TopKShards(k) => {
                 return self.retrieval.answer_into(
                     self.engine,
-                    &self.state.shards,
+                    self.shards,
                     context,
                     k,
                     &mut self.buffers,
@@ -722,7 +697,7 @@ impl<'a> BatchWorker<'a> {
             }
         }
         out.clear();
-        out.extend(self.slots.iter().map(|&s| self.state.snapshot[s].id));
+        out.extend(self.slots.iter().map(|&s| self.shards.page_of(s).0));
     }
 }
 
@@ -757,6 +732,10 @@ mod tests {
             .collect()
     }
 
+    fn uniform_engine() -> RankPromotionEngine {
+        RankPromotionEngine::new(PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap())
+    }
+
     #[test]
     fn batch_equals_sequential_engine_for_any_shard_and_worker_count() {
         let engine = RankPromotionEngine::recommended().with_seed(11);
@@ -779,9 +758,7 @@ mod tests {
 
     #[test]
     fn rerank_one_matches_batch_of_one() {
-        let engine =
-            RankPromotionEngine::new(PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap())
-                .with_seed(5);
+        let engine = uniform_engine().with_seed(5);
         let mut service = ShardedPromotionService::new(engine, 4);
         service.extend(corpus(77));
         let ctx = QueryContext::from_strings("stacked deck", "session-1");
@@ -809,6 +786,38 @@ mod tests {
     }
 
     #[test]
+    fn empty_corpus_and_empty_batch_queries_charge_nothing() {
+        // Regression for the probe over-counting bug: the old routing
+        // charged `shard_retrievals += shards × queries` (and merged-path
+        // work) *before* noticing the corpus was empty, booking
+        // retrievals that never happened.
+        for engine in [RankPromotionEngine::recommended(), uniform_engine()] {
+            let mut service = ShardedPromotionService::new(engine, 4).with_workers(2);
+            let qs = queries(3);
+            let mut results = vec![vec![7u64; 4], vec![8u64; 2]];
+            service.rerank_batch_top_k_into(&qs, 5, &mut results);
+            assert_eq!(
+                results,
+                vec![Vec::<u64>::new(); 3],
+                "stale reused result entries must be cleared"
+            );
+            service.rerank_batch_into(&qs, &mut results);
+            service.rerank_top_k(qs[0], 5);
+            service.rerank_one(qs[0]);
+            let stats = service.serve_stats();
+            assert_eq!(stats.batches, 2);
+            assert_eq!(stats.queries, 8);
+            assert_eq!(
+                stats.shard_retrievals, 0,
+                "an empty corpus performs no retrievals"
+            );
+            assert_eq!(stats.order_merges, 0);
+            assert_eq!(stats.shard_repairs, 0);
+            assert_eq!(stats.mask_resets, 0, "not even the Uniform coin scan runs");
+        }
+    }
+
+    #[test]
     fn accessors_report_configuration() {
         let engine = RankPromotionEngine::recommended().with_seed(9);
         let service = ShardedPromotionService::new(engine, 6).with_workers(3);
@@ -825,19 +834,23 @@ mod tests {
         service.extend(corpus(300));
         let qs = queries(16);
 
-        // Warm-up: the 300 inserted slots enter the order via one repair.
+        // Warm-up: the 300 inserted slots enter the shard orders via one
+        // repair, and the complete order is merged once for the batch.
         service.rerank_batch(&qs);
         let warm = service.serve_stats();
-        assert_eq!(warm.index_repairs, 1);
+        assert_eq!(warm.shard_repairs, 1);
         assert_eq!(warm.dirty_slots_repaired, 300);
+        assert_eq!(warm.order_merges, 1);
 
-        // Steady state, corpus unchanged: no repair, no sort, no rebuild —
-        // and with a selective engine, no per-query pool scan or mask
-        // reset either: every query reads the persistent pool index.
+        // Steady state, corpus unchanged: no repair, no re-merge, no sort,
+        // no rebuild — and with a selective engine, no per-query pool scan
+        // or mask reset either: every query reads the persistent pool
+        // index.
         service.rerank_batch(&qs);
         service.rerank_batch(&qs);
         let steady = service.serve_stats();
-        assert_eq!(steady.index_repairs, 1, "clean batches must not repair");
+        assert_eq!(steady.shard_repairs, 1, "clean batches must not repair");
+        assert_eq!(steady.order_merges, 1, "clean batches must not re-merge");
         assert_eq!(steady.snapshot_rebuilds, 0);
         assert_eq!(steady.full_sorts, 0);
         assert_eq!(steady.pool_rebuilds, 0);
@@ -847,14 +860,15 @@ mod tests {
         assert_eq!(steady.queries, 48);
 
         // A mutation dirties exactly the touched slots; the next batch
-        // repairs those and nothing else — still no sort, no rebuild, no
-        // pool rebuild.
+        // repairs those, re-merges the order once, and nothing else —
+        // still no sort, no rebuild, no pool rebuild.
         assert!(service.record_visit(0));
         assert!(service.update_popularity(7, 0.99));
         service.rerank_batch(&qs);
         let mutated = service.serve_stats();
-        assert_eq!(mutated.index_repairs, 2);
+        assert_eq!(mutated.shard_repairs, 2);
         assert_eq!(mutated.dirty_slots_repaired, 302);
+        assert_eq!(mutated.order_merges, 2);
         assert_eq!(mutated.snapshot_rebuilds, 0);
         assert_eq!(mutated.full_sorts, 0);
         assert_eq!(mutated.pool_rebuilds, 0);
@@ -866,13 +880,14 @@ mod tests {
     fn top_k_on_a_clean_batch_never_scans_or_resets() {
         // The acceptance gate for the pooled top-k path: on a clean batch,
         // a selective engine's `rerank_top_k` performs zero full-corpus
-        // pool derivations (mask resets) and zero pool rebuilds, on the
-        // sequential and the fan-out paths alike.
+        // pool derivations (mask resets), zero pool rebuilds and zero
+        // complete-order merges, on the sequential and the fan-out paths
+        // alike.
         let mut service =
             ShardedPromotionService::new(RankPromotionEngine::recommended(), 4).with_workers(4);
         service.extend(corpus(500));
         let qs = queries(32);
-        service.rerank_batch(&qs); // absorb the warm-up repair
+        service.rerank_batch(&qs); // absorb the warm-up repair and merge
         let before = service.serve_stats();
 
         for (i, &ctx) in qs.iter().enumerate() {
@@ -883,17 +898,18 @@ mod tests {
         let after = service.serve_stats();
         assert_eq!(after.mask_resets, before.mask_resets);
         assert_eq!(after.pool_rebuilds, 0);
-        assert_eq!(after.index_repairs, before.index_repairs);
+        assert_eq!(after.shard_repairs, before.shard_repairs);
+        assert_eq!(after.order_merges, before.order_merges);
         assert_eq!(after.queries, before.queries + 64);
     }
 
     #[test]
-    fn top_k_batches_perform_zero_global_materialisations() {
+    fn selective_top_k_never_merges_the_complete_order() {
         // The acceptance gate for shard-local retrieval: a selective
         // engine's top-k traffic — batched or sequential, clean or
-        // mutated — never materialises a global ranking or consults the
-        // canonical snapshot, and performs exactly one candidate
-        // retrieval per shard per query.
+        // mutated — never merges (or otherwise consults) the complete
+        // global order, and performs exactly one candidate retrieval per
+        // shard per query.
         let shards = 4u64;
         let mut service =
             ShardedPromotionService::new(RankPromotionEngine::recommended(), shards as usize)
@@ -911,35 +927,31 @@ mod tests {
         service.rerank_batch_top_k_into(&qs, 10, &mut results);
 
         let stats = service.serve_stats();
-        assert_eq!(stats.global_materialisations, 0, "no global path on top-k");
+        assert_eq!(stats.order_merges, 0, "no complete-order merge on top-k");
         assert_eq!(stats.shard_retrievals, shards * (16 + 16 + 16));
         assert_eq!(stats.snapshot_rebuilds, 0);
         assert_eq!(stats.full_sorts, 0);
         assert_eq!(stats.mask_resets, 0);
-        // Two repair events on the shard tier: the warm-up (300 inserted
-        // slots) and the two mutations; the global tier was never
-        // consulted, so its dirty list is still pending.
+        // Two repair events: the warm-up (300 inserted slots) and the two
+        // mutations — there is only one tier, so the top-k traffic left
+        // no deferred backlog behind.
         assert_eq!(stats.shard_repairs, 2);
-        assert_eq!(stats.index_repairs, 0, "the global tier stayed untouched");
+        assert_eq!(stats.dirty_slots_repaired, 302);
 
-        // The first full batch repairs the (still dirty) global tier and
-        // counts one materialisation per query. The backlog is exactly
-        // the 300 inserted slots: the two mutations hit slots that were
-        // already pending, and the dirty list deduplicates on entry so a
-        // deferred tier's backlog stays bounded by the corpus size.
+        // The first full batch pays exactly the one deferred merge of the
+        // complete order; the tier itself is already repaired.
         service.rerank_batch(&qs);
         let stats = service.serve_stats();
-        assert_eq!(stats.global_materialisations, 16);
-        assert_eq!(stats.index_repairs, 1);
-        assert_eq!(stats.dirty_slots_repaired, 300);
+        assert_eq!(stats.order_merges, 1);
+        assert_eq!(stats.shard_repairs, 2);
+        assert_eq!(stats.dirty_slots_repaired, 302);
     }
 
     #[test]
     fn empty_batches_skip_repair_and_fan_out() {
         // Regression for the empty-batch edge: zero queries must not
         // exercise the region-claim path (`chunk_len`/`SlotRegions` are
-        // defined over at least one slot) and must not trigger a repair
-        // of either tier.
+        // defined over at least one slot) and must not trigger a repair.
         let mut service =
             ShardedPromotionService::new(RankPromotionEngine::recommended(), 3).with_workers(4);
         service.extend(corpus(50));
@@ -954,35 +966,41 @@ mod tests {
         assert_eq!(stats.batches, 2, "empty batches are still counted");
         assert_eq!(stats.queries, 0);
         assert_eq!(
-            stats.index_repairs, 0,
+            stats.shard_repairs, 0,
             "nothing consulted, nothing repaired"
         );
-        assert_eq!(stats.shard_repairs, 0);
         assert_eq!(stats.shard_retrievals, 0);
-        assert_eq!(stats.global_materialisations, 0);
+        assert_eq!(stats.order_merges, 0);
 
         // The pending warm-up dirt is repaired by the first real query.
         service.rerank_batch(&queries(2));
-        assert_eq!(service.serve_stats().index_repairs, 1);
+        assert_eq!(service.serve_stats().shard_repairs, 1);
     }
 
     #[test]
-    fn uniform_top_k_falls_back_to_the_global_tier() {
-        // The Uniform rule's per-page coins require the whole corpus, so
-        // its top-k traffic keeps materialising from the global tier —
-        // and the probe says so instead of pretending it scaled.
-        let engine =
-            RankPromotionEngine::new(PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap());
-        let mut service = ShardedPromotionService::new(engine, 4).with_workers(2);
+    fn uniform_top_k_serves_from_the_merged_shard_order() {
+        // The Uniform rule's per-page coins require every slot, so its
+        // top-k traffic reads the complete merged order — assembled from
+        // the shard caches, not from any corpus-wide snapshot — and pays
+        // the merge once per repair epoch, not per query.
+        let mut service = ShardedPromotionService::new(uniform_engine(), 4).with_workers(2);
         service.extend(corpus(80));
         let qs = queries(6);
         let mut results = Vec::new();
         service.rerank_batch_top_k_into(&qs, 5, &mut results);
         service.rerank_top_k(qs[0], 5);
         let stats = service.serve_stats();
-        assert_eq!(stats.shard_retrievals, 0);
-        assert_eq!(stats.global_materialisations, 7);
-        assert_eq!(stats.shard_repairs, 0, "the shard tier is never repaired");
+        assert_eq!(
+            stats.shard_retrievals, 0,
+            "no retrieval path without a maintained pool"
+        );
+        assert_eq!(stats.shard_repairs, 1, "one warm-up repair");
+        assert_eq!(stats.order_merges, 1, "one merge serves the clean stretch");
+        assert_eq!(stats.mask_resets, 7, "the coin scan stays mandatory");
+        assert_eq!(stats.snapshot_rebuilds, 0);
+        // And the answers are still the full-rerank prefix.
+        let full = service.rerank_one(qs[0]);
+        assert_eq!(results[0], full[..5]);
     }
 
     #[test]
@@ -990,9 +1008,7 @@ mod tests {
         // The Uniform rule's pool is drawn per query — one coin per page is
         // part of the observable RNG stream — so the probe documents one
         // mask reset per query rather than pretending the scan is gone.
-        let engine =
-            RankPromotionEngine::new(PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap());
-        let mut service = ShardedPromotionService::new(engine, 2).with_workers(2);
+        let mut service = ShardedPromotionService::new(uniform_engine(), 2).with_workers(2);
         service.extend(corpus(100));
         let qs = queries(8);
         service.rerank_batch(&qs);
@@ -1032,13 +1048,16 @@ mod tests {
         service.rebuild_from_store();
         assert_eq!(service.serve_stats().snapshot_rebuilds, 1);
         assert_eq!(service.serve_stats().full_sorts, 1);
+        assert_eq!(service.serve_stats().pool_rebuilds, 1);
         assert_eq!(
             service.rerank_batch(&qs),
             incremental,
             "a from-scratch rebuild must reproduce the repaired state exactly"
         );
-        // The rebuild drained the dirty list, so no repair followed it.
-        assert_eq!(service.serve_stats().index_repairs, 1);
+        // The rebuild drained the dirty lists, so no lazy repair followed
+        // it — only the complete order had to re-merge.
+        assert_eq!(service.serve_stats().shard_repairs, 1);
+        assert_eq!(service.serve_stats().order_merges, 2);
     }
 
     #[test]
@@ -1086,6 +1105,35 @@ mod tests {
         let mut service = ShardedPromotionService::new(engine, 4).with_workers(4);
         service.extend(corpus(150));
         let qs = queries(11);
+        let full = service.rerank_batch(&qs);
+        for k in [0usize, 1, 5, 10, 150, 500] {
+            for (i, &ctx) in qs.iter().enumerate() {
+                assert_eq!(
+                    service.rerank_top_k(ctx, k),
+                    full[i][..k.min(full[i].len())],
+                    "query {i}, k={k}"
+                );
+            }
+            let mut batch = Vec::new();
+            service.rerank_batch_top_k_into(&qs, k, &mut batch);
+            for (i, got) in batch.iter().enumerate() {
+                assert_eq!(
+                    got,
+                    &full[i][..k.min(full[i].len())],
+                    "batch query {i}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_top_k_equals_the_full_rerank_prefix() {
+        // The merged-order top-k path (Uniform has no retrieval route)
+        // must stay bit-identical to the full rerank's prefix too.
+        let engine = uniform_engine().with_seed(21);
+        let mut service = ShardedPromotionService::new(engine, 4).with_workers(4);
+        service.extend(corpus(150));
+        let qs = queries(7);
         let full = service.rerank_batch(&qs);
         for k in [0usize, 1, 5, 10, 150, 500] {
             for (i, &ctx) in qs.iter().enumerate() {

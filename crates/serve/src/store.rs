@@ -23,9 +23,14 @@ pub struct ShardedStore {
     /// Per-shard `(sequence, document)` pairs; each shard is ascending in
     /// sequence because inserts are globally ordered.
     shards: Vec<Vec<(u64, Document)>>,
-    /// Next global sequence number — also the total document count, since
-    /// sequences are dense and nothing is ever removed.
-    next_seq: u64,
+    /// Dense `sequence → (shard, index)` placement map, appended on every
+    /// insert. Sequences are dense (`0..len`, no removal path), so its
+    /// length is also the total document count, and every mutation handle
+    /// resolves in `O(1)` — the old per-mutation binary search over every
+    /// shard was `O(shards · log n)`. `u32` halves the map's footprint;
+    /// it caps shards and per-shard lengths at `u32::MAX`, far beyond the
+    /// in-memory corpus this store can hold anyway.
+    placement: Vec<(u32, u32)>,
 }
 
 impl ShardedStore {
@@ -33,7 +38,7 @@ impl ShardedStore {
     pub fn new(shard_count: usize) -> Self {
         ShardedStore {
             shards: vec![Vec::new(); shard_count.max(1)],
-            next_seq: 0,
+            placement: Vec::new(),
         }
     }
 
@@ -44,21 +49,21 @@ impl ShardedStore {
     }
 
     /// Total number of stored documents. `O(1)`: sequences are dense with
-    /// no removal path, so the next sequence number *is* the count (a
+    /// no removal path, so the placement map's length *is* the count (a
     /// per-shard sum would be `O(shards)` on a per-batch call).
     #[inline]
     pub fn len(&self) -> usize {
         debug_assert_eq!(
-            self.shards.iter().map(Vec::len).sum::<usize>() as u64,
-            self.next_seq
+            self.shards.iter().map(Vec::len).sum::<usize>(),
+            self.placement.len()
         );
-        self.next_seq as usize
+        self.placement.len()
     }
 
     /// Whether the store holds no documents.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.next_seq == 0
+        self.placement.is_empty()
     }
 
     /// Number of documents on one shard.
@@ -80,9 +85,10 @@ impl ShardedStore {
     /// [`update_popularity`](Self::update_popularity) calls, and the
     /// document's slot in the canonical snapshot.
     pub fn insert(&mut self, document: Document) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let seq = self.placement.len() as u64;
         let shard = shard_of(document.id, self.shards.len());
+        self.placement
+            .push((shard as u32, self.shards[shard].len() as u32));
         self.shards[shard].push((seq, document));
         seq
     }
@@ -94,11 +100,8 @@ impl ShardedStore {
         }
     }
 
-    /// The document with global sequence number `seq`, if it exists.
-    ///
-    /// Each shard is ascending in sequence, so the lookup is a binary
-    /// search per shard: `O(shards · log n)`, independent of which shard
-    /// holds the document.
+    /// The document with global sequence number `seq`, if it exists —
+    /// `O(1)` through the placement map.
     pub fn get(&self, seq: u64) -> Option<&Document> {
         self.locate(seq)
             .map(|(shard, index)| &self.shards[shard][index].1)
@@ -125,17 +128,13 @@ impl ShardedStore {
         Some(*document)
     }
 
-    /// Find `(shard, index)` of the entry with sequence `seq`.
+    /// Find `(shard, index)` of the entry with sequence `seq` — one
+    /// placement-map read, `O(1)` for every mutation instead of a binary
+    /// search over every shard.
     fn locate(&self, seq: u64) -> Option<(usize, usize)> {
-        if seq >= self.next_seq {
-            return None;
-        }
-        self.shards.iter().enumerate().find_map(|(shard, entries)| {
-            entries
-                .binary_search_by_key(&seq, |&(s, _)| s)
-                .ok()
-                .map(|index| (shard, index))
-        })
+        let &(shard, index) = self.placement.get(usize::try_from(seq).ok()?)?;
+        debug_assert_eq!(self.shards[shard as usize][index as usize].0, seq);
+        Some((shard as usize, index as usize))
     }
 
     /// Write the canonical snapshot — all documents in global insertion
@@ -147,11 +146,26 @@ impl ShardedStore {
     pub fn snapshot_into(&self, out: &mut Vec<Document>) {
         out.clear();
         out.resize(self.len(), Document::unexplored(0));
+        // The `unexplored(0)` pre-fill is storage, never content: every
+        // slot must be overwritten by exactly one shard entry, or the
+        // snapshot would silently serve placeholder documents.
+        #[cfg(debug_assertions)]
+        let mut written = vec![false; out.len()];
         for shard in &self.shards {
             for &(seq, document) in shard {
+                #[cfg(debug_assertions)]
+                {
+                    assert!(!written[seq as usize], "sequence {seq} written twice");
+                    written[seq as usize] = true;
+                }
                 out[seq as usize] = document;
             }
         }
+        #[cfg(debug_assertions)]
+        assert!(
+            written.iter().all(|&w| w),
+            "every snapshot slot must be written exactly once"
+        );
     }
 
     /// The canonical snapshot as a fresh vector.
@@ -295,6 +309,37 @@ mod tests {
         }
         assert!(store.record_visit(999).is_none());
         assert!(store.update_popularity(999, 0.5).is_none());
+    }
+
+    #[test]
+    fn mutations_agree_across_shard_counts() {
+        // Regression for the placement map: `locate` must resolve every
+        // sequence to the same document at any shard count, so a mutation
+        // schedule leaves 1-, 2- and 8-shard stores with identical
+        // canonical snapshots.
+        let reference = docs(120);
+        let snapshots: Vec<Vec<Document>> = [1usize, 2, 8]
+            .into_iter()
+            .map(|shards| {
+                let mut store = ShardedStore::new(shards);
+                store.extend(reference.iter().copied());
+                for seq in (0..120).step_by(7) {
+                    assert!(store.record_visit(seq).is_some(), "{shards} shards");
+                }
+                for seq in (0..120).step_by(5) {
+                    let bumped = store.update_popularity(seq, 0.5 + seq as f64 / 240.0);
+                    assert!(bumped.is_some(), "{shards} shards");
+                }
+                assert!(store.record_visit(120).is_none());
+                assert!(store.update_popularity(u64::MAX, 1.0).is_none());
+                for seq in 0..120 {
+                    assert!(store.get(seq).is_some(), "seq {seq}, {shards} shards");
+                }
+                store.snapshot()
+            })
+            .collect();
+        assert_eq!(snapshots[0], snapshots[1]);
+        assert_eq!(snapshots[0], snapshots[2]);
     }
 
     #[test]

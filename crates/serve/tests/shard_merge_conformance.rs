@@ -1,18 +1,20 @@
-//! The shard-merge conformance suite: **shard-local candidate retrieval ≡
+//! The shard-merge conformance suite: **shard-local serving ≡
 //! single-engine output**, under arbitrary mutate-while-serving schedules,
 //! across shard × worker grids and all four serving policies.
 //!
-//! The contract on the line: a top-k query answered by per-shard candidate
-//! retrieval plus the deterministic k-way merge must be *bit-identical* to
-//! the length-`k` prefix of [`RankPromotionEngine::rerank`] on the
-//! canonical corpus — the single-engine reference that every recorded
-//! golden and every RNG stream is defined against. The merged pool's
-//! pre-shuffle order feeds the generator directly, so a shard cache that
-//! listed one member out of order, dropped a candidate, or retrieved one
-//! entry too few would not fail loudly: it would silently rearrange the
-//! served prefix. If any schedule, shard count, worker count, or policy
-//! can tell the sharded read path from the single engine, this suite
-//! fails.
+//! The contract on the line: every answer the service produces from its
+//! shard tier — a top-k query via per-shard candidate retrieval, or a
+//! full rerank (and the Uniform rule's per-page coin scan) via the
+//! complete merged order — must be *bit-identical* to
+//! [`RankPromotionEngine::rerank`] on the canonical corpus, the
+//! single-engine reference that every recorded golden and every RNG
+//! stream is defined against. The merged pool's pre-shuffle order and the
+//! merged complete order both feed the generator directly, so a shard
+//! cache that listed one member out of order, dropped a candidate, or
+//! merged one entry too few would not fail loudly: it would silently
+//! rearrange the served ranking. If any schedule, shard count, worker
+//! count, or policy can tell the sharded read path from the single
+//! engine, this suite fails.
 
 mod common;
 
@@ -24,8 +26,8 @@ use rrp_serve::ShardedPromotionService;
 
 /// The four serving policies: both promotion rules, with and without a
 /// protected top result. Selective engines serve top-k through shard
-/// retrieval; Uniform engines must keep their per-page coin scan on the
-/// global tier — the conformance bar is the same for both.
+/// retrieval; Uniform engines draw their per-page coins over the complete
+/// merged order — the conformance bar is the same for both.
 fn policies() -> [RankPromotionEngine; 4] {
     [
         RankPromotionEngine::recommended(), // selective, r = 0.1, k = 2
@@ -53,8 +55,9 @@ proptest! {
     /// every serve step each top-k answer must equal the single-engine
     /// prefix over the then-current corpus, and at the end the same holds
     /// for every shard × worker combination — plus the routing probe:
-    /// selective top-k traffic performs zero global materialisations and
-    /// exactly shards × queries retrievals, Uniform traffic none.
+    /// selective top-k traffic performs zero complete-order merges and
+    /// exactly shards × queries retrievals, Uniform traffic zero
+    /// retrievals.
     #[test]
     fn shard_merged_top_k_equals_the_single_engine(
         ops in arb_ops(ServeShape::TopK),
@@ -72,9 +75,14 @@ proptest! {
         for &op in &ops {
             if let Some((q, Some(k))) = apply_mutation(&mut service, op) {
                 batch_salt += 1;
-                topk_queries += q;
                 let qs = queries(q, batch_salt);
                 let corpus = service.store().snapshot();
+                // Empty-corpus serves charge nothing (the probe
+                // over-counting regression), so only live queries count
+                // toward the expected retrievals.
+                if !corpus.is_empty() {
+                    topk_queries += q;
+                }
                 let mut top = Vec::new();
                 service.rerank_batch_top_k_into(&qs, k, &mut top);
                 for (i, got) in top.iter().enumerate() {
@@ -91,17 +99,18 @@ proptest! {
         }
 
         // The routing probe: selective engines answered every top-k query
-        // from shard retrieval alone (zero global materialisations, one
+        // from shard retrieval alone (zero complete-order merges, one
         // retrieval per shard per query); Uniform engines answered every
-        // one from the global tier (zero retrievals, one materialisation
-        // per query).
+        // one from the complete merged order (zero retrievals, at most
+        // one lazy merge per serve point). Neither route ever rebuilds.
         let stats = service.serve_stats();
+        prop_assert_eq!(stats.snapshot_rebuilds, 0);
         if selective {
-            prop_assert_eq!(stats.global_materialisations, 0);
+            prop_assert_eq!(stats.order_merges, 0);
             prop_assert_eq!(stats.shard_retrievals, 4 * topk_queries);
         } else {
             prop_assert_eq!(stats.shard_retrievals, 0);
-            prop_assert_eq!(stats.global_materialisations, topk_queries);
+            prop_assert!(stats.order_merges <= batch_salt);
         }
 
         // Final sweep: every shard × worker combination serves the same
@@ -139,6 +148,81 @@ proptest! {
                             i
                         );
                     }
+                }
+            }
+        }
+    }
+
+    /// The full-rerank twin: drive one service per policy through an
+    /// arbitrary schedule of full-rerank serve points; after every serve
+    /// step each answer must equal `engine.rerank` over the then-current
+    /// corpus — the complete merged order standing in for the deleted
+    /// corpus-wide snapshot — and at the end the same holds for every
+    /// shard × worker combination, batched and sequential. The probe pins
+    /// the route: full reranks retrieve nothing, rebuild nothing, and
+    /// re-merge the complete order at most once per serve point.
+    #[test]
+    fn shard_merged_full_rerank_equals_the_single_engine(
+        ops in arb_ops(ServeShape::Full),
+        initial in 0usize..40,
+        seed in 0u64..1_000,
+        policy_index in 0usize..4,
+    ) {
+        let engine = policies()[policy_index].with_seed(seed);
+        let mut service = ShardedPromotionService::new(engine, 4).with_workers(4);
+        seed_service(&mut service, initial, 4, 0.02);
+
+        let mut batch_salt = 0u64;
+        for &op in &ops {
+            if let Some((q, None)) = apply_mutation(&mut service, op) {
+                batch_salt += 1;
+                let qs = queries(q, batch_salt);
+                let corpus = service.store().snapshot();
+                let mut full = Vec::new();
+                service.rerank_batch_into(&qs, &mut full);
+                for (i, got) in full.iter().enumerate() {
+                    prop_assert_eq!(
+                        got,
+                        &engine.rerank(&corpus, qs[i]),
+                        "mid-schedule full rerank of query {} ({})",
+                        i,
+                        engine.config().label()
+                    );
+                }
+            }
+        }
+
+        let stats = service.serve_stats();
+        prop_assert_eq!(stats.shard_retrievals, 0);
+        prop_assert_eq!(stats.snapshot_rebuilds, 0);
+        prop_assert!(stats.order_merges <= batch_salt);
+
+        // Final sweep: every shard × worker combination reproduces the
+        // single engine on the batch and sequential full paths alike.
+        let corpus = service.store().snapshot();
+        let qs = queries(5, 0xD1CE);
+        let expected: Vec<Vec<u64>> =
+            qs.iter().map(|&ctx| engine.rerank(&corpus, ctx)).collect();
+        for shards in GRID {
+            for workers in GRID {
+                let mut fresh =
+                    ShardedPromotionService::new(engine, shards).with_workers(workers);
+                fresh.extend(corpus.iter().copied());
+                prop_assert_eq!(
+                    &fresh.rerank_batch(&qs),
+                    &expected,
+                    "{} shards × {} workers ({})",
+                    shards,
+                    workers,
+                    engine.config().label()
+                );
+                for (i, &ctx) in qs.iter().enumerate() {
+                    prop_assert_eq!(
+                        &fresh.rerank_one(ctx),
+                        &expected[i],
+                        "sequential full rerank of query {}",
+                        i
+                    );
                 }
             }
         }

@@ -258,8 +258,8 @@ fn mutate_then_serve_top_k_matches_its_golden() {
 /// prefix feed the RNG and the coin-flip merge directly, so a merge that
 /// reassembled either one differently — even only at some shard count —
 /// would shift these vectors. Selective engines take the shard-retrieval
-/// path; Uniform engines pin their mandatory global fallback to the same
-/// bar.
+/// path; Uniform engines draw their per-page coins over the complete
+/// merged order and are pinned to the same bar.
 #[test]
 fn shard_merged_top_k_reproduces_the_recorded_goldens_for_all_four_policies() {
     let policies: [(RankPromotionEngine, [u64; 10]); 4] = [
@@ -307,14 +307,68 @@ fn shard_merged_top_k_reproduces_the_recorded_goldens_for_all_four_policies() {
                     "{label}, {shards} shards, batch top-{k}"
                 );
             }
-            // Every vector above was served without materialising a
-            // global ranking iff the engine reads the pool index.
+            // The routing probe: selective engines answered all six
+            // queries from shard retrieval alone, never consulting the
+            // complete merged order; Uniform engines drew their per-page
+            // coins over the merged order, assembled exactly once and
+            // reused, with zero retrievals.
             let stats = service.serve_stats();
             if engine.reads_pool_index() {
-                assert_eq!(stats.global_materialisations, 0, "{label}");
+                assert_eq!(stats.order_merges, 0, "{label}");
+                assert_eq!(stats.shard_retrievals, 6 * shards as u64, "{label}");
             } else {
                 assert_eq!(stats.shard_retrievals, 0, "{label}");
+                assert_eq!(stats.order_merges, 1, "{label}");
             }
+            assert_eq!(stats.snapshot_rebuilds, 0, "{label}");
+        }
+    }
+}
+
+/// Layer 3, the Uniform coin scan through the merged order: a Uniform
+/// engine flips one coin per page *in slot order*, so its full rerank
+/// consumes every slot of the ranking — the path that used to require a
+/// corpus-wide snapshot and is now answered from the complete merged
+/// shard order. The recorded golden pins the entire 30-slot output (not
+/// just a prefix): if the k-way merge assembled the complete order even
+/// one transposition away from the canonical popularity order at any
+/// shard count, some coin would land on the wrong page and this vector
+/// would shift. The probe confirms the route: zero shard retrievals,
+/// zero snapshot rebuilds, exactly one lazy merge.
+#[test]
+fn uniform_full_rerank_reproduces_its_golden_through_the_merged_order() {
+    let engine =
+        RankPromotionEngine::new(PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap())
+            .with_seed(7);
+    let ctx = QueryContext::new(11, 13);
+    let docs = corpus();
+    assert_eq!(
+        engine.rerank(&docs, ctx),
+        GOLDEN_UNIFORM_R30_K1_FULL_7_11_13
+    );
+    // The recorded top-10 golden for this engine is exactly this full
+    // golden's prefix — one RNG stream, restated at two lengths.
+    assert_eq!(
+        GOLDEN_UNIFORM_R30_K1_FULL_7_11_13[..10],
+        GOLDEN_TOP10_UNIFORM_R30_K1_7_11_13
+    );
+    for shards in [1usize, 3, 8] {
+        for workers in [1usize, 2] {
+            let mut service = ShardedPromotionService::new(engine, shards).with_workers(workers);
+            service.extend(docs.iter().copied());
+            assert_eq!(
+                service.rerank_one(ctx),
+                GOLDEN_UNIFORM_R30_K1_FULL_7_11_13,
+                "{shards} shards × {workers} workers, sequential"
+            );
+            let mut batch = Vec::new();
+            service.rerank_batch_into(&[ctx, ctx], &mut batch);
+            assert_eq!(batch[0], GOLDEN_UNIFORM_R30_K1_FULL_7_11_13);
+            assert_eq!(batch[1], GOLDEN_UNIFORM_R30_K1_FULL_7_11_13);
+            let stats = service.serve_stats();
+            assert_eq!(stats.shard_retrievals, 0, "{shards} shards");
+            assert_eq!(stats.snapshot_rebuilds, 0, "{shards} shards");
+            assert_eq!(stats.order_merges, 1, "{shards} shards");
         }
     }
 }
@@ -391,9 +445,8 @@ fn shard_candidate_merge_reproduces_the_pooled_goldens() {
 
 /// Layer 3, mutate-then-merge: the documented mutation schedule (two
 /// visits, a popularity boost, two inserts) served *exclusively* through
-/// shard retrieval — no warm-up full batch, so the canonical global tier
-/// is never consulted at all — reproduces the same recorded golden at
-/// every shard count. Mutations here cross shard boundaries (the two
+/// shard retrieval — the complete merged order is never assembled at
+/// all — reproduces the same recorded golden at every shard count. Mutations here cross shard boundaries (the two
 /// inserts land on different shards as the count changes), so a shard
 /// cache that mis-repaired its local dirty slots would desynchronise the
 /// merge at some count and shift this vector.
@@ -414,7 +467,7 @@ fn mutate_then_merge_schedule_reproduces_its_golden_at_every_shard_count() {
             "{shards} shards"
         );
         let stats = service.serve_stats();
-        assert_eq!(stats.global_materialisations, 0, "{shards} shards");
+        assert_eq!(stats.order_merges, 0, "{shards} shards");
         assert_eq!(stats.shard_retrievals, shards as u64);
         assert_eq!(stats.shard_repairs, 1, "one repair covers the schedule");
         assert_eq!(stats.snapshot_rebuilds, 0);
@@ -464,6 +517,15 @@ const GOLDEN_MUTATE_THEN_SERVE_TOP12: [u64; 12] = [3, 0, 1, 2, 4, 5, 40, 6, 7, 8
 /// prefix). Recorded from the single sequential engine; the shard-merge
 /// serving path is held to them at every shard count.
 const GOLDEN_RERANK_7_11_13_TOP10: [u64; 10] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9];
+
+/// Golden *complete* rerank (all 30 slots) for the Uniform r = 0.3,
+/// k = 1 engine, seed 7, `QueryContext::new(11, 13)` — the coin-scan
+/// path served from the complete merged shard order. Its prefix is
+/// `GOLDEN_TOP10_UNIFORM_R30_K1_7_11_13`.
+const GOLDEN_UNIFORM_R30_K1_FULL_7_11_13: [u64; 30] = [
+    0, 1, 3, 4, 5, 25, 22, 6, 8, 7, 9, 10, 11, 27, 29, 23, 12, 26, 15, 14, 16, 17, 13, 2, 18, 19,
+    20, 21, 24, 28,
+];
 const GOLDEN_TOP10_SELECTIVE_R50_K1_7_11_13: [u64; 10] = [0, 23, 1, 2, 22, 27, 3, 26, 4, 5];
 const GOLDEN_TOP10_UNIFORM_R30_K1_7_11_13: [u64; 10] = [0, 1, 3, 4, 5, 25, 22, 6, 8, 7];
 const GOLDEN_TOP10_UNIFORM_R10_K2_7_11_13: [u64; 10] = [0, 1, 3, 4, 5, 6, 7, 8, 9, 10];
