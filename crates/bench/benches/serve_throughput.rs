@@ -15,16 +15,22 @@
 //!   only the top 10 ranks — answered by per-shard candidate retrieval
 //!   plus the deterministic merge (zero complete-order merges), on the
 //!   default 8-way service;
-//! * `top10_mutated_shards{1,2}` — the same top-10 workload at narrower
-//!   shard counts (`top10_mutated` itself is the 8-shard point): the
-//!   retrieval cost is `O(pool + k)` *per shard*, so the sweep shows
-//!   what the merged read path costs as the corpus is cut finer
-//!   (per-shard work shrinks; on this single-core VM the shards are
-//!   visited sequentially, so the total is what one machine pays — a
-//!   deployment overlaps them across index servers).
+//! * `top10_mutated_v2` — the same top-10 workload under **engine v2**:
+//!   the lazy Fisher–Yates overlay draws at most `k` swaps per query
+//!   instead of copying and shuffling the whole promotion pool, so this
+//!   row against `top10_mutated` is the v1-vs-v2 headline (the pool is
+//!   ~n/10 members, so the gap widens with corpus size);
+//! * `top10_mutated_shards{1,2,8}` — the same top-10 workload across
+//!   shard counts (`shards8` matches `top10_mutated`'s 8-way layout, as
+//!   its own row so the sweep is self-contained): the retrieval cost is
+//!   `O(pool + k)` *per shard*, so the sweep shows what the merged read
+//!   path costs as the corpus is cut finer (per-shard work shrinks; on
+//!   this single-core VM the shards are visited sequentially, so the
+//!   total is what one machine pays — a deployment overlaps them across
+//!   index servers).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rrp_core::{Document, QueryContext, RankPromotionEngine};
+use rrp_core::{Document, EngineVersion, QueryContext, RankPromotionEngine};
 use rrp_model::{new_rng, PowerLawQuality, QualityDistribution};
 use rrp_serve::ShardedPromotionService;
 use std::hint::black_box;
@@ -38,9 +44,14 @@ fn service(n: u64) -> ShardedPromotionService {
 }
 
 fn sharded_service(n: u64, shards: usize) -> ShardedPromotionService {
+    versioned_service(n, shards, EngineVersion::V1)
+}
+
+fn versioned_service(n: u64, shards: usize, version: EngineVersion) -> ShardedPromotionService {
     let dist = PowerLawQuality::paper_default();
     let mut rng = new_rng(7);
-    let mut service = ShardedPromotionService::new(RankPromotionEngine::recommended(), shards);
+    let engine = RankPromotionEngine::recommended().with_version(version);
+    let mut service = ShardedPromotionService::new(engine, shards);
     service.extend((0..n).map(|i| {
         if i % 10 == 0 {
             Document::unexplored(i)
@@ -118,11 +129,22 @@ fn bench_serve_throughput(c: &mut Criterion) {
             });
         });
 
-        // The 8-shard point of the sweep *is* the historical
-        // `top10_mutated` gauge above (the default service is 8-way), so
-        // the loop only adds the narrower cuts instead of measuring the
-        // same configuration twice per run.
-        for shards in [1usize, 2] {
+        // The v1-vs-v2 headline: the identical top-10 workload, answered
+        // by the lazy O(k)-draw overlay instead of the eager pool
+        // copy-and-shuffle.
+        let mut top_k_v2 = versioned_service(n, 8, EngineVersion::V2);
+        group.bench_with_input(BenchmarkId::new("top10_mutated_v2", n), &n, |b, _| {
+            let mut results = Vec::new();
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                mutate(&mut top_k_v2, round);
+                top_k_v2.rerank_batch_top_k_into(&qs, 10, &mut results);
+                black_box(results.last().map(Vec::len))
+            });
+        });
+
+        for shards in [1usize, 2, 8] {
             let mut top_k = sharded_service(n, shards);
             group.bench_with_input(
                 BenchmarkId::new(format!("top10_mutated_shards{shards}"), n),

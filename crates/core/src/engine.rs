@@ -13,7 +13,8 @@ use crate::document::{Document, QueryContext};
 use rrp_model::new_rng;
 use rrp_model::PageId;
 use rrp_ranking::{
-    PageStats, PoolView, PromotionConfig, PromotionRule, RandomizedRankPromotion, RankBuffers,
+    EngineVersion, PageStats, PoolView, PromotionConfig, PromotionRule, RandomizedRankPromotion,
+    RankBuffers,
 };
 use serde::{Deserialize, Serialize};
 
@@ -50,12 +51,21 @@ pub struct RankPromotionEngine {
     config: PromotionConfig,
     /// Engine-level seed mixed into every query's randomization.
     seed: u64,
+    /// Which observable RNG stream the engine draws. Defaults to
+    /// [`EngineVersion::V1`] — engines serialized before versioning
+    /// existed deserialize to v1 and keep their recorded goldens valid.
+    #[serde(default)]
+    version: EngineVersion,
 }
 
 impl RankPromotionEngine {
     /// Build an engine with an explicit promotion configuration.
     pub fn new(config: PromotionConfig) -> Self {
-        RankPromotionEngine { config, seed: 0 }
+        RankPromotionEngine {
+            config,
+            seed: 0,
+            version: EngineVersion::V1,
+        }
     }
 
     /// The paper's recommended configuration (Section 6.4): selective
@@ -80,6 +90,27 @@ impl RankPromotionEngine {
     /// The engine-level seed mixed into every query's randomization.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Opt into an explicit [`EngineVersion`]. V1 (the default) keeps
+    /// every recorded golden valid; v2 serves Selective top-k through the
+    /// lazy `O(k)`-draw pool shuffle — a different, distributionally
+    /// equivalent RNG stream with its own golden set. Full reranks and
+    /// Uniform-rule engines behave identically under either version.
+    pub fn with_version(mut self, version: EngineVersion) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// The engine version in use.
+    pub fn version(&self) -> EngineVersion {
+        self.version
+    }
+
+    /// The ranking policy this engine runs: its configuration and version,
+    /// ready for the ranking-layer entry points.
+    fn policy(&self) -> RandomizedRankPromotion {
+        RandomizedRankPromotion::new(self.config).with_version(self.version)
     }
 
     /// Whether this engine's pooled query paths actually read a
@@ -147,7 +178,7 @@ impl RankPromotionEngine {
         out: &mut Vec<usize>,
     ) {
         Self::document_stats(documents, &mut scratch.stats);
-        let policy = RandomizedRankPromotion::new(self.config);
+        let policy = self.policy();
         let mut rng = new_rng(context.seed(self.seed));
         policy.rank_into(&scratch.stats, &mut rng, &mut scratch.buffers, out);
     }
@@ -167,7 +198,7 @@ impl RankPromotionEngine {
         buffers: &mut RankBuffers,
         out: &mut Vec<usize>,
     ) {
-        let policy = RandomizedRankPromotion::new(self.config);
+        let policy = self.policy();
         let mut rng = new_rng(context.seed(self.seed));
         policy.rank_presorted_into(stats, sorted, &mut rng, buffers, out);
     }
@@ -188,7 +219,7 @@ impl RankPromotionEngine {
         buffers: &mut RankBuffers,
         out: &mut Vec<usize>,
     ) {
-        let policy = RandomizedRankPromotion::new(self.config);
+        let policy = self.policy();
         let mut rng = new_rng(context.seed(self.seed));
         policy.rank_top_k_presorted_into(stats, sorted, k, &mut rng, buffers, out);
     }
@@ -209,7 +240,7 @@ impl RankPromotionEngine {
         buffers: &mut RankBuffers,
         out: &mut Vec<usize>,
     ) {
-        let policy = RandomizedRankPromotion::new(self.config);
+        let policy = self.policy();
         let mut rng = new_rng(context.seed(self.seed));
         policy.rank_pooled_into(view, &mut rng, buffers, out);
     }
@@ -228,7 +259,7 @@ impl RankPromotionEngine {
         buffers: &mut RankBuffers,
         out: &mut Vec<usize>,
     ) {
-        let policy = RandomizedRankPromotion::new(self.config);
+        let policy = self.policy();
         let mut rng = new_rng(context.seed(self.seed));
         policy.rank_top_k_pooled_into(view, k, &mut rng, buffers, out);
     }
@@ -267,7 +298,7 @@ impl RankPromotionEngine {
         buffers: &mut RankBuffers,
         out: &mut Vec<usize>,
     ) {
-        let policy = RandomizedRankPromotion::new(self.config);
+        let policy = self.policy();
         let mut rng = new_rng(context.seed(self.seed));
         policy.rank_top_k_candidates_into(candidates, k, &mut rng, buffers, out);
     }
@@ -290,7 +321,7 @@ impl RankPromotionEngine {
         buffers: &mut RankBuffers,
         out: &mut Vec<usize>,
     ) {
-        let policy = RandomizedRankPromotion::new(self.config);
+        let policy = self.policy();
         let mut rng = new_rng(context.seed(self.seed));
         policy.rank_top_k_retrieved_into(pool, rest, k, &mut rng, buffers, out);
     }
@@ -317,7 +348,7 @@ impl RankPromotionEngine {
         buffers: &mut RankBuffers,
         out: &mut Vec<usize>,
     ) {
-        let policy = RandomizedRankPromotion::new(self.config);
+        let policy = self.policy();
         let mut rng = new_rng(context.seed(self.seed));
         policy.rank_merged_into(pool, order, in_pool, &mut rng, buffers, out);
     }
@@ -339,7 +370,7 @@ impl RankPromotionEngine {
         buffers: &mut RankBuffers,
         out: &mut Vec<usize>,
     ) {
-        let policy = RandomizedRankPromotion::new(self.config);
+        let policy = self.policy();
         let mut rng = new_rng(context.seed(self.seed));
         policy.rank_top_k_merged_into(pool, order, in_pool, k, &mut rng, buffers, out);
     }
@@ -681,6 +712,67 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn version_defaults_to_v1_and_threads_through_every_top_k_path() {
+        let docs = corpus();
+        let v1 = RankPromotionEngine::recommended().with_seed(21);
+        assert_eq!(v1.version(), EngineVersion::V1);
+        let v2 = v1.with_version(EngineVersion::V2);
+        assert_eq!(v2.version(), EngineVersion::V2);
+        assert_eq!(v2.config(), v1.config());
+
+        let mut cache = CorpusCache::new();
+        cache.rebuild(&docs);
+        let mut buffers = RankBuffers::new();
+        let (mut pooled, mut merged) = (Vec::new(), Vec::new());
+        let mut diverged = false;
+        for q in 0..20u64 {
+            let ctx = QueryContext::new(q, q.wrapping_mul(77));
+            // Full reranks are version-independent…
+            assert_eq!(v2.rerank(&docs, ctx), v1.rerank(&docs, ctx), "full, q={q}");
+            // …and every v2 top-k route draws the same lazy stream.
+            let k = 8;
+            let top = v2.rerank_top_k(&docs, ctx, k);
+            v2.rerank_top_k_cached_slots_into(&cache, k, ctx, &mut buffers, &mut pooled);
+            let pooled_ids: Vec<u64> = pooled.iter().map(|&s| docs[s].id).collect();
+            assert_eq!(pooled_ids, top, "cached≡rerank_top_k, q={q}");
+            v2.rerank_top_k_merged_into(
+                cache.pool().members(),
+                cache.order(),
+                |s| cache.pool().contains(s),
+                k,
+                ctx,
+                &mut buffers,
+                &mut merged,
+            );
+            assert_eq!(merged, pooled, "merged≡cached, q={q}");
+            if top != v1.rerank_top_k(&docs, ctx, k) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "v2 must draw a genuinely different top-k stream");
+    }
+
+    #[test]
+    fn serialized_engines_without_a_version_deserialize_to_v1() {
+        let engine = RankPromotionEngine::recommended()
+            .with_seed(9)
+            .with_version(EngineVersion::V2);
+        let json = serde_json::to_string(&engine).unwrap();
+        let back: RankPromotionEngine = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, engine, "explicit versions round-trip");
+
+        // A pre-versioning payload carries no `version` field at all: it
+        // must deserialize to v1, keeping its recorded goldens valid.
+        let legacy = serde_json::to_string(&RankPromotionEngine::recommended().with_seed(9))
+            .unwrap()
+            .replace(",\"version\":\"V1\"", "");
+        assert!(!legacy.contains("version"), "legacy payload: {legacy}");
+        let back: RankPromotionEngine = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.version(), EngineVersion::V1);
+        assert_eq!(back.seed(), 9);
     }
 
     #[test]

@@ -56,6 +56,17 @@ pub struct ShardedCorpusCache {
     shards: Vec<ShardCache>,
     /// Global slot → (shard, local slot).
     placement: Vec<(u32, u32)>,
+    /// Global slot → [`PageId`], maintained eagerly (append on push,
+    /// rewrite on patch) so the merged-order serving paths resolve ranked
+    /// slots to ids by direct indexing instead of a placement double
+    /// indirection per slot.
+    pages: Vec<PageId>,
+    /// Global slot → pool membership, maintained eagerly alongside the
+    /// shard stats (stats are patched eagerly too, so by the time the
+    /// [`in_pool`](Self::in_pool) contract holds — after a repair — this
+    /// mask equals every shard pool's repaired membership). All `false`
+    /// while pool maintenance is off, matching the empty shard pools.
+    pool_mask: Vec<bool>,
     /// The merged global pool under global slots, ascending — the
     /// pre-shuffle pool order every top-k query shuffles. Maintained at
     /// repair time (membership only moves when a mutation dirties a
@@ -83,6 +94,8 @@ impl ShardedCorpusCache {
         ShardedCorpusCache {
             shards,
             placement: Vec::new(),
+            pages: Vec::new(),
+            pool_mask: Vec::new(),
             merged_pool: Vec::new(),
             merged_order: Vec::new(),
             merged_order_stale: false,
@@ -96,6 +109,15 @@ impl ShardedCorpusCache {
     pub fn set_pool_maintained(&mut self, maintained: bool) {
         for shard in &mut self.shards {
             shard.cache.set_pool_maintained(maintained);
+        }
+        // The global membership mask mirrors the shard pools, so it
+        // follows the flag: recompute from the eagerly-patched stats
+        // (all `false` when maintenance is off — unmaintained pools are
+        // empty).
+        for global in 0..self.pool_mask.len() {
+            let (shard, local) = self.placement[global];
+            self.pool_mask[global] = maintained
+                && self.shards[shard as usize].cache.stats()[local as usize].is_unexplored();
         }
     }
 
@@ -128,9 +150,12 @@ impl ShardedCorpusCache {
     /// ascend with local slots.
     pub fn push(&mut self, shard: usize, document: &Document) {
         debug_assert!(shard < self.shards.len());
+        let maintained = self.pool_maintained();
         let global_slot = self.placement.len();
         let local = self.shards[shard].globals.len();
         self.placement.push((shard as u32, local as u32));
+        self.pages.push(PageId::new(document.id));
+        self.pool_mask.push(maintained && document.is_unexplored);
         self.shards[shard].globals.push(global_slot);
         self.shards[shard].cache.push(document);
     }
@@ -138,10 +163,13 @@ impl ShardedCorpusCache {
     /// Patch the cached stats of the document at `global_slot` after a
     /// mutation, marking exactly its shard-local slot dirty (`O(1)`).
     pub fn patch(&mut self, global_slot: usize, document: &Document) {
+        let maintained = self.pool_maintained();
         let (shard, local) = self.placement[global_slot];
         self.shards[shard as usize]
             .cache
             .patch(local as usize, document);
+        self.pages[global_slot] = PageId::new(document.id);
+        self.pool_mask[global_slot] = maintained && document.is_unexplored;
     }
 
     /// Repair every shard cache that has dirty slots and re-merge the
@@ -156,6 +184,15 @@ impl ShardedCorpusCache {
             self.merge_pools();
             self.merged_order_stale = true;
         }
+        debug_assert!(
+            {
+                let from_mask: Vec<usize> = (0..self.pool_mask.len())
+                    .filter(|&s| self.pool_mask[s])
+                    .collect();
+                from_mask == self.merged_pool
+            },
+            "the eager membership mask must equal the re-merged global pool"
+        );
         handed
     }
 
@@ -168,13 +205,12 @@ impl ShardedCorpusCache {
         &self.merged_pool
     }
 
-    /// The [`PageId`] of the document at `global_slot`, resolved through
-    /// its owning shard's cache (`O(1)`) — how a top-k answer's ranked
-    /// slots become ids without consulting any corpus-wide snapshot.
+    /// The [`PageId`] of the document at `global_slot` — one direct vec
+    /// index, no placement indirection: this sits on the per-slot hot loop
+    /// of every merged-order serving path.
     #[inline]
     pub fn page_of(&self, global_slot: usize) -> PageId {
-        let (shard, local) = self.placement[global_slot];
-        self.shards[shard as usize].cache.stats()[local as usize].page
+        self.pages[global_slot]
     }
 
     /// The cached [`PageStats`](rrp_ranking::PageStats) of the document at
@@ -187,17 +223,15 @@ impl ShardedCorpusCache {
         stat
     }
 
-    /// Whether `global_slot` is a member of its shard's promotion pool
-    /// (`O(1)`). Requires maintained pools and a preceding
-    /// [`repair`](Self::repair) — the membership predicate the merged
-    /// full-rerank path filters the global order through.
+    /// Whether `global_slot` is a member of its shard's promotion pool —
+    /// one direct mask index, no placement indirection: the membership
+    /// predicate the merged full-rerank path filters the global order
+    /// through, once per slot. Requires maintained pools and a preceding
+    /// [`repair`](Self::repair) (the repair debug-asserts this mask
+    /// against the re-merged global pool).
     #[inline]
     pub fn in_pool(&self, global_slot: usize) -> bool {
-        let (shard, local) = self.placement[global_slot];
-        self.shards[shard as usize]
-            .cache
-            .pool()
-            .contains(local as usize)
+        self.pool_mask[global_slot]
     }
 
     /// Whether pool maintenance is enabled on the shard caches (see
@@ -312,6 +346,8 @@ impl ShardedCorpusCache {
             shard.cache.set_pool_maintained(maintained);
         }
         self.placement.clear();
+        self.pages.clear();
+        self.pool_mask.clear();
         self.merged_pool.clear();
         self.merged_order.clear();
         self.merged_order_stale = false;
@@ -488,6 +524,35 @@ mod tests {
         cache.repair();
         for (slot, doc) in docs.iter().enumerate() {
             assert_eq!(cache.page_of(slot), PageId::new(doc.id));
+        }
+    }
+
+    #[test]
+    fn eager_membership_mask_tracks_mutations_and_the_maintenance_flag() {
+        let mut docs = documents(30);
+        let mut cache = filled(&docs, 3);
+        cache.repair();
+        // Push/patch keep the direct-index mask equal to a fresh scan.
+        docs[0].is_unexplored = false; // slot 0 (unexplored) leaves
+        cache.patch(0, &docs[0]);
+        docs[1].is_unexplored = true; // slot 1 (established) joins
+        docs[1].popularity = 0.0;
+        cache.patch(1, &docs[1]);
+        docs.push(Document::unexplored(80)); // slot 30 joins
+        cache.push(shard_of(80, 3), docs.last().unwrap());
+        cache.repair(); // debug-asserts mask ≡ re-merged global pool
+        for (slot, doc) in docs.iter().enumerate() {
+            assert_eq!(cache.in_pool(slot), doc.is_unexplored, "slot {slot}");
+            assert_eq!(cache.page_of(slot), PageId::new(doc.id), "slot {slot}");
+        }
+        // Turning maintenance off empties the mask (unmaintained pools are
+        // empty); turning it back on recomputes from the patched stats.
+        cache.set_pool_maintained(false);
+        assert!((0..docs.len()).all(|s| !cache.in_pool(s)));
+        cache.set_pool_maintained(true);
+        cache.repair();
+        for (slot, doc) in docs.iter().enumerate() {
+            assert_eq!(cache.in_pool(slot), doc.is_unexplored, "slot {slot}");
         }
     }
 

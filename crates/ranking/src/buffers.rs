@@ -28,12 +28,20 @@ pub struct RankBuffers {
     pub(crate) mask: Vec<bool>,
     /// Per-slot seen mask for permutation validation.
     pub(crate) seen: Vec<bool>,
+    /// Sparse `(index, value)` overlay for the v2 lazy pool shuffle
+    /// ([`LazyShuffle`](crate::LazyShuffle)): at most `k` entries per
+    /// top-`k` query, reused across queries for its capacity.
+    pub(crate) overlay: Vec<(usize, usize)>,
     /// How many times the per-slot mask was reset (each reset is an `O(n)`
     /// clear paired with a full-corpus pool scan). The pooled query path
     /// never resets, so serving tiers read this counter to *pin* that their
     /// clean-batch path stayed scan-free — see
     /// [`take_mask_resets`](Self::take_mask_resets).
     mask_resets: u64,
+    /// Lazy-shuffle swap indices drawn by v2 top-k paths (at most `k` per
+    /// query). Serving tiers aggregate this to pin the O(k) contract — see
+    /// [`take_pool_draws`](Self::take_pool_draws).
+    pool_draws: u64,
 }
 
 impl RankBuffers {
@@ -50,7 +58,9 @@ impl RankBuffers {
             rest: Vec::with_capacity(n),
             mask: Vec::with_capacity(n),
             seen: Vec::with_capacity(n),
+            overlay: Vec::new(),
             mask_resets: 0,
+            pool_draws: 0,
         }
     }
 
@@ -61,6 +71,19 @@ impl RankBuffers {
     /// serving probes aggregate this to pin their scan-free contract.
     pub fn take_mask_resets(&mut self) -> u64 {
         std::mem::take(&mut self.mask_resets)
+    }
+
+    /// Drain the count of lazy-shuffle swap draws since the last call.
+    /// Only the v2 Selective top-k paths draw any; each query contributes
+    /// at most `k`, so serving probes aggregate this to pin the O(k)
+    /// per-query contract (`pool_draws ≤ k × queries`).
+    pub fn take_pool_draws(&mut self) -> u64 {
+        std::mem::take(&mut self.pool_draws)
+    }
+
+    /// Record `draws` lazy-shuffle swap draws (called by the v2 paths).
+    pub(crate) fn count_pool_draws(&mut self, draws: u64) {
+        self.pool_draws += draws;
     }
 
     /// Verify that `ordering` is a permutation of `0..n` using the arena's

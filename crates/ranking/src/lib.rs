@@ -35,6 +35,7 @@ pub mod buffers;
 pub mod candidates;
 pub mod deterministic;
 pub mod kind;
+pub mod lazyshuffle;
 pub mod merge;
 pub mod policy;
 pub mod poolindex;
@@ -50,6 +51,9 @@ pub use candidates::{
 };
 pub use deterministic::{FullyRandomRanking, PopularityRanking, QualityOracleRanking};
 pub use kind::PolicyKind;
+pub use lazyshuffle::{
+    forward_shuffle, merge_promoted_top_k_lazy_into, EngineVersion, LazyShuffle,
+};
 pub use merge::{merge_promoted, merge_promoted_into, merge_promoted_top_k_into};
 pub use policy::{is_permutation, is_permutation_with_scratch, RankingPolicy};
 pub use poolindex::{PoolIndex, PoolView};

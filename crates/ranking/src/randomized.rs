@@ -14,6 +14,7 @@
 //!    `k − 1` deterministic results.
 
 use crate::buffers::RankBuffers;
+use crate::lazyshuffle::{merge_promoted_top_k_lazy_into, EngineVersion, LazyShuffle};
 use crate::merge::{merge_promoted_into, merge_promoted_top_k_into};
 use crate::policy::RankingPolicy;
 use crate::poolindex::PoolView;
@@ -26,12 +27,17 @@ use rand::{Rng, RngCore};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RandomizedRankPromotion {
     config: PromotionConfig,
+    version: EngineVersion,
 }
 
 impl RandomizedRankPromotion {
-    /// Build the policy from a validated configuration.
+    /// Build the policy from a validated configuration (engine v1, the
+    /// golden-pinned default stream).
     pub fn new(config: PromotionConfig) -> Self {
-        RandomizedRankPromotion { config }
+        RandomizedRankPromotion {
+            config,
+            version: EngineVersion::V1,
+        }
     }
 
     /// The paper's recommended recipe: selective promotion, `r = 0.1`,
@@ -40,9 +46,33 @@ impl RandomizedRankPromotion {
         RandomizedRankPromotion::new(PromotionConfig::recommended(start_rank))
     }
 
+    /// Opt into an explicit [`EngineVersion`]. Under
+    /// [`V2`](EngineVersion::V2) the Selective top-k paths evaluate the
+    /// pool shuffle lazily (at most `k` swap draws per query, zero
+    /// `O(pool)` work) and therefore draw a different — distributionally
+    /// equivalent — RNG stream than v1. Full reranks and the Uniform rule
+    /// are bit-identical across versions.
+    pub fn with_version(mut self, version: EngineVersion) -> Self {
+        self.version = version;
+        self
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> PromotionConfig {
         self.config
+    }
+
+    /// The engine version in use.
+    pub fn version(&self) -> EngineVersion {
+        self.version
+    }
+
+    /// Whether this policy serves top-k through the v2 lazy shuffle: the
+    /// lazy stream exists only where the pool is consumed front-first
+    /// against a maintained membership set, i.e. the Selective rule (the
+    /// Uniform rule's per-page coins already dominate and stay v1).
+    fn lazy_top_k(&self) -> bool {
+        self.version == EngineVersion::V2 && self.config.rule == PromotionRule::Selective
     }
 
     /// Split the input into (promotion pool, deterministic remainder),
@@ -274,6 +304,13 @@ impl RandomizedRankPromotion {
     /// shuffles the pool, and stops the coin-flip merge at rank `k` —
     /// nothing per-corpus remains. Output equals the length-`k` prefix of
     /// the full rerank bit for bit.
+    ///
+    /// Under [`EngineVersion::V2`] the Selective rule goes further and is
+    /// `O(k)` outright: the pool is neither copied nor shuffled — a
+    /// [`LazyShuffle`] over the index's members draws one swap index per
+    /// pool entry the merge actually consumes. The v2 output is *not* the
+    /// full-rerank prefix (the lazy stream is its own, separately
+    /// golden-pinned), but its promoted-slot distribution is equivalent.
     pub fn rank_top_k_pooled_into<R: RngCore + ?Sized>(
         &self,
         view: PoolView<'_>,
@@ -282,6 +319,29 @@ impl RandomizedRankPromotion {
         buffers: &mut RankBuffers,
         out: &mut Vec<usize>,
     ) {
+        if self.lazy_top_k() {
+            let PoolView {
+                pages,
+                sorted,
+                pool,
+            } = view;
+            debug_assert!(pages.iter().enumerate().all(|(i, p)| p.slot == i));
+            debug_assert_eq!(sorted.len(), pages.len());
+            debug_assert!(
+                pool.is_consistent(pages),
+                "the pool index must match a fresh is_unexplored scan"
+            );
+            self.rank_top_k_lazy(
+                pool.members(),
+                sorted,
+                |s| pool.contains(s),
+                k,
+                rng,
+                buffers,
+                out,
+            );
+            return;
+        }
         self.build_pooled_lists(view, k, rng, buffers);
         merge_promoted_top_k_into(
             &buffers.rest,
@@ -292,6 +352,41 @@ impl RandomizedRankPromotion {
             rng,
             out,
         );
+    }
+
+    /// The shared v2 back half: fill `L_d` with the first `k` non-pool
+    /// entries of `order` (no RNG draws — identical filter to v1) and run
+    /// the lazy coin-flip merge over the unshuffled pool. Exactly one copy
+    /// of this sequence serves the pooled, retrieved and merged-order v2
+    /// routes, so they can never drift apart in their draws.
+    #[allow(clippy::too_many_arguments)]
+    fn rank_top_k_lazy<R: RngCore + ?Sized>(
+        &self,
+        pool: &[usize],
+        order: &[usize],
+        in_pool: impl Fn(usize) -> bool,
+        k: usize,
+        rng: &mut R,
+        buffers: &mut RankBuffers,
+        out: &mut Vec<usize>,
+    ) {
+        let draws = {
+            let RankBuffers { rest, overlay, .. } = &mut *buffers;
+            rest.clear();
+            rest.extend(order.iter().copied().filter(|&s| !in_pool(s)).take(k));
+            let mut lazy = LazyShuffle::new(pool, overlay);
+            merge_promoted_top_k_lazy_into(
+                rest,
+                &mut lazy,
+                self.config.start_rank,
+                self.config.degree,
+                k,
+                rng,
+                out,
+            );
+            lazy.draws()
+        };
+        buffers.count_pool_draws(draws);
     }
 
     /// The top-`k` prefix of the full rerank, computed from **merged shard
@@ -341,6 +436,11 @@ impl RandomizedRankPromotion {
     /// exactly one copy of this draw sequence, shared by the candidate
     /// path and the goldens pinning it, so the two can never diverge.
     ///
+    /// Under [`EngineVersion::V2`] even the copy-and-shuffle disappears:
+    /// the lazy shuffle draws one swap index per consumed pool entry, so
+    /// the whole query is `O(k)` and consumes the same stream as the v2
+    /// pooled path.
+    ///
     /// # Panics
     /// Panics for the Uniform rule: its per-page coins are part of the
     /// observable RNG stream and require a pass over the whole corpus, so
@@ -361,6 +461,12 @@ impl RandomizedRankPromotion {
             PromotionRule::Selective,
             "the Uniform rule draws per-page coins and cannot rank from shard candidates"
         );
+        if self.version == EngineVersion::V2 {
+            // `rest` is already retrieved and pool-free; the shared v2
+            // back half only truncates it to `k`.
+            self.rank_top_k_lazy(pool, rest, |_| false, k, rng, buffers, out);
+            return;
+        }
         let RankBuffers { pool: pool_buf, .. } = buffers;
         pool_buf.clear();
         pool_buf.extend_from_slice(pool);
@@ -470,7 +576,9 @@ impl RandomizedRankPromotion {
     /// coin-flip merge stops at rank `k`. Unlike the candidate-retrieval
     /// path this serves the Uniform rule too (the complete merged order is
     /// enough corpus for its per-page coins); output equals the length-`k`
-    /// prefix of the full rerank bit for bit.
+    /// prefix of the full rerank bit for bit. Under [`EngineVersion::V2`]
+    /// the Selective rule draws the lazy `O(k)` stream instead (its own
+    /// golden set; the Uniform rule stays v1-identical).
     #[allow(clippy::too_many_arguments)]
     pub fn rank_top_k_merged_into<R: RngCore + ?Sized>(
         &self,
@@ -482,6 +590,11 @@ impl RandomizedRankPromotion {
         buffers: &mut RankBuffers,
         out: &mut Vec<usize>,
     ) {
+        if self.lazy_top_k() {
+            debug_assert!(pool.windows(2).all(|w| w[0] < w[1]));
+            self.rank_top_k_lazy(pool, order, in_pool, k, rng, buffers, out);
+            return;
+        }
         self.build_merged_lists(pool, order, in_pool, k, rng, buffers);
         merge_promoted_top_k_into(
             &buffers.rest,
@@ -1048,6 +1161,121 @@ mod tests {
             1,
             "the Uniform rule must keep drawing its per-page coins"
         );
+    }
+
+    #[test]
+    fn v2_routes_agree_and_draw_at_most_k_swaps() {
+        use crate::lazyshuffle::EngineVersion;
+
+        let ps = pages();
+        let mut sorted: Vec<usize> = (0..ps.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| popularity_order(&ps[a], &ps[b]));
+        let pool = PoolIndex::build(&ps);
+        let view = PoolView::new(&ps, &sorted, &pool);
+        let mut buffers = RankBuffers::new();
+        let (mut pooled, mut merged, mut retrieved) = (Vec::new(), Vec::new(), Vec::new());
+        for start_rank in [1usize, 2, 4] {
+            let policy = RandomizedRankPromotion::new(
+                PromotionConfig::new(PromotionRule::Selective, start_rank, 0.4).unwrap(),
+            )
+            .with_version(EngineVersion::V2);
+            assert_eq!(policy.version(), EngineVersion::V2);
+            for k in [0usize, 1, 3, 5, 10, 50] {
+                for seed in 0..20 {
+                    policy.rank_top_k_pooled_into(
+                        view,
+                        k,
+                        &mut new_rng(seed),
+                        &mut buffers,
+                        &mut pooled,
+                    );
+                    let draws = buffers.take_pool_draws();
+                    assert!(draws <= k as u64, "k={k}, seed={seed}: {draws} draws");
+                    policy.rank_top_k_merged_into(
+                        pool.members(),
+                        &sorted,
+                        |s| pool.contains(s),
+                        k,
+                        &mut new_rng(seed),
+                        &mut buffers,
+                        &mut merged,
+                    );
+                    assert_eq!(merged, pooled, "merged≡pooled, k={k}, seed={seed}");
+                    assert_eq!(buffers.take_pool_draws(), draws, "merged draw count");
+                    let rest_slots: Vec<usize> = sorted
+                        .iter()
+                        .copied()
+                        .filter(|&s| !pool.contains(s))
+                        .take(k)
+                        .collect();
+                    policy.rank_top_k_retrieved_into(
+                        pool.members(),
+                        &rest_slots,
+                        k,
+                        &mut new_rng(seed),
+                        &mut buffers,
+                        &mut retrieved,
+                    );
+                    assert_eq!(retrieved, pooled, "retrieved≡pooled, k={k}, seed={seed}");
+                    assert_eq!(buffers.take_pool_draws(), draws, "retrieved draw count");
+                    // The prefix is made of distinct slots and protects
+                    // the deterministic top start_rank − 1.
+                    let mut dedup = pooled.clone();
+                    dedup.sort_unstable();
+                    dedup.dedup();
+                    assert_eq!(dedup.len(), pooled.len(), "no slot emitted twice");
+                    let protected = (start_rank - 1).min(k).min(rest_slots.len());
+                    assert_eq!(
+                        &pooled[..protected],
+                        &rest_slots[..protected],
+                        "protected prefix, k={k}, seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_leaves_the_uniform_rule_and_full_reranks_bit_identical() {
+        use crate::lazyshuffle::EngineVersion;
+
+        let ps = pages();
+        let mut sorted: Vec<usize> = (0..ps.len()).collect();
+        sorted.sort_unstable_by(|&a, &b| popularity_order(&ps[a], &ps[b]));
+        let pool = PoolIndex::build(&ps);
+        let view = PoolView::new(&ps, &sorted, &pool);
+        let mut buffers = RankBuffers::new();
+        let (mut v1_out, mut v2_out) = (Vec::new(), Vec::new());
+        for rule in [PromotionRule::Selective, PromotionRule::Uniform] {
+            let v1 = RandomizedRankPromotion::new(PromotionConfig::new(rule, 2, 0.4).unwrap());
+            let v2 = v1.with_version(EngineVersion::V2);
+            for seed in 0..20 {
+                // Full reranks never take the lazy route under either rule.
+                v1.rank_pooled_into(view, &mut new_rng(seed), &mut buffers, &mut v1_out);
+                v2.rank_pooled_into(view, &mut new_rng(seed), &mut buffers, &mut v2_out);
+                assert_eq!(v2_out, v1_out, "full {rule:?}, seed={seed}");
+                if rule == PromotionRule::Uniform {
+                    // Uniform top-k is v1-identical too: per-page coins
+                    // dominate, so there is no lazy stream for it.
+                    v1.rank_top_k_pooled_into(
+                        view,
+                        5,
+                        &mut new_rng(seed),
+                        &mut buffers,
+                        &mut v1_out,
+                    );
+                    v2.rank_top_k_pooled_into(
+                        view,
+                        5,
+                        &mut new_rng(seed),
+                        &mut buffers,
+                        &mut v2_out,
+                    );
+                    assert_eq!(v2_out, v1_out, "uniform top-k, seed={seed}");
+                    assert_eq!(buffers.take_pool_draws(), 0, "no lazy draws for Uniform");
+                }
+            }
+        }
     }
 
     #[test]

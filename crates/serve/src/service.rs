@@ -60,6 +60,14 @@ pub struct ServeStats {
     /// through this single repair site — there is no other tier to keep
     /// current.
     pub shard_repairs: u64,
+    /// Swap draws consumed by the v2 engines' lazy pool shuffle (one per
+    /// promoted slot actually taken, except the pool's last remaining
+    /// member which is emitted draw-free). A v2 selective top-k batch
+    /// reads at most `k × queries` here — the probe that pins the
+    /// O(k)-draw contract in tests. V1 engines never report any: their
+    /// eager shuffle is not instrumented, being exactly the `O(pool)`
+    /// cost v2 exists to remove.
+    pub pool_draws: u64,
     /// Lazy re-merges of the **complete** global popularity order — the
     /// `O(n)` k-way merge a full rerank or a Uniform-rule query reads
     /// instead of any corpus-wide snapshot. Paid at most once per repair
@@ -318,6 +326,7 @@ impl ShardedPromotionService {
             &mut self.slots,
         );
         self.probe.mask_resets += self.buffers.take_mask_resets();
+        self.probe.pool_draws += self.buffers.take_pool_draws();
         out.clear();
         out.extend(self.slots.iter().map(|&s| shards.page_of(s).0));
     }
@@ -362,6 +371,7 @@ impl ShardedPromotionService {
                 &mut self.slots,
                 out,
             );
+            self.probe.pool_draws += self.buffers.take_pool_draws();
             return;
         }
         self.ensure_merged_order();
@@ -377,6 +387,7 @@ impl ShardedPromotionService {
             &mut self.slots,
         );
         self.probe.mask_resets += self.buffers.take_mask_resets();
+        self.probe.pool_draws += self.buffers.take_pool_draws();
         out.clear();
         out.extend(self.slots.iter().map(|&s| shards.page_of(s).0));
     }
@@ -475,6 +486,7 @@ impl ShardedPromotionService {
                 worker.answer_into(ctx, mode, out);
             }
             self.probe.mask_resets += worker.buffers.take_mask_resets();
+            self.probe.pool_draws += worker.buffers.take_pool_draws();
             return;
         }
 
@@ -484,10 +496,11 @@ impl ShardedPromotionService {
         // result lock anywhere. Chunks are a few queries wide so a slow
         // query does not serialise its neighbours behind one worker.
         let regions = SlotRegions::new(results, chunk_len(queries.len(), workers));
-        // Mask resets are accumulated per worker arena and folded into the
-        // probe once per worker — one relaxed add at scope exit, nothing
-        // on the query path.
+        // Mask resets and lazy-shuffle draws are accumulated per worker
+        // arena and folded into the probe once per worker — one relaxed
+        // add each at scope exit, nothing on the query path.
         let mask_resets = AtomicU64::new(0);
+        let pool_draws = AtomicU64::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
@@ -501,10 +514,12 @@ impl ShardedPromotionService {
                         }
                     }
                     mask_resets.fetch_add(worker.buffers.take_mask_resets(), Ordering::Relaxed);
+                    pool_draws.fetch_add(worker.buffers.take_pool_draws(), Ordering::Relaxed);
                 });
             }
         });
         self.probe.mask_resets += mask_resets.into_inner();
+        self.probe.pool_draws += pool_draws.into_inner();
     }
 }
 
@@ -1178,6 +1193,46 @@ mod tests {
         assert_eq!(results.len(), 3);
         service.rerank_batch_into(&qs, &mut results);
         assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn v2_top_k_batches_draw_at_most_k_swaps_per_query() {
+        // The serving half of the O(k)-draw contract: a v2 selective
+        // engine's top-k traffic books at most `k` lazy-shuffle swap
+        // draws per query — batched (any worker count) and sequential
+        // alike — while a v1 engine books none (its eager shuffle is the
+        // O(pool) cost v2 removes, not an instrumented draw).
+        use rrp_core::EngineVersion;
+        let k = 10usize;
+        let qs = queries(16);
+        let v1 = RankPromotionEngine::recommended().with_seed(17);
+        let v2 = v1.with_version(EngineVersion::V2);
+        let mut results = Vec::new();
+
+        let mut service = ShardedPromotionService::new(v1, 4).with_workers(4);
+        service.extend(corpus(300));
+        service.rerank_batch_top_k_into(&qs, k, &mut results);
+        service.rerank_top_k(qs[0], k);
+        assert_eq!(service.serve_stats().pool_draws, 0, "v1 draws nothing");
+
+        let mut service = ShardedPromotionService::new(v2, 4).with_workers(4);
+        service.extend(corpus(300));
+        service.rerank_batch_top_k_into(&qs, k, &mut results);
+        let batched = service.serve_stats().pool_draws;
+        assert!(batched > 0, "v2 promotions must register their draws");
+        assert!(
+            batched <= (k * qs.len()) as u64,
+            "at most k draws per query: {batched} > {}",
+            k * qs.len()
+        );
+        service.rerank_top_k(qs[0], k);
+        let sequential = service.serve_stats().pool_draws - batched;
+        assert!(sequential <= k as u64, "sequential path obeys the same cap");
+        assert_eq!(
+            service.serve_stats().mask_resets,
+            0,
+            "the lazy route still never scans the corpus"
+        );
     }
 
     #[test]

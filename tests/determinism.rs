@@ -15,7 +15,7 @@
 //!    produces the same order no matter how many times, or from how many
 //!    threads, it is evaluated.
 
-use rrp_core::{Document, QueryContext, RankPromotionEngine};
+use rrp_core::{Document, EngineVersion, QueryContext, RankPromotionEngine};
 use rrp_experiments::runner::SweepExecutor;
 use rrp_model::{new_rng, SeedSequence};
 use rrp_ranking::{PolicyKind, PoolIndex, PoolView, PromotionConfig, PromotionRule, RankBuffers};
@@ -476,6 +476,141 @@ fn mutate_then_merge_schedule_reproduces_its_golden_at_every_shard_count() {
     }
 }
 
+/// Layer 1 + 3, engine v2: the lazy-shuffle top-k path has its own
+/// recorded golden set, pinned at every shard count alongside the
+/// single-engine reference. V2 spends the pool's randomness lazily — one
+/// swap draw per promoted slot actually consumed — so its top-k output
+/// is *not* the v1 full rerank's prefix; the invariants on the line are
+/// instead (a) the recorded vectors themselves, (b) shard-merged ≡
+/// single v2 engine, (c) prefix consistency *within* the v2 top-k family
+/// (`k = 1` is the head of `k = 10`), and (d) Uniform engines staying
+/// bit-identical to v1 under v2 (the overlay only serves the Selective
+/// rule). The draw probe rides along: at most `k` swap draws per query.
+#[test]
+fn v2_shard_merged_top_k_reproduces_its_recorded_goldens() {
+    let policies: [(RankPromotionEngine, [u64; 10]); 4] = [
+        (
+            RankPromotionEngine::recommended(),
+            GOLDEN_V2_TOP10_RECOMMENDED_7_11_13,
+        ),
+        (
+            RankPromotionEngine::new(
+                PromotionConfig::new(PromotionRule::Selective, 1, 0.5).unwrap(),
+            ),
+            GOLDEN_V2_TOP10_SELECTIVE_R50_K1_7_11_13,
+        ),
+        // The Uniform rule never touches the lazy overlay: its v2
+        // vectors are the recorded v1 constants, by design.
+        (
+            RankPromotionEngine::new(PromotionConfig::new(PromotionRule::Uniform, 1, 0.3).unwrap()),
+            GOLDEN_TOP10_UNIFORM_R30_K1_7_11_13,
+        ),
+        (
+            RankPromotionEngine::new(PromotionConfig::new(PromotionRule::Uniform, 2, 0.1).unwrap()),
+            GOLDEN_TOP10_UNIFORM_R10_K2_7_11_13,
+        ),
+    ];
+    // The lazy draw order is a real behaviour change for selective
+    // engines: the v2 recommended vector must *differ* from the v1
+    // golden prefix, or the version flag routes nowhere.
+    assert_ne!(
+        GOLDEN_V2_TOP10_RECOMMENDED_7_11_13,
+        GOLDEN_RERANK_7_11_13[..10]
+    );
+    let ctx = QueryContext::new(11, 13);
+    let docs = corpus();
+    for (engine, golden) in policies {
+        let engine = engine.with_seed(7).with_version(EngineVersion::V2);
+        let label = engine.config().label();
+        // The single-engine v2 reference owns the golden; prefix
+        // consistency holds within the top-k family.
+        for k in [1usize, engine.config().start_rank, 10] {
+            assert_eq!(
+                engine.rerank_top_k(&docs, ctx, k),
+                golden[..k],
+                "{label} engine top-{k}"
+            );
+        }
+        for shards in [1usize, 3, 8] {
+            let mut service = ShardedPromotionService::new(engine, shards).with_workers(2);
+            service.extend(docs.iter().copied());
+            let mut served = 0u64;
+            for k in [1usize, engine.config().start_rank, 10] {
+                assert_eq!(
+                    service.rerank_top_k(ctx, k),
+                    golden[..k],
+                    "{label}, {shards} shards, top-{k}"
+                );
+                let mut batch = Vec::new();
+                service.rerank_batch_top_k_into(&[ctx], k, &mut batch);
+                assert_eq!(
+                    batch[0],
+                    golden[..k],
+                    "{label}, {shards} shards, batch top-{k}"
+                );
+                served += 2 * k as u64;
+            }
+            // Same routing probe as v1, plus the O(k)-draw contract.
+            let stats = service.serve_stats();
+            if engine.reads_pool_index() {
+                assert_eq!(stats.order_merges, 0, "{label}");
+                assert_eq!(stats.shard_retrievals, 6 * shards as u64, "{label}");
+                assert!(
+                    stats.pool_draws <= served,
+                    "{label}: {} draws exceed the k-per-query budget {served}",
+                    stats.pool_draws
+                );
+            } else {
+                assert_eq!(stats.shard_retrievals, 0, "{label}");
+                assert_eq!(stats.order_merges, 1, "{label}");
+                assert_eq!(stats.pool_draws, 0, "{label}: Uniform never draws");
+            }
+            assert_eq!(stats.snapshot_rebuilds, 0, "{label}");
+            assert_eq!(
+                stats.mask_resets,
+                if engine.reads_pool_index() { 0 } else { 6 },
+                "{label}"
+            );
+        }
+    }
+}
+
+/// Layer 3, engine v2 mutate-then-serve: the documented mutation schedule
+/// under a v2 engine has its own recorded golden, reproduced at every
+/// shard count from repaired state alone — the v2 twin of
+/// [`mutate_then_serve_top_k_matches_its_golden`] and
+/// [`mutate_then_merge_schedule_reproduces_its_golden_at_every_shard_count`].
+/// The post-mutation pool (22 and 25 visited out, 41 in) feeds the lazy
+/// overlay directly, so a repair that mis-merged membership or member
+/// order would shift both the swap draws and this vector.
+#[test]
+fn v2_mutate_then_serve_matches_its_golden_at_every_shard_count() {
+    let engine = RankPromotionEngine::recommended()
+        .with_seed(7)
+        .with_version(EngineVersion::V2);
+    for shards in [1usize, 3, 8] {
+        let mut service = ShardedPromotionService::new(engine, shards).with_workers(2);
+        service.extend(corpus());
+        service.rerank_batch(&[QueryContext::new(0, 0)]); // warm the indexes
+        assert!(service.record_visit(22));
+        assert!(service.record_visit(25));
+        assert!(service.update_popularity(3, 1.5));
+        service.insert(Document::established(40, 0.77).with_age(9));
+        service.insert(Document::unexplored(41));
+        assert_eq!(
+            service.rerank_top_k(QueryContext::new(11, 13), 12),
+            GOLDEN_V2_MUTATE_THEN_SERVE_TOP12,
+            "{shards} shards"
+        );
+        let stats = service.serve_stats();
+        assert_eq!(stats.snapshot_rebuilds, 0);
+        assert_eq!(stats.full_sorts, 0);
+        assert_eq!(stats.pool_rebuilds, 0);
+        assert_eq!(stats.mask_resets, 0);
+        assert!(stats.pool_draws <= 12, "{shards} shards: O(k) draws");
+    }
+}
+
 /// Golden outputs of `new_rng(123)`.
 const GOLDEN_RNG_123: [u64; 4] = [
     17369494502333954609,
@@ -529,3 +664,15 @@ const GOLDEN_UNIFORM_R30_K1_FULL_7_11_13: [u64; 30] = [
 const GOLDEN_TOP10_SELECTIVE_R50_K1_7_11_13: [u64; 10] = [0, 23, 1, 2, 22, 27, 3, 26, 4, 5];
 const GOLDEN_TOP10_UNIFORM_R30_K1_7_11_13: [u64; 10] = [0, 1, 3, 4, 5, 25, 22, 6, 8, 7];
 const GOLDEN_TOP10_UNIFORM_R10_K2_7_11_13: [u64; 10] = [0, 1, 3, 4, 5, 6, 7, 8, 9, 10];
+
+/// Golden engine-v2 top-10 document ids (lazy pool shuffle; engine seed 7,
+/// `QueryContext::new(11, 13)`). Recorded from the single v2 engine's
+/// `rerank_top_k`; the shard-merge serving path is held to them at every
+/// shard count. The Uniform rules have no v2 constants of their own —
+/// v2 leaves their streams bit-identical to v1.
+const GOLDEN_V2_TOP10_RECOMMENDED_7_11_13: [u64; 10] = [0, 1, 2, 23, 3, 4, 5, 6, 7, 8];
+const GOLDEN_V2_TOP10_SELECTIVE_R50_K1_7_11_13: [u64; 10] = [0, 1, 23, 26, 2, 29, 3, 25, 4, 20];
+
+/// Golden engine-v2 top-12 document ids after the documented
+/// mutate-then-serve schedule (engine seed 7, `QueryContext::new(11, 13)`).
+const GOLDEN_V2_MUTATE_THEN_SERVE_TOP12: [u64; 12] = [3, 0, 1, 27, 2, 4, 5, 40, 6, 7, 8, 9];
