@@ -20,6 +20,10 @@
 //!   instead of copying and shuffling the whole promotion pool, so this
 //!   row against `top10_mutated` is the v1-vs-v2 headline (the pool is
 //!   ~n/10 members, so the gap widens with corpus size);
+//! * `top10_mutated_wal` — the same top-10 workload with every mutation
+//!   appended to the write-ahead log first (`DurableService`, snapshots
+//!   off): this row against `top10_mutated` is the durability overhead
+//!   on the mutation path — the serve path is untouched by the log;
 //! * `top10_mutated_shards{1,2,8}` — the same top-10 workload across
 //!   shard counts (`shards8` matches `top10_mutated`'s 8-way layout, as
 //!   its own row so the sweep is self-contained): the retrieval cost is
@@ -32,8 +36,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rrp_core::{Document, EngineVersion, QueryContext, RankPromotionEngine};
 use rrp_model::{new_rng, PowerLawQuality, QualityDistribution};
-use rrp_serve::ShardedPromotionService;
+use rrp_serve::{DurableService, ShardedPromotionService};
 use std::hint::black_box;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 const BATCH: u64 = 64;
@@ -65,6 +70,34 @@ fn versioned_service(n: u64, shards: usize, version: EngineVersion) -> ShardedPr
     service
 }
 
+/// A durable twin of [`service`]: same corpus, same engine, every
+/// mutation write-ahead logged. Snapshots are disabled so the measured
+/// delta against the plain service is the log append alone.
+fn durable_service(n: u64, dir: &Path) -> DurableService {
+    let dist = PowerLawQuality::paper_default();
+    let mut rng = new_rng(7);
+    let engine = RankPromotionEngine::recommended();
+    let (durable, _) = DurableService::open(dir, engine, 8).expect("open durable dir");
+    let mut durable = durable.with_snapshot_every(u64::MAX);
+    for i in 0..n {
+        let doc = if i % 10 == 0 {
+            Document::unexplored(i)
+        } else {
+            Document::established(i, dist.sample(&mut rng).value()).with_age(i % 365)
+        };
+        durable.insert(doc).expect("durable insert");
+    }
+    durable.rerank_batch(&[QueryContext::new(0, 0)]);
+    durable
+}
+
+/// A scratch directory for the durable rows, cleaned up by the caller.
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rrp-bench-wal-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
 fn queries(salt: u64) -> Vec<QueryContext> {
     (0..BATCH)
         .map(|q| QueryContext::new(q * 13 + salt, q ^ 0xBEEF))
@@ -83,6 +116,23 @@ fn mutate(service: &mut ShardedPromotionService, round: u64) {
         } else {
             let score = 0.05 + ((seq * 31 + round) % 100) as f64 / 100.0;
             service.update_popularity(seq, score);
+        }
+    }
+}
+
+/// The durable twin of [`mutate`]: same schedule, same sequences, each
+/// mutation appended to the log before it is applied.
+fn mutate_durable(service: &mut DurableService, round: u64) {
+    let n = service.store().len() as u64;
+    for m in 0..MUTATIONS_PER_BATCH {
+        let seq = (round.wrapping_mul(MUTATIONS_PER_BATCH) + m * 97) % n;
+        if m % 2 == 0 {
+            service.record_visit(seq).expect("durable visit");
+        } else {
+            let score = 0.05 + ((seq * 31 + round) % 100) as f64 / 100.0;
+            service
+                .update_popularity(seq, score)
+                .expect("durable update");
         }
     }
 }
@@ -143,6 +193,23 @@ fn bench_serve_throughput(c: &mut Criterion) {
                 black_box(results.last().map(Vec::len))
             });
         });
+
+        // The durability overhead: identical workload, every mutation
+        // appended to the WAL before it is applied.
+        let dir = bench_dir(&n.to_string());
+        let mut top_k_wal = durable_service(n, &dir);
+        group.bench_with_input(BenchmarkId::new("top10_mutated_wal", n), &n, |b, _| {
+            let mut results = Vec::new();
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                mutate_durable(&mut top_k_wal, round);
+                top_k_wal.rerank_batch_top_k_into(&qs, 10, &mut results);
+                black_box(results.last().map(Vec::len))
+            });
+        });
+        drop(top_k_wal);
+        std::fs::remove_dir_all(&dir).ok();
 
         for shards in [1usize, 2, 8] {
             let mut top_k = sharded_service(n, shards);

@@ -15,11 +15,12 @@
 use crate::document::Document;
 use crate::engine::RankPromotionEngine;
 use rrp_ranking::{PageStats, PoolIndex, PoolView, PopularityIndex};
+use serde::{Deserialize, Serialize};
 
 /// The persistent ranking caches over one corpus of [`Document`]s:
 /// statistics snapshot, popularity order, and promotion-pool membership,
 /// repaired together from a shared dirty list.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct CorpusCache {
     /// `PageStats` for each slot (slot = insertion index), patched in
     /// place on mutation.

@@ -38,10 +38,11 @@ use crate::cache::CorpusCache;
 use crate::document::Document;
 use rrp_model::PageId;
 use rrp_ranking::ShardCandidates;
+use serde::{Deserialize, Serialize};
 
 /// One shard's slice of the corpus: its cache under dense local slots plus
 /// the local→global slot map.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 struct ShardCache {
     cache: CorpusCache,
     /// Local slot → global slot, strictly increasing.
@@ -51,7 +52,7 @@ struct ShardCache {
 /// Per-shard [`CorpusCache`]s repaired from shard-local dirty lists, with
 /// `O(1)` global-slot addressing for mutations and a maintained merge of
 /// the shard pools.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct ShardedCorpusCache {
     shards: Vec<ShardCache>,
     /// Global slot → (shard, local slot).
@@ -83,6 +84,7 @@ pub struct ShardedCorpusCache {
     /// Whether `merged_order` must be re-merged before its next read.
     merged_order_stale: bool,
     /// Scratch: per-shard cursors for the repair-time pool merge.
+    #[serde(skip)]
     merge_heads: Vec<usize>,
 }
 

@@ -28,6 +28,7 @@
 //! is observable through the pool.
 
 use crate::stats::PageStats;
+use serde::{Deserialize, Serialize};
 
 /// A borrowed view of the persistent per-corpus ranking state that the
 /// pooled query paths rank against: the per-slot statistics snapshot, its
@@ -57,7 +58,7 @@ impl<'a> PoolView<'a> {
 }
 
 /// Unexplored slots in ascending slot order, repaired incrementally.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PoolIndex {
     /// Pool members (unexplored slots), ascending. Invariant outside
     /// `repair`: equals the slots where `is_unexplored` holds for the most
@@ -68,10 +69,13 @@ pub struct PoolIndex {
     /// without an `O(n)` clear per query.
     mask: Vec<bool>,
     /// Scratch: per-slot "is dirty" mask during a repair.
+    #[serde(skip)]
     removed: Vec<bool>,
     /// Scratch: dirty slots that test unexplored, sorted ascending.
+    #[serde(skip)]
     incoming: Vec<usize>,
     /// Scratch: merge target swapped with `members` during a repair.
+    #[serde(skip)]
     merged: Vec<usize>,
 }
 

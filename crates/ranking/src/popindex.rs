@@ -25,18 +25,22 @@
 //! the same binary-search reinsertion.
 
 use crate::stats::{popularity_order, PageStats};
+use serde::{Deserialize, Serialize};
 
 /// Slots sorted by [`popularity_order`], repaired incrementally.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PopularityIndex {
     /// Slot indices, best-ranked first. Invariant outside `repair`: sorted
     /// by `popularity_order` over the most recent `stats` passed in.
     order: Vec<usize>,
     /// Scratch: merge target swapped with `order` during a repair.
+    #[serde(skip)]
     merged: Vec<usize>,
     /// Scratch: per-slot "is dirty" mask during a repair.
+    #[serde(skip)]
     removed: Vec<bool>,
     /// Scratch: insertion position of each dirty slot during a repair.
+    #[serde(skip)]
     positions: Vec<usize>,
 }
 

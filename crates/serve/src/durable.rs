@@ -1,0 +1,475 @@
+//! The durable serving wrapper: every mutation is appended to a
+//! write-ahead log before it touches memory, periodic snapshots bound
+//! recovery time, and [`DurableService::open`] rebuilds **bit-identical**
+//! serving state from disk after a crash.
+//!
+//! ## State machine
+//!
+//! ```text
+//!            ┌──────────────── mutation ────────────────┐
+//!            │ 1. validate (unknown seq → ServeError,   │
+//!            │    nothing logged)                       │
+//!            │ 2. append event to WAL  ──failure──▶ typed error,
+//!            │ 3. apply to in-memory service            │  state unchanged
+//!            │ 4. every `snapshot_every` events:        │
+//!            │    sync WAL, write snapshot atomically   │
+//!            └──────────────────────────────────────────┘
+//!
+//!            ┌──────────────── recovery ────────────────┐
+//!            │ 1. read + CRC-verify snapshot            │
+//!            │    (corrupt/missing → start empty,       │
+//!            │     replay the whole log instead)        │
+//!            │ 2. replay the log tail (events ≥ the     │
+//!            │    snapshot's high-water mark)           │
+//!            │ 3. classify the tail: torn final write   │
+//!            │    dropped cleanly; CRC failure truncates│
+//!            │    at the first bad record, loss counted │
+//!            │ 4. truncate the log to its valid prefix, │
+//!            │    resume appending                      │
+//!            └──────────────────────────────────────────┘
+//! ```
+//!
+//! Replay reproduces bit-identical output because every serving answer is
+//! a pure function of (engine seed, query, session) over the store's
+//! canonical order, and both the snapshot (exact-bit floats through the
+//! shortest-round-trip JSON codec) and the log (floats as IEEE bit
+//! patterns) preserve that state exactly — the crash-recovery conformance
+//! suite pins recovered output against an uncrashed twin across shard ×
+//! worker × policy × engine-version grids.
+//!
+//! The log is retained across snapshots (a snapshot only moves the replay
+//! start), so any *prefix* of history can be replayed — the time-travel
+//! property pinned by the prefix-replay suite.
+
+use crate::error::ServeError;
+use crate::service::{ServeStats, ShardedPromotionService};
+use crate::store::ShardedStore;
+use rrp_core::{Document, QueryContext, RankPromotionEngine, ShardedCorpusCache};
+use rrp_wal::fault::{Failpoint, FailpointSink};
+use rrp_wal::snapshot::{read_snapshot, write_snapshot_atomic};
+use rrp_wal::{
+    create_log_file, resume_log_file, FileSink, TailStatus, WalError, WalEvent, WalReader,
+    WalWriter,
+};
+use serde::{Deserialize, Serialize, Value};
+use std::path::{Path, PathBuf};
+
+/// File name of the log inside a durable directory.
+const WAL_FILE: &str = "wal.log";
+/// File name of the snapshot inside a durable directory.
+const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// Default mutation count between automatic snapshots.
+const DEFAULT_SNAPSHOT_EVERY: u64 = 1024;
+
+/// What [`DurableService::open`] found on disk and what it did about it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a verified snapshot seeded the state (false = started
+    /// empty and replayed the log from its first event).
+    pub snapshot_loaded: bool,
+    /// Whether a snapshot file existed but failed verification and was
+    /// recovered *around* by replaying the full log instead.
+    pub snapshot_fallback: bool,
+    /// Events replayed from the log onto the starting state.
+    pub events_replayed: u64,
+    /// Events lost to a corrupt record (0 for a clean or merely torn
+    /// log): the first failed record plus every complete frame after it,
+    /// counted best-effort by the reader.
+    pub events_lost: u64,
+    /// Bytes discarded past the log's valid prefix (torn tail, corrupt
+    /// tail, or an unreadable log that had to be reset).
+    pub bytes_dropped: u64,
+}
+
+/// [`ShardedPromotionService`] behind a write-ahead log: mutations are
+/// durable, queries are served from the same in-memory tier, and
+/// [`open`](Self::open) recovers bit-identical state after a crash.
+pub struct DurableService {
+    inner: ShardedPromotionService,
+    wal: WalWriter,
+    snapshot_path: PathBuf,
+    snapshot_every: u64,
+    events_since_snapshot: u64,
+    wal_appends: u64,
+    snapshots_written: u64,
+    events_replayed: u64,
+}
+
+impl DurableService {
+    /// Open (or create) the durable service rooted at `dir`: load and
+    /// verify the snapshot if one exists, replay the log tail, truncate
+    /// any torn or corrupt suffix, and resume appending. The requested
+    /// `engine` and `shard_count` must match a pre-existing snapshot —
+    /// recovering under a different deployment configuration is a typed
+    /// error, not silently divergent state.
+    pub fn open(
+        dir: &Path,
+        engine: RankPromotionEngine,
+        shard_count: usize,
+    ) -> Result<(Self, RecoveryReport), ServeError> {
+        Self::open_with_failpoint(dir, engine, shard_count, Failpoint::new())
+    }
+
+    /// [`open`](Self::open) with an armed-able [`Failpoint`] interposed on
+    /// the append path — the fault-injection entry used by the recovery
+    /// tests. A disarmed failpoint (the default) changes nothing.
+    pub fn open_with_failpoint(
+        dir: &Path,
+        engine: RankPromotionEngine,
+        shard_count: usize,
+        failpoint: Failpoint,
+    ) -> Result<(Self, RecoveryReport), ServeError> {
+        std::fs::create_dir_all(dir).map_err(WalError::from)?;
+        let wal_path = dir.join(WAL_FILE);
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let mut report = RecoveryReport::default();
+
+        // 1. The snapshot, if one verifies. A snapshot that exists but
+        // fails its checksum is recovered *around*: the log holds the
+        // full history (snapshots never truncate it), so starting empty
+        // and replaying everything reaches the same state.
+        let mut next_event = 0u64;
+        let mut inner = match read_snapshot(&snapshot_path) {
+            Ok(Some(payload)) => {
+                let state = decode_snapshot(&payload, &engine, shard_count)?;
+                next_event = state.next_event;
+                report.snapshot_loaded = true;
+                ShardedPromotionService::from_parts(engine, state.store, state.shards)
+            }
+            Ok(None) => ShardedPromotionService::try_new(engine, shard_count)?,
+            Err(_) => {
+                report.snapshot_fallback = true;
+                ShardedPromotionService::try_new(engine, shard_count)?
+            }
+        };
+
+        // 2–3. Replay the tail and classify how the log ends.
+        let mut replayed = 0u64;
+        let mut log_state = match WalReader::open(&wal_path) {
+            Ok(mut reader) => {
+                let mut first_seq = None;
+                while let Some((seq, event)) = reader.next_event().map_err(ServeError::from)? {
+                    first_seq.get_or_insert(seq);
+                    if seq >= next_event {
+                        apply_event(&mut inner, &event)?;
+                        replayed += 1;
+                    }
+                }
+                if let Some(first) = first_seq {
+                    if first > next_event {
+                        return Err(ServeError::Recovery {
+                            detail: format!(
+                                "log starts at event {first} but the snapshot only covers \
+                                 events before {next_event}: history is missing"
+                            ),
+                        });
+                    }
+                }
+                match reader.tail() {
+                    TailStatus::Clean => {}
+                    TailStatus::TornWrite { dropped_bytes } => {
+                        report.bytes_dropped += dropped_bytes;
+                    }
+                    TailStatus::Corrupt {
+                        events_lost,
+                        dropped_bytes,
+                        ..
+                    } => {
+                        report.events_lost += events_lost;
+                        report.bytes_dropped += dropped_bytes;
+                    }
+                }
+                Some((reader.valid_len(), reader.next_seq().unwrap_or(0)))
+            }
+            // No log yet: a fresh directory (or snapshot-only survivor).
+            Err(WalError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
+            // A log whose *header* is unreadable cannot be scanned at
+            // all. The snapshot state (possibly empty) stands; the log is
+            // reset rather than appended to blindly.
+            Err(WalError::BadHeader { .. }) | Err(WalError::UnsupportedVersion { .. }) => {
+                report.bytes_dropped += std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
+                None
+            }
+            Err(e) => return Err(e.into()),
+        };
+
+        // A log that ends before the snapshot's high-water mark cannot be
+        // appended to at `next_event` without leaving a sequence gap in
+        // the file — reset it and let the snapshot carry the past.
+        if let Some((_, log_next)) = log_state {
+            if log_next < next_event {
+                log_state = None;
+            }
+        }
+
+        // 4. Truncate to the valid prefix and resume appending.
+        let (file, writer_next) = match log_state {
+            Some((valid_len, log_next)) => (resume_log_file(&wal_path, valid_len)?, log_next),
+            None => (create_log_file(&wal_path)?, next_event),
+        };
+        let sink = FailpointSink::new(FileSink::new(file), failpoint);
+        let wal = WalWriter::new(Box::new(sink), writer_next.max(next_event));
+
+        report.events_replayed = replayed;
+        let service = DurableService {
+            inner,
+            wal,
+            snapshot_path,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            events_since_snapshot: 0,
+            wal_appends: 0,
+            snapshots_written: 0,
+            events_replayed: replayed,
+        };
+        Ok((service, report))
+    }
+
+    /// Set the mutation count between automatic snapshots (clamped to at
+    /// least 1). Lower bounds recovery replay at the price of more
+    /// snapshot writes.
+    pub fn with_snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = every.max(1);
+        self
+    }
+
+    /// Set the worker count of the wrapped service (see
+    /// [`ShardedPromotionService::with_workers`]).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.inner = self.inner.with_workers(workers);
+        self
+    }
+
+    /// The wrapped in-memory service — every query path is served from
+    /// here, unchanged (reads are never logged).
+    pub fn service(&self) -> &ShardedPromotionService {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped service **for serving only**. The
+    /// rerank paths need `&mut` for their scratch arenas; applying
+    /// mutations through this handle would bypass the log, so don't.
+    pub fn service_mut(&mut self) -> &mut ShardedPromotionService {
+        &mut self.inner
+    }
+
+    /// The underlying store (read-only).
+    pub fn store(&self) -> &ShardedStore {
+        self.inner.store()
+    }
+
+    /// The wrapped service's counters plus the durability probes
+    /// ([`ServeStats::wal_appends`], [`ServeStats::snapshots_written`],
+    /// [`ServeStats::events_replayed`]).
+    pub fn serve_stats(&self) -> ServeStats {
+        let mut stats = self.inner.serve_stats();
+        stats.wal_appends = self.wal_appends;
+        stats.snapshots_written = self.snapshots_written;
+        stats.events_replayed = self.events_replayed;
+        stats
+    }
+
+    /// Durably insert one document: the insert event is appended to the
+    /// log first, then applied in memory. On an append failure nothing is
+    /// applied and nothing is logged — the error is typed, the state
+    /// consistent.
+    pub fn insert(&mut self, document: Document) -> Result<u64, ServeError> {
+        self.log_event(&WalEvent::Insert(document))?;
+        let seq = self.inner.insert(document);
+        self.maybe_snapshot()?;
+        Ok(seq)
+    }
+
+    /// Durably insert every document of an iterator, in order. Stops at
+    /// the first failed append (documents before it are in).
+    pub fn extend(
+        &mut self,
+        documents: impl IntoIterator<Item = Document>,
+    ) -> Result<(), ServeError> {
+        for document in documents {
+            self.insert(document)?;
+        }
+        Ok(())
+    }
+
+    /// Durably record a user visit. An unknown sequence is rejected
+    /// *before* anything reaches the log, so the log only ever holds
+    /// replayable events.
+    pub fn record_visit(&mut self, seq: u64) -> Result<(), ServeError> {
+        self.check_seq(seq)?;
+        self.log_event(&WalEvent::Visit { seq })?;
+        self.inner.try_record_visit(seq)?;
+        self.maybe_snapshot()
+    }
+
+    /// Durably replace a popularity score. An unknown sequence is
+    /// rejected before anything reaches the log.
+    pub fn update_popularity(&mut self, seq: u64, popularity: f64) -> Result<(), ServeError> {
+        self.check_seq(seq)?;
+        self.log_event(&WalEvent::SetPopularity { seq, popularity })?;
+        self.inner.try_update_popularity(seq, popularity)?;
+        self.maybe_snapshot()
+    }
+
+    /// Write a snapshot right now: sync the log, serialise the engine,
+    /// store and serving tier, and rename it into place atomically. A
+    /// crash at any instant leaves either the previous snapshot or this
+    /// one.
+    pub fn snapshot_now(&mut self) -> Result<(), ServeError> {
+        self.wal.sync()?;
+        let payload = encode_snapshot(&self.inner, self.wal.next_seq())?;
+        write_snapshot_atomic(&self.snapshot_path, payload.as_bytes())?;
+        self.snapshots_written += 1;
+        self.events_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Reject mutations against sequences the store never issued, before
+    /// they can be logged.
+    fn check_seq(&self, seq: u64) -> Result<(), ServeError> {
+        if self.inner.store().get(seq).is_none() {
+            return Err(ServeError::UnknownSequence {
+                seq,
+                len: self.inner.store().len() as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Append one event; accounting only happens on success.
+    fn log_event(&mut self, event: &WalEvent) -> Result<(), ServeError> {
+        self.wal.append(event)?;
+        self.wal_appends += 1;
+        self.events_since_snapshot += 1;
+        Ok(())
+    }
+
+    /// The periodic snapshot trigger on the mutation path.
+    fn maybe_snapshot(&mut self) -> Result<(), ServeError> {
+        if self.events_since_snapshot >= self.snapshot_every {
+            self.snapshot_now()?;
+        }
+        Ok(())
+    }
+
+    // ── Serving delegates ───────────────────────────────────────────────
+    // Queries never touch the log; these forward to the wrapped service
+    // so the common paths don't need `service_mut` at every call site.
+
+    /// See [`ShardedPromotionService::rerank_one`].
+    pub fn rerank_one(&mut self, ctx: QueryContext) -> Vec<u64> {
+        self.inner.rerank_one(ctx)
+    }
+
+    /// See [`ShardedPromotionService::rerank_top_k`].
+    pub fn rerank_top_k(&mut self, ctx: QueryContext, k: usize) -> Vec<u64> {
+        self.inner.rerank_top_k(ctx, k)
+    }
+
+    /// See [`ShardedPromotionService::rerank_batch`].
+    pub fn rerank_batch(&mut self, queries: &[QueryContext]) -> Vec<Vec<u64>> {
+        self.inner.rerank_batch(queries)
+    }
+
+    /// See [`ShardedPromotionService::rerank_batch_top_k_into`].
+    pub fn rerank_batch_top_k_into(
+        &mut self,
+        queries: &[QueryContext],
+        k: usize,
+        results: &mut Vec<Vec<u64>>,
+    ) {
+        self.inner.rerank_batch_top_k_into(queries, k, results)
+    }
+}
+
+/// The serialized form of a snapshot payload: engine, store, serving
+/// tier, and the event sequence the snapshot is current through.
+struct SnapshotState {
+    store: ShardedStore,
+    shards: ShardedCorpusCache,
+    next_event: u64,
+}
+
+fn encode_snapshot(
+    service: &ShardedPromotionService,
+    next_event: u64,
+) -> Result<String, ServeError> {
+    let value = Value::Map(vec![
+        ("engine".to_string(), service.engine().to_value()),
+        ("store".to_string(), service.store().to_value()),
+        ("shards".to_string(), service.shard_state().to_value()),
+        ("next_event".to_string(), next_event.to_value()),
+    ]);
+    serde_json::to_string(&value).map_err(|e| ServeError::Recovery {
+        detail: format!("snapshot serialisation failed: {e}"),
+    })
+}
+
+fn decode_snapshot(
+    payload: &[u8],
+    engine: &RankPromotionEngine,
+    shard_count: usize,
+) -> Result<SnapshotState, ServeError> {
+    let recovery = |detail: String| ServeError::Recovery { detail };
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| recovery(format!("snapshot is not UTF-8: {e}")))?;
+    let value: Value = serde_json::from_str(text)
+        .map_err(|e| recovery(format!("snapshot is not valid JSON: {e}")))?;
+    let field = |name: &str| {
+        value
+            .get(name)
+            .ok_or_else(|| recovery(format!("snapshot is missing the `{name}` field")))
+    };
+    let stored_engine = RankPromotionEngine::from_value(field("engine")?)
+        .map_err(|e| recovery(format!("snapshot engine: {e}")))?;
+    // The engine (config, seed, version) defines every RNG stream; a
+    // snapshot from a different engine would replay into silently
+    // different rankings, so the mismatch is surfaced instead.
+    if stored_engine.to_value() != engine.to_value() {
+        return Err(recovery(
+            "snapshot was written by a different engine configuration".to_string(),
+        ));
+    }
+    let store = ShardedStore::from_value(field("store")?)
+        .map_err(|e| recovery(format!("snapshot store: {e}")))?;
+    if store.shard_count() != shard_count {
+        return Err(recovery(format!(
+            "snapshot has {} shards, the service was opened with {shard_count}",
+            store.shard_count()
+        )));
+    }
+    let shards = ShardedCorpusCache::from_value(field("shards")?)
+        .map_err(|e| recovery(format!("snapshot serving tier: {e}")))?;
+    if shards.len() != store.len() {
+        return Err(recovery(format!(
+            "snapshot serving tier covers {} slots but the store holds {} documents",
+            shards.len(),
+            store.len()
+        )));
+    }
+    let next_event = u64::from_value(field("next_event")?)
+        .map_err(|e| recovery(format!("snapshot next_event: {e}")))?;
+    Ok(SnapshotState {
+        store,
+        shards,
+        next_event,
+    })
+}
+
+/// Apply one replayed event. Events were validated before they were
+/// logged, so a failure here means the log and snapshot do not belong
+/// together — a typed recovery error, never a panic.
+fn apply_event(service: &mut ShardedPromotionService, event: &WalEvent) -> Result<(), ServeError> {
+    let result = match *event {
+        WalEvent::Insert(document) => {
+            service.insert(document);
+            Ok(())
+        }
+        WalEvent::Visit { seq } => service.try_record_visit(seq),
+        WalEvent::SetPopularity { seq, popularity } => {
+            service.try_update_popularity(seq, popularity)
+        }
+    };
+    result.map_err(|e| ServeError::Recovery {
+        detail: format!("replay could not apply {event:?}: {e}"),
+    })
+}

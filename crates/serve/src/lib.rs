@@ -33,6 +33,16 @@
 //! answers are bit-identical (top-k ≡ the full rerank's prefix) at any
 //! shard or worker count.
 //!
+//! Since PR 8 the tier can also be **durable**: [`DurableService`] wraps
+//! the service behind a write-ahead log (`rrp-wal`), appending every
+//! mutation before applying it and snapshotting periodically, so
+//! [`DurableService::open`] recovers bit-identical serving state after a
+//! crash — snapshot plus tail replay, torn tails dropped cleanly, corrupt
+//! records truncated with a reported loss count ([`RecoveryReport`]).
+//! Bad external input (unknown sequences, zero shard counts, out-of-range
+//! shard indexes, mismatched snapshots) degrades to a typed
+//! [`ServeError`] instead of a panic.
+//!
 //! ```
 //! use rrp_core::{Document, QueryContext, RankPromotionEngine};
 //! use rrp_serve::ShardedPromotionService;
@@ -61,8 +71,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod durable;
+pub mod error;
 pub mod service;
 pub mod store;
 
+pub use durable::{DurableService, RecoveryReport};
+pub use error::ServeError;
 pub use service::{available_workers, ServeStats, ShardedPromotionService};
 pub use store::ShardedStore;

@@ -75,6 +75,19 @@ pub struct ServeStats {
     /// tests), and top-k traffic under a selective engine never merges at
     /// all.
     pub order_merges: u64,
+    /// Mutation events appended to the write-ahead log — counted only by
+    /// the durable wrapper ([`crate::DurableService`]); a plain in-memory
+    /// service always reads 0. One per *successful* append: an injected
+    /// or real append failure charges nothing, matching the untouched
+    /// serving state.
+    pub wal_appends: u64,
+    /// Snapshots written to disk by the durable wrapper (periodic plus
+    /// explicit), each one an atomic rename-into-place.
+    pub snapshots_written: u64,
+    /// Events replayed from the log tail during the most recent recovery
+    /// — 0 for a service that was never recovered, and exactly the
+    /// events-past-the-snapshot for one that was.
+    pub events_replayed: u64,
 }
 
 /// Serves randomized rank promotion over a sharded document store.
@@ -154,6 +167,49 @@ impl ShardedPromotionService {
         }
     }
 
+    /// Like [`new`](Self::new), but a zero `shard_count` is a typed
+    /// [`ServeError::InvalidShardCount`] instead of being clamped to 1 —
+    /// for callers (deployment config parsing, the durable recovery path)
+    /// that want bad input surfaced rather than absorbed.
+    pub fn try_new(
+        engine: RankPromotionEngine,
+        shard_count: usize,
+    ) -> Result<Self, crate::ServeError> {
+        if shard_count == 0 {
+            return Err(crate::ServeError::InvalidShardCount { requested: 0 });
+        }
+        Ok(Self::new(engine, shard_count))
+    }
+
+    /// Reassemble a service from recovered state: the engine, the store
+    /// and the serving tier exactly as a snapshot captured them. Scratch
+    /// and probes start fresh — they are per-process, not part of the
+    /// durable state. The caller (the recovery path) guarantees the three
+    /// parts belong together.
+    pub(crate) fn from_parts(
+        engine: RankPromotionEngine,
+        store: ShardedStore,
+        shards: ShardedCorpusCache,
+    ) -> Self {
+        ShardedPromotionService {
+            engine,
+            store,
+            workers: available_workers(),
+            shards,
+            probe: ServeStats::default(),
+            buffers: RankBuffers::new(),
+            slots: Vec::new(),
+            retrieval: TopKRetrieval::default(),
+            rebuild_scratch: Vec::new(),
+        }
+    }
+
+    /// Hand out the serving tier for snapshotting (the durable wrapper
+    /// serialises it alongside the store).
+    pub(crate) fn shard_state(&self) -> &ShardedCorpusCache {
+        &self.shards
+    }
+
     /// Set the number of batch worker threads (clamped to at least 1).
     /// Results are identical at every worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
@@ -225,6 +281,38 @@ impl ShardedPromotionService {
                 true
             }
             None => false,
+        }
+    }
+
+    /// [`record_visit`](Self::record_visit) with the failure typed: an
+    /// unknown sequence is a [`ServeError::UnknownSequence`], and the
+    /// serving state is untouched.
+    pub fn try_record_visit(&mut self, seq: u64) -> Result<(), crate::ServeError> {
+        if self.record_visit(seq) {
+            Ok(())
+        } else {
+            Err(crate::ServeError::UnknownSequence {
+                seq,
+                len: self.store.len() as u64,
+            })
+        }
+    }
+
+    /// [`update_popularity`](Self::update_popularity) with the failure
+    /// typed: an unknown sequence is a [`ServeError::UnknownSequence`],
+    /// and the serving state is untouched.
+    pub fn try_update_popularity(
+        &mut self,
+        seq: u64,
+        popularity: f64,
+    ) -> Result<(), crate::ServeError> {
+        if self.update_popularity(seq, popularity) {
+            Ok(())
+        } else {
+            Err(crate::ServeError::UnknownSequence {
+                seq,
+                len: self.store.len() as u64,
+            })
         }
     }
 

@@ -14,11 +14,13 @@
 //! also the document's slot in the canonical snapshot — which is what lets
 //! the serving tier map store mutations straight onto dirty snapshot slots.
 
+use crate::error::ServeError;
 use rrp_core::Document;
+use serde::{Deserialize, Serialize};
 
 /// A sharded document store with a canonical, shard-count-independent
 /// snapshot order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ShardedStore {
     /// Per-shard `(sequence, document)` pairs; each shard is ascending in
     /// sequence because inserts are globally ordered.
@@ -66,9 +68,18 @@ impl ShardedStore {
         self.placement.is_empty()
     }
 
-    /// Number of documents on one shard.
-    pub fn shard_len(&self, shard: usize) -> usize {
-        self.shards[shard].len()
+    /// Number of documents on one shard. A shard index past the
+    /// partition count is a typed [`ServeError::ShardOutOfRange`] —
+    /// monitoring endpoints feed this from deployment config, which must
+    /// not be able to abort the process.
+    pub fn shard_len(&self, shard: usize) -> Result<usize, ServeError> {
+        self.shards
+            .get(shard)
+            .map(Vec::len)
+            .ok_or(ServeError::ShardOutOfRange {
+                shard,
+                shards: self.shards.len(),
+            })
     }
 
     /// The shard a document with `id` routes to. Exposed so the serving
@@ -231,7 +242,7 @@ mod tests {
         let mut store = ShardedStore::new(8);
         store.extend(docs(1_000));
         for shard in 0..8 {
-            let len = store.shard_len(shard);
+            let len = store.shard_len(shard).unwrap();
             assert!(
                 (60..190).contains(&len),
                 "shard {shard} holds {len} of 1000 documents"
@@ -253,9 +264,9 @@ mod tests {
         let mut store = ShardedStore::new(5);
         for doc in docs(200) {
             let shard = store.shard_of_id(doc.id);
-            let before = store.shard_len(shard);
+            let before = store.shard_len(shard).unwrap();
             store.insert(doc);
-            assert_eq!(store.shard_len(shard), before + 1, "id {}", doc.id);
+            assert_eq!(store.shard_len(shard).unwrap(), before + 1, "id {}", doc.id);
         }
     }
 

@@ -14,7 +14,9 @@
 
 use proptest::prelude::*;
 use rrp_core::{Document, QueryContext};
-use rrp_serve::ShardedPromotionService;
+use rrp_serve::{DurableService, ShardedPromotionService};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One step of a mutate-while-serving schedule.
 #[derive(Debug, Clone, Copy)]
@@ -137,6 +139,105 @@ pub fn apply_mutation(
         Op::Serve { queries, k } => return Some((queries, k)),
     }
     None
+}
+
+/// Apply one mutation op to a [`DurableService`], mirroring
+/// [`apply_mutation`] exactly (same remapping, same skip-while-empty), so
+/// a durable service and a plain twin fed the same schedule hold the same
+/// corpus. Serve ops are handed back untouched.
+pub fn apply_mutation_durable(
+    service: &mut DurableService,
+    op: Op,
+) -> Option<(u64, Option<usize>)> {
+    match op {
+        Op::Insert {
+            id,
+            popularity,
+            age,
+        } => {
+            service
+                .insert(inserted_document(id, popularity, age))
+                .expect("durable insert");
+        }
+        Op::Visit { seq } => {
+            let len = service.store().len() as u64;
+            if len > 0 {
+                service.record_visit(seq % len).expect("durable visit");
+            }
+        }
+        Op::SetPopularity { seq, popularity } => {
+            let len = service.store().len() as u64;
+            if len > 0 {
+                service
+                    .update_popularity(seq % len, popularity)
+                    .expect("durable popularity update");
+            }
+        }
+        Op::Serve { queries, k } => return Some((queries, k)),
+    }
+    None
+}
+
+/// A scratch directory under the system temp dir, removed on drop — the
+/// recovery suites get one per (case, shard count) so crashed and
+/// recovered services never share a log by accident.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// A fresh, empty, uniquely named directory.
+    pub fn new(tag: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "rrp-serve-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::remove_dir_all(&path).ok();
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The WAL file a [`DurableService`] keeps inside this directory.
+    pub fn wal_path(&self) -> PathBuf {
+        self.path.join("wal.log")
+    }
+
+    /// The snapshot file a [`DurableService`] keeps inside this directory.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.path.join("snapshot.bin")
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.path).ok();
+    }
+}
+
+/// Bit-exact corpus equality: ids, popularity *bits*, flags and ages all
+/// equal — the bar recovered state is held to (plain `==` on `f64` would
+/// let `0.1000000000000001` impersonate `0.1`).
+pub fn assert_same_corpus(got: &[Document], expected: &[Document]) {
+    assert_eq!(got.len(), expected.len(), "corpus sizes differ");
+    for (i, (g, e)) in got.iter().zip(expected).enumerate() {
+        assert_eq!(g.id, e.id, "seq {i}: id");
+        assert_eq!(
+            g.popularity.to_bits(),
+            e.popularity.to_bits(),
+            "seq {i}: popularity bits ({} vs {})",
+            g.popularity,
+            e.popularity
+        );
+        assert_eq!(g.is_unexplored, e.is_unexplored, "seq {i}: unexplored");
+        assert_eq!(g.age_days, e.age_days, "seq {i}: age");
+    }
 }
 
 /// The shard and worker counts every final sweep pins: singleton,

@@ -1,0 +1,166 @@
+//! Regression tests for the typed-error contract of the serving tier:
+//! bad external input — unknown sequence handles, a zero shard count, a
+//! shard index past the partition, a reopen under the wrong deployment
+//! configuration — surfaces a [`ServeError`] and leaves state untouched,
+//! instead of panicking or silently clamping.
+
+mod common;
+
+use common::{queries, seed_service, TempDir};
+use rrp_core::{Document, RankPromotionEngine};
+use rrp_serve::{DurableService, ServeError, ShardedPromotionService, ShardedStore};
+
+fn engine() -> RankPromotionEngine {
+    RankPromotionEngine::recommended().with_seed(99)
+}
+
+#[test]
+fn unknown_sequences_are_typed_errors_and_touch_nothing() {
+    let mut service = ShardedPromotionService::new(engine(), 2);
+    seed_service(&mut service, 10, 3, 0.05);
+    let mut twin = ShardedPromotionService::new(engine(), 2);
+    seed_service(&mut twin, 10, 3, 0.05);
+
+    // Both mutation kinds reject a handle the store never issued, with
+    // the real bounds in the error.
+    match service.try_record_visit(10) {
+        Err(ServeError::UnknownSequence { seq, len }) => {
+            assert_eq!(seq, 10);
+            assert_eq!(len, 10);
+        }
+        other => panic!("expected UnknownSequence, got {other:?}"),
+    }
+    match service.try_update_popularity(u64::MAX, 0.5) {
+        Err(ServeError::UnknownSequence { seq, len }) => {
+            assert_eq!(seq, u64::MAX);
+            assert_eq!(len, 10);
+        }
+        other => panic!("expected UnknownSequence, got {other:?}"),
+    }
+
+    // The rejected mutations left no trace: the corpus and every serving
+    // answer still match a twin that never saw them.
+    common::assert_same_corpus(&service.store().snapshot(), &twin.store().snapshot());
+    let qs = queries(4, 77);
+    assert_eq!(service.rerank_batch(&qs), twin.rerank_batch(&qs));
+
+    // And the valid twins of the same calls still work.
+    service.try_record_visit(9).unwrap();
+    service.try_update_popularity(0, 0.5).unwrap();
+}
+
+#[test]
+fn a_zero_shard_count_is_rejected_by_try_new_and_clamped_by_new() {
+    match ShardedPromotionService::try_new(engine(), 0) {
+        Err(ServeError::InvalidShardCount { requested: 0 }) => {}
+        other => panic!("expected InvalidShardCount, got {other:?}"),
+    }
+    // The infallible constructor keeps its documented clamping contract.
+    let service = ShardedPromotionService::new(engine(), 0);
+    assert_eq!(service.store().shard_count(), 1);
+    // And valid counts pass through try_new unclamped.
+    let service = ShardedPromotionService::try_new(engine(), 8).unwrap();
+    assert_eq!(service.store().shard_count(), 8);
+}
+
+#[test]
+fn shard_len_rejects_out_of_range_shards() {
+    let mut store = ShardedStore::new(3);
+    store.extend((0..7).map(Document::unexplored));
+    let total: usize = (0..3).map(|s| store.shard_len(s).unwrap()).sum();
+    assert_eq!(total, 7);
+    match store.shard_len(3) {
+        Err(ServeError::ShardOutOfRange {
+            shard: 3,
+            shards: 3,
+        }) => {}
+        other => panic!("expected ShardOutOfRange, got {other:?}"),
+    }
+    match store.shard_len(usize::MAX) {
+        Err(ServeError::ShardOutOfRange { .. }) => {}
+        other => panic!("expected ShardOutOfRange, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_durable_service_cannot_open_with_zero_shards() {
+    let dir = TempDir::new("zero-shards");
+    match DurableService::open(dir.path(), engine(), 0) {
+        Err(ServeError::InvalidShardCount { requested: 0 }) => {}
+        other => {
+            let other = other.map(|_| "a service");
+            panic!("expected InvalidShardCount, got {other:?}");
+        }
+    }
+}
+
+#[test]
+fn durable_rejections_never_reach_the_log() {
+    let dir = TempDir::new("rejected-mutations");
+    let (mut durable, _) = DurableService::open(dir.path(), engine(), 2).unwrap();
+    for i in 0..5u64 {
+        durable.insert(Document::unexplored(i)).unwrap();
+    }
+    let appends = durable.serve_stats().wal_appends;
+
+    assert!(matches!(
+        durable.record_visit(5),
+        Err(ServeError::UnknownSequence { seq: 5, len: 5 })
+    ));
+    assert!(matches!(
+        durable.update_popularity(17, 0.4),
+        Err(ServeError::UnknownSequence { seq: 17, len: 5 })
+    ));
+    assert_eq!(
+        durable.serve_stats().wal_appends,
+        appends,
+        "rejected mutations must not be logged"
+    );
+    drop(durable);
+
+    // …so recovery replays exactly the accepted history.
+    let (_, report) = DurableService::open(dir.path(), engine(), 2).unwrap();
+    assert_eq!(report.events_replayed, appends);
+    assert_eq!(report.events_lost, 0);
+}
+
+#[test]
+fn reopening_under_a_different_configuration_is_a_recovery_error() {
+    let dir = TempDir::new("config-mismatch");
+    let (mut durable, _) = DurableService::open(dir.path(), engine(), 2).unwrap();
+    for i in 0..6u64 {
+        durable
+            .insert(Document::established(i, 0.5).with_age(i))
+            .unwrap();
+    }
+    durable.snapshot_now().unwrap();
+    drop(durable);
+
+    // A different engine (seed ⇒ different RNG streams) must not replay
+    // into silently different rankings.
+    let reseeded = RankPromotionEngine::recommended().with_seed(100);
+    match DurableService::open(dir.path(), reseeded, 2) {
+        Err(ServeError::Recovery { detail }) => {
+            assert!(detail.contains("engine"), "unhelpful detail: {detail}");
+        }
+        other => {
+            let other = other.map(|_| "a service");
+            panic!("expected Recovery, got {other:?}");
+        }
+    }
+
+    // A different shard count is a different partition of the same data.
+    match DurableService::open(dir.path(), engine(), 4) {
+        Err(ServeError::Recovery { detail }) => {
+            assert!(detail.contains("shard"), "unhelpful detail: {detail}");
+        }
+        other => {
+            let other = other.map(|_| "a service");
+            panic!("expected Recovery, got {other:?}");
+        }
+    }
+
+    // The matching configuration still opens fine after the refusals.
+    let (_, report) = DurableService::open(dir.path(), engine(), 2).unwrap();
+    assert!(report.snapshot_loaded);
+}

@@ -1,0 +1,162 @@
+//! The fault-injection harness: byte-level log damage and append-time
+//! I/O failures, for recovery tests here and in `rrp-serve`.
+//!
+//! Three faults cover the failure modes a log actually meets:
+//!
+//! * [`truncate_at`] — cut the file at an arbitrary byte offset, the
+//!   shape a torn final write (or a dying disk) leaves behind;
+//! * [`flip_byte`] — invert one byte in place, the shape of silent media
+//!   corruption that only a checksum can catch;
+//! * [`Failpoint`] + [`FailpointSink`] — make the *next* append return an
+//!   injected [`std::io::Error`], so callers can prove they surface a
+//!   typed error and keep serving state consistent instead of panicking.
+
+use crate::log::WalSink;
+use std::fs::OpenOptions;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// Cut `path` to `len` bytes — a torn write if `len` lands mid-frame.
+pub fn truncate_at(path: &Path, len: u64) -> io::Result<()> {
+    OpenOptions::new().write(true).open(path)?.set_len(len)
+}
+
+/// Invert the byte at `offset` in place (errors if `offset` is past EOF).
+pub fn flip_byte(path: &Path, offset: u64) -> io::Result<()> {
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    file.seek(SeekFrom::Start(offset))?;
+    let mut byte = [0u8; 1];
+    file.read_exact(&mut byte)?;
+    byte[0] = !byte[0];
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(&byte)
+}
+
+const DISARMED: i64 = -1;
+
+/// A shared, cloneable trigger for injected append failures. Disarmed by
+/// default; [`arm_after`](Failpoint::arm_after)`(n)` lets the next `n`
+/// appends through and fails every one after that until
+/// [`disarm`](Failpoint::disarm).
+#[derive(Clone, Debug)]
+pub struct Failpoint {
+    remaining: Arc<AtomicI64>,
+}
+
+impl Failpoint {
+    /// A disarmed failpoint (every append succeeds).
+    pub fn new() -> Self {
+        Failpoint {
+            remaining: Arc::new(AtomicI64::new(DISARMED)),
+        }
+    }
+
+    /// Allow `appends` more appends, then fail all of them.
+    pub fn arm_after(&self, appends: u64) {
+        self.remaining
+            .store(appends.min(i64::MAX as u64) as i64, Ordering::SeqCst);
+    }
+
+    /// Back to letting everything through.
+    pub fn disarm(&self) {
+        self.remaining.store(DISARMED, Ordering::SeqCst);
+    }
+
+    /// Should the current append be failed? (Consumes one grace append
+    /// when armed.)
+    fn should_fail(&self) -> bool {
+        self.remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |r| {
+                if r > 0 {
+                    Some(r - 1)
+                } else {
+                    None // disarmed (−1) or exhausted (0): leave as is
+                }
+            })
+            .map(|_| false)
+            .unwrap_or_else(|r| r == 0)
+    }
+}
+
+impl Default for Failpoint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A sink wrapper that consults a [`Failpoint`] before every append.
+/// Injected failures happen *before* the inner sink sees any bytes, so a
+/// failed append leaves the log exactly as it was.
+pub struct FailpointSink<S> {
+    inner: S,
+    failpoint: Failpoint,
+}
+
+impl<S: WalSink> FailpointSink<S> {
+    /// Wrap `inner`, gating appends on `failpoint`.
+    pub fn new(inner: S, failpoint: Failpoint) -> Self {
+        FailpointSink { inner, failpoint }
+    }
+}
+
+impl<S: WalSink> WalSink for FailpointSink<S> {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if self.failpoint.should_fail() {
+            return Err(io::Error::other("injected WAL append failure"));
+        }
+        self.inner.append(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingSink(usize);
+
+    impl WalSink for CountingSink {
+        fn append(&mut self, _bytes: &[u8]) -> io::Result<()> {
+            self.0 += 1;
+            Ok(())
+        }
+
+        fn sync(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn failpoint_counts_down_then_fails_until_disarmed() {
+        let failpoint = Failpoint::new();
+        let mut sink = FailpointSink::new(CountingSink(0), failpoint.clone());
+        assert!(sink.append(b"a").is_ok(), "disarmed lets everything pass");
+        failpoint.arm_after(2);
+        assert!(sink.append(b"b").is_ok());
+        assert!(sink.append(b"c").is_ok());
+        assert!(sink.append(b"d").is_err(), "grace exhausted");
+        assert!(sink.append(b"e").is_err(), "stays failing");
+        failpoint.disarm();
+        assert!(sink.append(b"f").is_ok());
+        assert_eq!(sink.inner.0, 4, "failed appends never reach the sink");
+    }
+
+    #[test]
+    fn byte_faults_edit_files_in_place() {
+        let dir = std::env::temp_dir().join(format!("rrp-wal-fault-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.bin");
+        std::fs::write(&path, [0u8, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+        flip_byte(&path, 3).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), [0u8, 1, 2, !3, 4, 5, 6, 7]);
+        truncate_at(&path, 5).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), [0u8, 1, 2, !3, 4]);
+        assert!(flip_byte(&path, 99).is_err(), "past EOF is an error");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

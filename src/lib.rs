@@ -21,6 +21,7 @@ pub use rrp_model as model;
 pub use rrp_ranking as ranking;
 pub use rrp_serve as serve;
 pub use rrp_sim as sim;
+pub use rrp_wal as wal;
 pub use rrp_webgraph as webgraph;
 
 /// The paper's recommended engine, re-exported for one-line quickstarts.
@@ -28,6 +29,10 @@ pub use rrp_core::{Document, QueryContext, RankPromotionEngine};
 
 /// The sharded batch serving layer, re-exported for one-line quickstarts.
 pub use rrp_serve::ShardedPromotionService;
+
+/// The durable (write-ahead-logged) serving wrapper, re-exported for
+/// one-line quickstarts.
+pub use rrp_serve::DurableService;
 
 #[cfg(test)]
 mod tests {
