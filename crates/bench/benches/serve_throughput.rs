@@ -56,7 +56,7 @@ fn versioned_service(n: u64, shards: usize, version: EngineVersion) -> ShardedPr
     let dist = PowerLawQuality::paper_default();
     let mut rng = new_rng(7);
     let engine = RankPromotionEngine::recommended().with_version(version);
-    let mut service = ShardedPromotionService::new(engine, shards);
+    let service = ShardedPromotionService::new(engine, shards);
     service.extend((0..n).map(|i| {
         if i % 10 == 0 {
             Document::unexplored(i)
@@ -107,7 +107,7 @@ fn queries(salt: u64) -> Vec<QueryContext> {
 /// Apply the per-batch mutation schedule: visit feedback plus popularity
 /// updates on a rotating window of sequences (corpus size stays fixed, so
 /// consecutive iterations measure the same working set).
-fn mutate(service: &mut ShardedPromotionService, round: u64) {
+fn mutate(service: &ShardedPromotionService, round: u64) {
     let n = service.store().len() as u64;
     for m in 0..MUTATIONS_PER_BATCH {
         let seq = (round.wrapping_mul(MUTATIONS_PER_BATCH) + m * 97) % n;
@@ -146,7 +146,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
     for &n in &[10_000u64, 100_000] {
         let qs = queries(1);
 
-        let mut clean = service(n);
+        let clean = service(n);
         group.bench_with_input(BenchmarkId::new("full_clean", n), &n, |b, _| {
             let mut results = Vec::new();
             b.iter(|| {
@@ -155,25 +155,25 @@ fn bench_serve_throughput(c: &mut Criterion) {
             });
         });
 
-        let mut mutated = service(n);
+        let mutated = service(n);
         group.bench_with_input(BenchmarkId::new("full_mutated", n), &n, |b, _| {
             let mut results = Vec::new();
             let mut round = 0u64;
             b.iter(|| {
                 round += 1;
-                mutate(&mut mutated, round);
+                mutate(&mutated, round);
                 mutated.rerank_batch_into(&qs, &mut results);
                 black_box(results.last().map(Vec::len))
             });
         });
 
-        let mut top_k = service(n);
+        let top_k = service(n);
         group.bench_with_input(BenchmarkId::new("top10_mutated", n), &n, |b, _| {
             let mut results = Vec::new();
             let mut round = 0u64;
             b.iter(|| {
                 round += 1;
-                mutate(&mut top_k, round);
+                mutate(&top_k, round);
                 top_k.rerank_batch_top_k_into(&qs, 10, &mut results);
                 black_box(results.last().map(Vec::len))
             });
@@ -182,13 +182,13 @@ fn bench_serve_throughput(c: &mut Criterion) {
         // The v1-vs-v2 headline: the identical top-10 workload, answered
         // by the lazy O(k)-draw overlay instead of the eager pool
         // copy-and-shuffle.
-        let mut top_k_v2 = versioned_service(n, 8, EngineVersion::V2);
+        let top_k_v2 = versioned_service(n, 8, EngineVersion::V2);
         group.bench_with_input(BenchmarkId::new("top10_mutated_v2", n), &n, |b, _| {
             let mut results = Vec::new();
             let mut round = 0u64;
             b.iter(|| {
                 round += 1;
-                mutate(&mut top_k_v2, round);
+                mutate(&top_k_v2, round);
                 top_k_v2.rerank_batch_top_k_into(&qs, 10, &mut results);
                 black_box(results.last().map(Vec::len))
             });
@@ -212,7 +212,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
         std::fs::remove_dir_all(&dir).ok();
 
         for shards in [1usize, 2, 8] {
-            let mut top_k = sharded_service(n, shards);
+            let top_k = sharded_service(n, shards);
             group.bench_with_input(
                 BenchmarkId::new(format!("top10_mutated_shards{shards}"), n),
                 &n,
@@ -221,7 +221,7 @@ fn bench_serve_throughput(c: &mut Criterion) {
                     let mut round = 0u64;
                     b.iter(|| {
                         round += 1;
-                        mutate(&mut top_k, round);
+                        mutate(&top_k, round);
                         top_k.rerank_batch_top_k_into(&qs, 10, &mut results);
                         black_box(results.last().map(Vec::len))
                     });

@@ -36,7 +36,7 @@ fn corpus() -> Vec<Document> {
 
 fn measure(label: &str, engine: RankPromotionEngine) -> ShardedPromotionService {
     let before = vm_rss_kib();
-    let mut service = ShardedPromotionService::new(engine, 8).with_workers(1);
+    let service = ShardedPromotionService::new(engine, 8).with_workers(1);
     service.extend(corpus());
     let queries: Vec<QueryContext> = (0..4u64).map(|q| QueryContext::new(q, q * 31)).collect();
     let mut results = Vec::new();

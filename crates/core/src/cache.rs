@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// The persistent ranking caches over one corpus of [`Document`]s:
 /// statistics snapshot, popularity order, and promotion-pool membership,
 /// repaired together from a shared dirty list.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CorpusCache {
     /// `PageStats` for each slot (slot = insertion index), patched in
     /// place on mutation.
@@ -195,8 +195,11 @@ impl CorpusCache {
     /// Test-only back door: mutable stats access that bypasses the dirty
     /// list. Exists solely so drift-tripwire tests can prove that a
     /// producer mutating stats *without* marking the slot dirty is caught
-    /// by the repair assertions instead of silently served.
-    #[cfg(test)]
+    /// by the repair assertions instead of silently served (those tests
+    /// only exist where the assertions fire, hence the
+    /// `debug_assertions` gate — release-profile test builds would
+    /// otherwise flag this as dead code).
+    #[cfg(all(test, debug_assertions))]
     pub(crate) fn stats_mut_unmarked(&mut self) -> &mut [PageStats] {
         &mut self.stats
     }

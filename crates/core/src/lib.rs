@@ -60,7 +60,7 @@ pub use advisor::{Advice, CandidateOutcome, ParameterAdvisor};
 pub use cache::CorpusCache;
 pub use document::{Document, QueryContext};
 pub use engine::{RankPromotionEngine, RerankScratch};
-pub use shardcache::ShardedCorpusCache;
+pub use shardcache::{PublishedVersion, ShardedCorpusCache};
 
 // Re-export the supporting crates under stable module names so downstream
 // users need a single dependency.

@@ -1,5 +1,6 @@
-//! Per-shard ranking caches with shard-local dirty lists — the storage
-//! side of shard-local top-k candidate retrieval.
+//! Per-shard ranking caches split into a writer generation and published
+//! read-only versions — the storage side of shard-local top-k candidate
+//! retrieval under concurrent readers.
 //!
 //! Where [`CorpusCache`] keeps one corpus-wide snapshot current,
 //! [`ShardedCorpusCache`] keeps one `CorpusCache` **per shard**, each over
@@ -13,17 +14,44 @@
 //! reassembles exactly the global order prefix the promotion merge
 //! consumes, and the **merged global pool** — which moves only when a
 //! mutation flips a slot's membership, never with the query — is
-//! maintained here across queries ([`pool_slots`](Self::pool_slots)),
-//! re-merged from the shard pools at repair time exactly as
-//! `merge_shard_candidates_into` would merge per-query pool candidates.
+//! maintained across queries, re-merged from the shard pools at
+//! publication time.
+//!
+//! # Epoch-versioned publication
+//!
+//! Since the concurrent-serving change, the cache is *two* generations of
+//! the same state:
+//!
+//! * the **writer generation** — the `Arc`-held buffers this struct
+//!   mutates in place through [`push`](ShardedCorpusCache::push) /
+//!   [`patch`](ShardedCorpusCache::patch), exactly the old single-owner
+//!   repair discipline; and
+//! * the **published version** ([`PublishedVersion`]) — an immutable,
+//!   epoch-stamped snapshot cut by [`publish`](ShardedCorpusCache::publish):
+//!   the writer repairs its dirty slots, then shares its (now clean)
+//!   buffers into the version by `Arc` clone. Readers rank against a
+//!   version without any lock; clean shards are shared between consecutive
+//!   versions, never copied.
+//!
+//! Publication stays `O(dirty)`, not `O(n)`, through **buffer
+//! recycling**: the cache keeps a *diff log* of every global slot mutated
+//! since the last publication, and when a version retires
+//! ([`recycle`](ShardedCorpusCache::recycle)) its uniquely-held buffers
+//! are reclaimed and caught up by replaying exactly that diff — the
+//! retired generation is one publication behind, so the diff is precisely
+//! what it is missing. If a straggling reader still holds the retired
+//! version, recycling is skipped and the next mutation falls back to
+//! copy-on-write (`Arc::make_mut`) — correct at any interleaving, merely
+//! paying a one-time copy.
 //!
 //! Full reranks (and the Uniform rule's per-page coin scan) are served
-//! from the same shard-local state: the **complete** merged global
-//! popularity order
-//! ([`merge_shard_orders_into`](rrp_ranking::merge_shard_orders_into)) is
-//! maintained lazily — repairs mark it stale, the next full-order read
-//! re-merges once ([`ensure_merged_order`](ShardedCorpusCache::ensure_merged_order))
-//! — so there is exactly one tier of serving state at every query shape.
+//! from the version's **complete** merged global popularity order
+//! ([`merge_shard_orders_into`](rrp_ranking::merge_shard_orders_into)),
+//! maintained lazily per version in a [`SharedLazyOrder`]: the first
+//! full-order consumer of a version merges once, top-k-only traffic never
+//! pays the `O(n)` merge, and the order's storage is recycled from the
+//! retired version — the old `ensure_merged_order` cadence, generalised
+//! to shared readers.
 //!
 //! The local↔global mapping rides on two invariants the owner must keep
 //! (both debug-asserted):
@@ -37,55 +65,272 @@
 use crate::cache::CorpusCache;
 use crate::document::Document;
 use rrp_model::PageId;
-use rrp_ranking::ShardCandidates;
+use rrp_ranking::{ShardCandidates, SharedLazyOrder};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One shard's slice of the corpus: its cache under dense local slots plus
-/// the local→global slot map.
-#[derive(Debug, Default, Serialize, Deserialize)]
+/// the local→global slot map. Both live behind `Arc`s so publication can
+/// share them into an immutable [`PublishedVersion`] without copying.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct ShardCache {
-    cache: CorpusCache,
+    cache: Arc<CorpusCache>,
     /// Local slot → global slot, strictly increasing.
-    globals: Vec<usize>,
+    globals: Arc<Vec<usize>>,
+}
+
+impl Default for ShardCache {
+    fn default() -> Self {
+        ShardCache {
+            cache: Arc::new(CorpusCache::new()),
+            globals: Arc::new(Vec::new()),
+        }
+    }
+}
+
+/// One shard of a [`PublishedVersion`]: the shard's repaired cache and its
+/// local→global map, shared by `Arc` with the writer generation that cut
+/// the version (and with neighbouring versions while the shard is clean).
+#[derive(Debug)]
+struct PublishedShard {
+    cache: Arc<CorpusCache>,
+    globals: Arc<Vec<usize>>,
+}
+
+/// An immutable, epoch-stamped snapshot of the whole serving tier: per-
+/// shard repaired caches, the global placement/page/membership arrays, the
+/// merged global pool, and a lazily merged complete global order. Cut by
+/// [`ShardedCorpusCache::publish`]; safe to read from any number of
+/// threads without a lock. The `epoch` records which mutation epoch the
+/// snapshot serves — readers validate it at merge time against the live
+/// epoch counter to detect (and bound) staleness.
+#[derive(Debug)]
+pub struct PublishedVersion {
+    epoch: u64,
+    pool_maintained: bool,
+    shards: Vec<PublishedShard>,
+    /// Global slot → (shard, local slot).
+    placement: Arc<Vec<(u32, u32)>>,
+    /// Global slot → [`PageId`] — resolves ranked slots to ids by direct
+    /// indexing on the per-slot hot loop.
+    pages: Arc<Vec<PageId>>,
+    /// Global slot → pool membership (all `false` while maintenance is
+    /// off, matching the empty shard pools).
+    pool_mask: Arc<Vec<bool>>,
+    /// The merged global pool under global slots, ascending — the
+    /// pre-shuffle pool order every top-k query shuffles.
+    merged_pool: Arc<Vec<usize>>,
+    /// The complete merged global popularity order, merged at most once
+    /// per version by its first full-order consumer.
+    merged_order: SharedLazyOrder,
+}
+
+impl PublishedVersion {
+    /// The empty version at epoch 0 — what a service publishes before any
+    /// mutation exists. An empty corpus never republishes: inserts are the
+    /// only path to a non-empty one, and they bump the epoch.
+    pub fn empty(shard_count: usize, pool_maintained: bool) -> Self {
+        let shards = (0..shard_count.max(1))
+            .map(|_| {
+                let mut cache = CorpusCache::new();
+                cache.set_pool_maintained(pool_maintained);
+                PublishedShard {
+                    cache: Arc::new(cache),
+                    globals: Arc::new(Vec::new()),
+                }
+            })
+            .collect();
+        PublishedVersion {
+            epoch: 0,
+            pool_maintained,
+            shards,
+            placement: Arc::new(Vec::new()),
+            pages: Arc::new(Vec::new()),
+            pool_mask: Arc::new(Vec::new()),
+            merged_pool: Arc::new(Vec::new()),
+            merged_order: SharedLazyOrder::new(),
+        }
+    }
+
+    /// The mutation epoch this version serves.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of documents in the snapshot.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// Whether the snapshot holds no documents.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.placement.is_empty()
+    }
+
+    /// Whether pool maintenance was enabled when the version was cut.
+    #[inline]
+    pub fn pool_maintained(&self) -> bool {
+        self.pool_maintained
+    }
+
+    /// The merged global pool: every shard's pool members under global
+    /// slots, ascending — identical in content and order to a corpus-wide
+    /// [`PoolIndex::members`](rrp_ranking::PoolIndex::members).
+    #[inline]
+    pub fn pool_slots(&self) -> &[usize] {
+        &self.merged_pool
+    }
+
+    /// The [`PageId`] of the document at `global_slot` — one direct vec
+    /// index on the per-slot hot loop of every serving path.
+    #[inline]
+    pub fn page_of(&self, global_slot: usize) -> PageId {
+        self.pages[global_slot]
+    }
+
+    /// The snapshot's [`PageStats`](rrp_ranking::PageStats) of the
+    /// document at `global_slot`, relabeled to its global slot (`O(1)`).
+    #[inline]
+    pub fn stat_of(&self, global_slot: usize) -> rrp_ranking::PageStats {
+        let (shard, local) = self.placement[global_slot];
+        let mut stat = self.shards[shard as usize].cache.stats()[local as usize];
+        stat.slot = global_slot;
+        stat
+    }
+
+    /// Whether `global_slot` is a member of its shard's promotion pool —
+    /// one direct mask index, the membership predicate the merged
+    /// full-rerank path filters the global order through.
+    #[inline]
+    pub fn in_pool(&self, global_slot: usize) -> bool {
+        self.pool_mask[global_slot]
+    }
+
+    /// The complete merged global popularity order (global slots) —
+    /// identical in content and order to a corpus-wide
+    /// [`PopularityIndex::order`](rrp_ranking::PopularityIndex::order).
+    /// Forces the merge if no consumer ran it yet; use
+    /// [`ensure_merged_order`](Self::ensure_merged_order) to observe
+    /// whether this call paid.
+    #[inline]
+    pub fn merged_order(&self) -> &[usize] {
+        self.ensure_merged_order().0
+    }
+
+    /// The complete merged global popularity order, plus whether *this*
+    /// call ran the `O(n)` k-way merge — exactly one consumer per version
+    /// observes `true` (the owner's `order_merges` probe counts these), so
+    /// clean stretches between mutations re-merge nothing and top-k-only
+    /// traffic never merges at all.
+    pub fn ensure_merged_order(&self) -> (&[usize], bool) {
+        let (order, ran) = self.merged_order.get_or_merge(|buffer| {
+            let mut heads = Vec::new();
+            rrp_ranking::merge_shard_orders_into(
+                self.shards.len(),
+                |s| self.shards[s].globals.len(),
+                |s, i| {
+                    let shard = &self.shards[s];
+                    let local = shard.cache.order()[i];
+                    let mut stat = shard.cache.stats()[local];
+                    stat.slot = shard.globals[local];
+                    stat
+                },
+                &mut heads,
+                buffer,
+            );
+        });
+        if ran {
+            debug_assert_eq!(order.len(), self.len());
+            debug_assert!(
+                order.windows(2).all(|w| {
+                    rrp_ranking::popularity_order(&self.stat_of(w[0]), &self.stat_of(w[1])).is_lt()
+                }),
+                "merged order must be the global popularity order"
+            );
+        }
+        (order, ran)
+    }
+
+    /// Collect every shard's per-query top-`k` rest candidates into `out`
+    /// (resized to the shard count; inner storage reused): the first
+    /// `limit` non-pool entries of each shard's popularity order, slots
+    /// rewritten to global slots — `O(limit)` per shard past any pool
+    /// members sitting above the cut. The pool half comes from
+    /// [`pool_slots`](Self::pool_slots). Requires maintained pools.
+    pub fn collect_rest_candidates(&self, limit: usize, out: &mut Vec<ShardCandidates>) {
+        out.resize_with(self.shards.len(), ShardCandidates::new);
+        for (shard, candidates) in self.shards.iter().zip(out.iter_mut()) {
+            candidates.collect_rest(shard.cache.view(), limit, &shard.globals);
+        }
+    }
 }
 
 /// Per-shard [`CorpusCache`]s repaired from shard-local dirty lists, with
-/// `O(1)` global-slot addressing for mutations and a maintained merge of
-/// the shard pools.
+/// `O(1)` global-slot addressing for mutations, a maintained merge of the
+/// shard pools, and epoch-stamped immutable publication for concurrent
+/// readers (see the module docs for the two-generation layout).
 #[derive(Debug, Serialize, Deserialize)]
 pub struct ShardedCorpusCache {
     shards: Vec<ShardCache>,
     /// Global slot → (shard, local slot).
-    placement: Vec<(u32, u32)>,
+    placement: Arc<Vec<(u32, u32)>>,
     /// Global slot → [`PageId`], maintained eagerly (append on push,
     /// rewrite on patch) so the merged-order serving paths resolve ranked
     /// slots to ids by direct indexing instead of a placement double
     /// indirection per slot.
-    pages: Vec<PageId>,
+    pages: Arc<Vec<PageId>>,
     /// Global slot → pool membership, maintained eagerly alongside the
     /// shard stats (stats are patched eagerly too, so by the time the
     /// [`in_pool`](Self::in_pool) contract holds — after a repair — this
     /// mask equals every shard pool's repaired membership). All `false`
     /// while pool maintenance is off, matching the empty shard pools.
-    pool_mask: Vec<bool>,
-    /// The merged global pool under global slots, ascending — the
-    /// pre-shuffle pool order every top-k query shuffles. Maintained at
-    /// repair time (membership only moves when a mutation dirties a
-    /// slot), so queries between repairs reuse it instead of re-merging
-    /// `O(pool)` state each.
-    merged_pool: Vec<usize>,
-    /// The **complete** merged global popularity order (global slots) —
-    /// what a full rerank and the Uniform rule's per-page coin scan
-    /// consume instead of any corpus-wide snapshot. Re-merged *lazily*:
-    /// [`repair`](Self::repair) only marks it stale, and
-    /// [`ensure_merged_order`](Self::ensure_merged_order) re-merges on the
-    /// next read, so top-k-only traffic never pays the `O(n)` merge.
-    merged_order: Vec<usize>,
-    /// Whether `merged_order` must be re-merged before its next read.
-    merged_order_stale: bool,
-    /// Scratch: per-shard cursors for the repair-time pool merge.
+    pool_mask: Arc<Vec<bool>>,
+    /// The merged global pool under global slots, ascending. Re-merged at
+    /// repair/publication time (membership only moves when a mutation
+    /// dirties a slot) into a fresh `Arc` so retired versions keep theirs.
+    merged_pool: Arc<Vec<usize>>,
+    /// Scratch: per-shard cursors for the pool merge.
     #[serde(skip)]
     merge_heads: Vec<usize>,
+    /// The diff log: global slots mutated since the last publication, in
+    /// arrival order (pushes therefore ascend), deduplicated via
+    /// `since_mask` so it is bounded by the corpus size.
+    #[serde(skip)]
+    since_publish: Vec<usize>,
+    /// Per-slot "already in `since_publish`" mask (reset at publication).
+    #[serde(skip)]
+    since_mask: Vec<bool>,
+    /// Whether `since_publish` is a *complete* diff against the currently
+    /// published version. False after deserialisation, [`clear`](Self::clear)
+    /// or a pool-maintenance flip — publication then charges from the
+    /// actual repair and skips recycling once, falling back to
+    /// copy-on-write.
+    #[serde(skip)]
+    diff_log_intact: bool,
+    /// The diff consumed by the last [`publish`](Self::publish), retained
+    /// for the follow-up [`recycle`](Self::recycle): the retiring version
+    /// lags the new one by exactly these slots.
+    #[serde(skip)]
+    recycle_diff: Vec<usize>,
+    /// Whether `recycle_diff` is a complete catch-up diff for the version
+    /// retired by the last publication.
+    #[serde(skip)]
+    recycle_valid: bool,
+    /// Recycled storage for the next pool merge.
+    #[serde(skip)]
+    pool_spare: Vec<usize>,
+    /// Recycled storage for the next version's lazy order merge.
+    #[serde(skip)]
+    order_spare: Vec<usize>,
 }
 
 impl ShardedCorpusCache {
@@ -95,13 +340,18 @@ impl ShardedCorpusCache {
         shards.resize_with(shard_count.max(1), ShardCache::default);
         ShardedCorpusCache {
             shards,
-            placement: Vec::new(),
-            pages: Vec::new(),
-            pool_mask: Vec::new(),
-            merged_pool: Vec::new(),
-            merged_order: Vec::new(),
-            merged_order_stale: false,
+            placement: Arc::new(Vec::new()),
+            pages: Arc::new(Vec::new()),
+            pool_mask: Arc::new(Vec::new()),
+            merged_pool: Arc::new(Vec::new()),
             merge_heads: Vec::new(),
+            since_publish: Vec::new(),
+            since_mask: Vec::new(),
+            diff_log_intact: true,
+            recycle_diff: Vec::new(),
+            recycle_valid: false,
+            pool_spare: Vec::new(),
+            order_spare: Vec::new(),
         }
     }
 
@@ -110,17 +360,23 @@ impl ShardedCorpusCache {
     /// it on.
     pub fn set_pool_maintained(&mut self, maintained: bool) {
         for shard in &mut self.shards {
-            shard.cache.set_pool_maintained(maintained);
+            Arc::make_mut(&mut shard.cache).set_pool_maintained(maintained);
         }
         // The global membership mask mirrors the shard pools, so it
         // follows the flag: recompute from the eagerly-patched stats
         // (all `false` when maintenance is off — unmaintained pools are
         // empty).
-        for global in 0..self.pool_mask.len() {
-            let (shard, local) = self.placement[global];
-            self.pool_mask[global] = maintained
-                && self.shards[shard as usize].cache.stats()[local as usize].is_unexplored();
+        let placement = &self.placement;
+        let shards = &self.shards;
+        let mask = Arc::make_mut(&mut self.pool_mask);
+        for global in 0..mask.len() {
+            let (shard, local) = placement[global];
+            mask[global] =
+                maintained && shards[shard as usize].cache.stats()[local as usize].is_unexplored();
         }
+        // A maintenance flip is not representable in the slot diff log:
+        // invalidate it so the next publication rebuilds honestly.
+        self.diff_log_intact = false;
     }
 
     /// Number of shards.
@@ -146,70 +402,261 @@ impl ShardedCorpusCache {
         self.shards.iter().map(|s| s.cache.dirty_len()).sum()
     }
 
+    /// Record `global_slot` in the since-publication diff log (deduplicated).
+    fn note_mutation(&mut self, global_slot: usize) {
+        if self.since_mask.len() <= global_slot {
+            self.since_mask
+                .resize(self.placement.len().max(global_slot + 1), false);
+        }
+        if !self.since_mask[global_slot] {
+            self.since_mask[global_slot] = true;
+            self.since_publish.push(global_slot);
+        }
+    }
+
     /// Append the document occupying the next global slot to `shard`
-    /// (`O(1)`). Global slots are assigned densely in push order — they
-    /// are the store's global sequence numbers — so within a shard they
-    /// ascend with local slots.
+    /// (`O(1)` amortised). Global slots are assigned densely in push order
+    /// — they are the store's global sequence numbers — so within a shard
+    /// they ascend with local slots.
     pub fn push(&mut self, shard: usize, document: &Document) {
         debug_assert!(shard < self.shards.len());
         let maintained = self.pool_maintained();
         let global_slot = self.placement.len();
         let local = self.shards[shard].globals.len();
-        self.placement.push((shard as u32, local as u32));
-        self.pages.push(PageId::new(document.id));
-        self.pool_mask.push(maintained && document.is_unexplored);
-        self.shards[shard].globals.push(global_slot);
-        self.shards[shard].cache.push(document);
+        Arc::make_mut(&mut self.placement).push((shard as u32, local as u32));
+        Arc::make_mut(&mut self.pages).push(PageId::new(document.id));
+        Arc::make_mut(&mut self.pool_mask).push(maintained && document.is_unexplored);
+        let entry = &mut self.shards[shard];
+        Arc::make_mut(&mut entry.globals).push(global_slot);
+        Arc::make_mut(&mut entry.cache).push(document);
+        self.note_mutation(global_slot);
     }
 
     /// Patch the cached stats of the document at `global_slot` after a
-    /// mutation, marking exactly its shard-local slot dirty (`O(1)`).
+    /// mutation, marking exactly its shard-local slot dirty (`O(1)`
+    /// amortised — a write to a buffer still shared with a published
+    /// version falls back to one copy-on-write clone).
     pub fn patch(&mut self, global_slot: usize, document: &Document) {
         let maintained = self.pool_maintained();
         let (shard, local) = self.placement[global_slot];
-        self.shards[shard as usize]
-            .cache
-            .patch(local as usize, document);
-        self.pages[global_slot] = PageId::new(document.id);
-        self.pool_mask[global_slot] = maintained && document.is_unexplored;
+        Arc::make_mut(&mut self.shards[shard as usize].cache).patch(local as usize, document);
+        Arc::make_mut(&mut self.pages)[global_slot] = PageId::new(document.id);
+        Arc::make_mut(&mut self.pool_mask)[global_slot] = maintained && document.is_unexplored;
+        self.note_mutation(global_slot);
     }
 
     /// Repair every shard cache that has dirty slots and re-merge the
     /// global pool, returning the total number of dirty entries handed to
-    /// the repairs (distinct slots per shard). Shards with a clean dirty list
-    /// skip their index repairs; the pool re-merge runs whenever anything
-    /// was dirty (`O(pool)` — the same class as one shard-pool repair,
-    /// and amortised over every query until the next mutation).
+    /// the repairs (distinct slots per shard). Shards with a clean dirty
+    /// list skip their index repairs; the pool re-merge runs whenever
+    /// anything was dirty (`O(pool)` — the same class as one shard-pool
+    /// repair, and amortised over every query until the next mutation).
     pub fn repair(&mut self) -> u64 {
-        let handed: u64 = self.shards.iter_mut().map(|s| s.cache.repair()).sum();
+        let handed: u64 = self
+            .shards
+            .iter_mut()
+            .map(|s| {
+                if s.cache.dirty_len() > 0 {
+                    Arc::make_mut(&mut s.cache).repair()
+                } else {
+                    0
+                }
+            })
+            .sum();
         if handed > 0 {
             self.merge_pools();
-            self.merged_order_stale = true;
         }
         debug_assert!(
             {
                 let from_mask: Vec<usize> = (0..self.pool_mask.len())
                     .filter(|&s| self.pool_mask[s])
                     .collect();
-                from_mask == self.merged_pool
+                from_mask == *self.merged_pool
             },
             "the eager membership mask must equal the re-merged global pool"
         );
         handed
     }
 
+    /// Cut an immutable [`PublishedVersion`] of the current state, stamped
+    /// with `epoch`: repair the writer generation, then share its buffers
+    /// into the version by `Arc` clone (clean shards are shared across
+    /// consecutive versions, never copied). Returns the version and the
+    /// number of *charged* dirty slots — the distinct slots mutated since
+    /// the last publication (or, when the diff log is not intact, the
+    /// count the repair actually handled), which is what the owner's
+    /// repair probes record.
+    ///
+    /// Publication happens at most once per mutation epoch by
+    /// construction: the owner only calls this when its published
+    /// version's epoch trails the live epoch counter. Follow with
+    /// [`recycle`](Self::recycle) on the retired version to keep the
+    /// steady-state cost `O(dirty)`.
+    pub fn publish(&mut self, epoch: u64) -> (Arc<PublishedVersion>, u64) {
+        let handed = self.repair();
+        let charged = if self.diff_log_intact {
+            self.since_publish.len() as u64
+        } else {
+            handed
+        };
+        // Hand the consumed diff to the recycle step: the version retired
+        // by this publication lags the new one by exactly these slots.
+        self.recycle_valid = self.diff_log_intact;
+        self.recycle_diff.clear();
+        std::mem::swap(&mut self.recycle_diff, &mut self.since_publish);
+        for &slot in &self.recycle_diff {
+            self.since_mask[slot] = false;
+        }
+        self.diff_log_intact = true;
+        let version = PublishedVersion {
+            epoch,
+            pool_maintained: self.pool_maintained(),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| PublishedShard {
+                    cache: s.cache.clone(),
+                    globals: s.globals.clone(),
+                })
+                .collect(),
+            placement: self.placement.clone(),
+            pages: self.pages.clone(),
+            pool_mask: self.pool_mask.clone(),
+            merged_pool: self.merged_pool.clone(),
+            merged_order: SharedLazyOrder::with_seed(std::mem::take(&mut self.order_spare)),
+        };
+        (Arc::new(version), charged)
+    }
+
+    /// Reclaim a retired version's buffers as the next writer generation.
+    ///
+    /// Call after swapping a fresh [`publish`](Self::publish) result into
+    /// place, handing over the previous version. If no reader still holds
+    /// it, its uniquely-owned buffers are caught up by replaying the
+    /// publish-to-publish diff — `fetch` resolves a global slot to its
+    /// *current* document (the store lookup) — and installed as the
+    /// writable generation, so subsequent mutations stay `O(1)` instead of
+    /// copy-on-write. If a straggler still holds the version (or the diff
+    /// log was invalidated), this is a no-op and the next mutation clones.
+    pub fn recycle(&mut self, prev: Arc<PublishedVersion>, fetch: impl Fn(usize) -> Document) {
+        let valid = std::mem::replace(&mut self.recycle_valid, false);
+        let Some(prev) = Arc::into_inner(prev) else {
+            return;
+        };
+        let PublishedVersion {
+            shards: prev_shards,
+            placement,
+            pages,
+            pool_mask,
+            merged_pool,
+            merged_order,
+            ..
+        } = prev;
+        // The lazy-order storage is always worth reclaiming; the rest
+        // needs a complete catch-up diff and a matching shape.
+        self.order_spare = merged_order.into_buffer();
+        if let Some(buffer) = reclaim(&self.merged_pool, merged_pool) {
+            self.pool_spare = buffer;
+        }
+        if !valid || prev_shards.len() != self.shards.len() {
+            return;
+        }
+        let mut shard_bufs: Vec<(Option<CorpusCache>, Option<Vec<usize>>)> =
+            Vec::with_capacity(self.shards.len());
+        for (mine, theirs) in self.shards.iter().zip(prev_shards) {
+            let cache = if Arc::ptr_eq(&mine.cache, &theirs.cache) {
+                None
+            } else {
+                Arc::into_inner(theirs.cache)
+            };
+            let globals = if Arc::ptr_eq(&mine.globals, &theirs.globals) {
+                None
+            } else {
+                Arc::into_inner(theirs.globals)
+            };
+            shard_bufs.push((cache, globals));
+        }
+        let mut placement_buf = reclaim(&self.placement, placement);
+        let mut pages_buf = reclaim(&self.pages, pages);
+        let mut mask_buf = reclaim(&self.pool_mask, pool_mask);
+        let maintained = self.pool_maintained();
+        // Catch the reclaimed buffers up: chronological replay keeps
+        // per-shard pushes in ascending local-slot order, and patched
+        // slots take their current (post-diff) content in one write.
+        for &global in &self.recycle_diff {
+            let (shard, local) = self.placement[global];
+            let (shard, local) = (shard as usize, local as usize);
+            let document = fetch(global);
+            let (cache_buf, globals_buf) = &mut shard_bufs[shard];
+            if let Some(cache) = cache_buf {
+                if local == cache.len() {
+                    cache.push(&document);
+                } else {
+                    cache.patch(local, &document);
+                }
+            }
+            if let Some(globals) = globals_buf {
+                if local == globals.len() {
+                    globals.push(global);
+                }
+                debug_assert_eq!(globals[local], global);
+            }
+            if let Some(buf) = &mut placement_buf {
+                if global == buf.len() {
+                    buf.push(self.placement[global]);
+                }
+                debug_assert_eq!(buf[global], self.placement[global]);
+            }
+            if let Some(buf) = &mut pages_buf {
+                let page = PageId::new(document.id);
+                if global == buf.len() {
+                    buf.push(page);
+                } else {
+                    buf[global] = page;
+                }
+            }
+            if let Some(buf) = &mut mask_buf {
+                let member = maintained && document.is_unexplored;
+                if global == buf.len() {
+                    buf.push(member);
+                } else {
+                    buf[global] = member;
+                }
+            }
+        }
+        self.recycle_diff.clear();
+        // Install: the caught-up buffers become the writable generation;
+        // the buffers published a moment ago stay with the live version.
+        for (bufs, mine) in shard_bufs.into_iter().zip(self.shards.iter_mut()) {
+            if let Some(cache) = bufs.0 {
+                mine.cache = Arc::new(cache);
+            }
+            if let Some(globals) = bufs.1 {
+                mine.globals = Arc::new(globals);
+            }
+        }
+        if let Some(buf) = placement_buf {
+            self.placement = Arc::new(buf);
+        }
+        if let Some(buf) = pages_buf {
+            self.pages = Arc::new(buf);
+        }
+        if let Some(buf) = mask_buf {
+            self.pool_mask = Arc::new(buf);
+        }
+    }
+
     /// The merged global pool: every shard's pool members under global
     /// slots, ascending — identical in content and order to a corpus-wide
     /// [`PoolIndex::members`](rrp_ranking::PoolIndex::members), kept
-    /// current by [`repair`](Self::repair).
+    /// current by [`repair`](Self::repair) / [`publish`](Self::publish).
     #[inline]
     pub fn pool_slots(&self) -> &[usize] {
         &self.merged_pool
     }
 
     /// The [`PageId`] of the document at `global_slot` — one direct vec
-    /// index, no placement indirection: this sits on the per-slot hot loop
-    /// of every merged-order serving path.
+    /// index, no placement indirection.
     #[inline]
     pub fn page_of(&self, global_slot: usize) -> PageId {
         self.pages[global_slot]
@@ -226,11 +673,9 @@ impl ShardedCorpusCache {
     }
 
     /// Whether `global_slot` is a member of its shard's promotion pool —
-    /// one direct mask index, no placement indirection: the membership
-    /// predicate the merged full-rerank path filters the global order
-    /// through, once per slot. Requires maintained pools and a preceding
-    /// [`repair`](Self::repair) (the repair debug-asserts this mask
-    /// against the re-merged global pool).
+    /// one direct mask index, no placement indirection. Requires
+    /// maintained pools and a preceding [`repair`](Self::repair) (the
+    /// repair debug-asserts this mask against the re-merged global pool).
     #[inline]
     pub fn in_pool(&self, global_slot: usize) -> bool {
         self.pool_mask[global_slot]
@@ -244,69 +689,23 @@ impl ShardedCorpusCache {
             .is_some_and(|s| s.cache.pool_maintained())
     }
 
-    /// The complete merged global popularity order (global slots), kept
-    /// current by [`ensure_merged_order`](Self::ensure_merged_order) —
-    /// identical in content and order to a corpus-wide
-    /// [`PopularityIndex::order`](rrp_ranking::PopularityIndex::order).
-    #[inline]
-    pub fn merged_order(&self) -> &[usize] {
-        debug_assert!(!self.merged_order_stale, "read of a stale merged order");
-        &self.merged_order
-    }
-
-    /// Re-merge the complete global popularity order if a repair left it
-    /// stale, returning whether a merge actually ran (the owner's
-    /// `order_merges` probe counts these — steady-state traffic between
-    /// mutations pays zero). Requires a preceding [`repair`](Self::repair)
-    /// (debug-asserted: the shard orders being merged must be clean).
-    pub fn ensure_merged_order(&mut self) -> bool {
-        if !self.merged_order_stale && self.merged_order.len() == self.len() {
-            return false;
-        }
-        debug_assert_eq!(self.dirty_len(), 0, "merge of an unrepaired shard order");
-        let ShardedCorpusCache {
-            shards,
-            merged_order,
-            merge_heads,
-            ..
-        } = self;
-        rrp_ranking::merge_shard_orders_into(
-            shards.len(),
-            |s| shards[s].globals.len(),
-            |s, i| {
-                let shard = &shards[s];
-                let local = shard.cache.order()[i];
-                let mut stat = shard.cache.stats()[local];
-                stat.slot = shard.globals[local];
-                stat
-            },
-            merge_heads,
-            merged_order,
-        );
-        self.merged_order_stale = false;
-        debug_assert_eq!(self.merged_order.len(), self.len());
-        debug_assert!(
-            self.merged_order.windows(2).all(|w| {
-                rrp_ranking::popularity_order(&self.stat_of(w[0]), &self.stat_of(w[1])).is_lt()
-            }),
-            "merged order must be the global popularity order"
-        );
-        true
-    }
-
     /// Re-merge the shard pools into the maintained global pool — the
     /// *same* ascending-slot k-way merge the per-query candidate path
     /// runs ([`merge_ascending_slots_into`](rrp_ranking::merge_ascending_slots_into)),
-    /// executed once per repair instead of once per query.
+    /// executed once per repair instead of once per query. The merge
+    /// writes into recycled spare storage and swaps it in as a fresh
+    /// `Arc`, leaving any published version's pool untouched.
     fn merge_pools(&mut self) {
+        let mut buffer = std::mem::take(&mut self.pool_spare);
         let shards = &self.shards;
         rrp_ranking::merge_ascending_slots_into(
             shards.len(),
             |s| shards[s].cache.pool().len(),
             |s, i| shards[s].globals[shards[s].cache.pool().members()[i]],
             &mut self.merge_heads,
-            &mut self.merged_pool,
+            &mut buffer,
         );
+        self.merged_pool = Arc::new(buffer);
     }
 
     /// Collect every shard's per-query top-`k` rest candidates into `out`
@@ -337,22 +736,32 @@ impl ShardedCorpusCache {
     /// Discard everything and start over with the same shard count and
     /// pool-maintenance setting — the first half of a rebuild; the owner
     /// then replays every document through [`push`](Self::push) in global
-    /// order and calls [`repair`](Self::repair).
+    /// order and calls [`repair`](Self::repair). Invalidates the diff log
+    /// (the next publication falls back to copy-on-write once).
     pub fn clear(&mut self) {
-        let maintained = self
-            .shards
-            .first()
-            .is_some_and(|s| s.cache.pool_maintained());
+        let maintained = self.pool_maintained();
         for shard in self.shards.iter_mut() {
             *shard = ShardCache::default();
-            shard.cache.set_pool_maintained(maintained);
+            Arc::make_mut(&mut shard.cache).set_pool_maintained(maintained);
         }
-        self.placement.clear();
-        self.pages.clear();
-        self.pool_mask.clear();
-        self.merged_pool.clear();
-        self.merged_order.clear();
-        self.merged_order_stale = false;
+        self.placement = Arc::new(Vec::new());
+        self.pages = Arc::new(Vec::new());
+        self.pool_mask = Arc::new(Vec::new());
+        self.merged_pool = Arc::new(Vec::new());
+        self.since_publish.clear();
+        self.since_mask.clear();
+        self.diff_log_intact = false;
+        self.recycle_valid = false;
+    }
+}
+
+/// Reclaim a retired `Arc` buffer unless it is (a) still the writer's own
+/// buffer (shared, nothing to reclaim) or (b) held by a straggling reader.
+fn reclaim<T>(current: &Arc<T>, prev: Arc<T>) -> Option<T> {
+    if Arc::ptr_eq(current, &prev) {
+        None
+    } else {
+        Arc::into_inner(prev)
     }
 }
 
@@ -474,35 +883,133 @@ mod tests {
     }
 
     #[test]
-    fn merged_order_equals_the_corpus_wide_popularity_order() {
+    fn published_order_equals_the_corpus_wide_popularity_order() {
         let mut docs = documents(60);
         let (order, _) = global_reference(&docs);
         for shards in [1usize, 2, 3, 8] {
             let mut cache = filled(&docs, shards);
-            cache.repair();
-            assert!(cache.ensure_merged_order(), "first read merges");
-            assert_eq!(cache.merged_order(), order.order(), "{shards} shards");
-            assert!(
-                !cache.ensure_merged_order(),
-                "clean order must not re-merge"
-            );
+            let (version, charged) = cache.publish(1);
+            assert_eq!(charged, 60, "the warm-up publication repairs every slot");
+            let (merged, ran) = version.ensure_merged_order();
+            assert!(ran, "the first full-order consumer merges");
+            assert_eq!(merged, order.order(), "{shards} shards");
+            let (_, ran) = version.ensure_merged_order();
+            assert!(!ran, "a published order must not re-merge");
         }
 
-        // Mutations repair into a stale order; the next read re-merges to
-        // the fresh corpus-wide derivation, and only that read pays.
+        // Mutations publish into a fresh version; its order re-merges to
+        // the fresh corpus-wide derivation, and only the first full-order
+        // consumer of that version pays.
         let mut cache = filled(&docs, 4);
-        cache.repair();
-        cache.ensure_merged_order();
+        let (v1, _) = cache.publish(1);
+        v1.ensure_merged_order();
         docs[5].popularity = 4.0;
         cache.patch(5, &docs[5]);
         docs.push(Document::unexplored(77));
         cache.push(shard_of(77, 4), docs.last().unwrap());
-        cache.repair();
-        assert!(cache.ensure_merged_order(), "repair leaves the order stale");
+        let (v2, charged) = cache.publish(2);
+        assert_eq!(charged, 2, "exactly the mutated slots are charged");
+        cache.recycle(v1, |slot| docs[slot]);
+        let (merged, ran) = v2.ensure_merged_order();
+        assert!(ran, "a fresh version merges once");
         let (order, _) = global_reference(&docs);
-        assert_eq!(cache.merged_order(), order.order());
-        assert_eq!(cache.merged_order()[0], 5, "the boosted slot leads");
-        assert!(!cache.ensure_merged_order());
+        assert_eq!(merged, order.order());
+        assert_eq!(merged[0], 5, "the boosted slot leads");
+        assert!(!v2.ensure_merged_order().1);
+    }
+
+    #[test]
+    fn recycled_publications_stay_bit_identical_to_fresh_derivations() {
+        // The steady-state loop: publish → mutate → publish → recycle,
+        // with every published version compared against a from-scratch
+        // corpus-wide derivation. This is the recycling catch-up's
+        // correctness gate: reclaimed buffers replay exactly the
+        // publish-to-publish diff.
+        let mut docs = documents(50);
+        let mut cache = filled(&docs, 3);
+        let (mut live, _) = cache.publish(1);
+        let mut next_id = 1_000u64;
+        for round in 0..12u64 {
+            // A visit, a popularity move, and (every third round) an
+            // insert — routed exactly like the service would.
+            let visit = (round as usize * 7) % docs.len();
+            docs[visit].is_unexplored = false;
+            cache.patch(visit, &docs[visit]);
+            let moved = (round as usize * 11 + 3) % docs.len();
+            docs[moved].popularity = 0.1 + (round as f64) * 0.25;
+            cache.patch(moved, &docs[moved]);
+            if round % 3 == 0 {
+                let doc = Document::unexplored(next_id);
+                next_id += 1;
+                docs.push(doc);
+                cache.push(shard_of(doc.id, 3), &doc);
+            }
+            let (version, _) = cache.publish(round + 2);
+            cache.recycle(std::mem::replace(&mut live, version.clone()), |slot| {
+                docs[slot]
+            });
+            let (order, pool) = global_reference(&docs);
+            assert_eq!(version.pool_slots(), pool.members(), "round {round}");
+            assert_eq!(version.merged_order(), order.order(), "round {round}");
+            assert_eq!(version.len(), docs.len());
+            for (slot, doc) in docs.iter().enumerate() {
+                assert_eq!(version.page_of(slot), PageId::new(doc.id));
+                assert_eq!(version.in_pool(slot), doc.is_unexplored);
+            }
+        }
+    }
+
+    #[test]
+    fn straggling_readers_only_defer_recycling() {
+        // A reader that never lets go of an old version must not corrupt
+        // anything: recycling is skipped and the writer falls back to
+        // copy-on-write.
+        let mut docs = documents(30);
+        let mut cache = filled(&docs, 2);
+        let (v1, _) = cache.publish(1);
+        let straggler = v1.clone(); // a reader parks on the version
+        docs[4].popularity = 9.0;
+        cache.patch(4, &docs[4]);
+        let (v2, _) = cache.publish(2);
+        cache.recycle(v1, |slot| docs[slot]); // strong count 2: skipped
+        docs[9].is_unexplored = false;
+        cache.patch(9, &docs[9]); // copy-on-write path
+        let (v3, _) = cache.publish(3);
+        cache.recycle(v2, |slot| docs[slot]);
+        let (order, pool) = global_reference(&docs);
+        assert_eq!(v3.merged_order(), order.order());
+        assert_eq!(v3.pool_slots(), pool.members());
+        // The parked version still serves its own epoch's state.
+        assert_eq!(straggler.epoch(), 1);
+        assert!(straggler.in_pool(9), "old versions are immutable");
+    }
+
+    #[test]
+    fn clean_shards_are_shared_across_versions_not_copied() {
+        let docs = documents(40);
+        let mut cache = filled(&docs, 4);
+        let (v1, _) = cache.publish(1);
+        // Mutate one slot; every shard it does not live on must share its
+        // cache allocation with the previous version.
+        let mutated = 0usize;
+        let mut doc = docs[mutated];
+        doc.popularity = 5.0;
+        cache.patch(mutated, &doc);
+        let (v2, _) = cache.publish(2);
+        let (dirty_shard, _) = v2.placement[mutated];
+        let mut shared = 0;
+        for (s, (a, b)) in v1.shards.iter().zip(v2.shards.iter()).enumerate() {
+            if s == dirty_shard as usize {
+                assert!(
+                    !Arc::ptr_eq(&a.cache, &b.cache),
+                    "the dirty shard republishes"
+                );
+            } else {
+                assert!(Arc::ptr_eq(&a.cache, &b.cache), "clean shard {s} is shared");
+                shared += 1;
+            }
+        }
+        assert_eq!(shared, 3);
     }
 
     #[test]
@@ -517,6 +1024,15 @@ mod tests {
             assert_eq!(cache.in_pool(slot), docs[slot].is_unexplored);
         }
         assert!(cache.pool_maintained());
+        // The published view resolves identically.
+        let (version, _) = cache.publish(1);
+        for (slot, stat) in stats.iter().enumerate() {
+            assert_eq!(version.stat_of(slot), *stat);
+            assert_eq!(version.in_pool(slot), docs[slot].is_unexplored);
+        }
+        assert!(version.pool_maintained());
+        assert_eq!(version.shard_count(), 3);
+        assert!(!version.is_empty());
     }
 
     #[test]
@@ -599,7 +1115,8 @@ mod tests {
         docs[0].is_unexplored = false;
         let (shard, local) = cache.placement[0];
         let stat = crate::engine::RankPromotionEngine::document_stat(local as usize, &docs[0]);
-        cache.shards[shard as usize].cache.stats_mut_unmarked()[local as usize] = stat;
+        Arc::make_mut(&mut cache.shards[shard as usize].cache).stats_mut_unmarked()
+            [local as usize] = stat;
         docs[3].popularity = 0.9;
         cache.patch(3, &docs[3]);
         cache.repair();

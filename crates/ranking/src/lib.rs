@@ -35,6 +35,7 @@ pub mod buffers;
 pub mod candidates;
 pub mod deterministic;
 pub mod kind;
+pub mod lazy;
 pub mod lazyshuffle;
 pub mod merge;
 pub mod policy;
@@ -51,6 +52,7 @@ pub use candidates::{
 };
 pub use deterministic::{FullyRandomRanking, PopularityRanking, QualityOracleRanking};
 pub use kind::PolicyKind;
+pub use lazy::SharedLazyOrder;
 pub use lazyshuffle::{
     forward_shuffle, merge_promoted_top_k_lazy_into, EngineVersion, LazyShuffle,
 };

@@ -42,7 +42,7 @@
 //! property pinned by the prefix-replay suite.
 
 use crate::error::ServeError;
-use crate::service::{ServeStats, ShardedPromotionService};
+use crate::service::{ServeStats, ShardedPromotionService, StoreGuard};
 use crate::store::ShardedStore;
 use rrp_core::{Document, QueryContext, RankPromotionEngine, ShardedCorpusCache};
 use rrp_wal::fault::{Failpoint, FailpointSink};
@@ -129,7 +129,7 @@ impl DurableService {
         // full history (snapshots never truncate it), so starting empty
         // and replaying everything reaches the same state.
         let mut next_event = 0u64;
-        let mut inner = match read_snapshot(&snapshot_path) {
+        let inner = match read_snapshot(&snapshot_path) {
             Ok(Some(payload)) => {
                 let state = decode_snapshot(&payload, &engine, shard_count)?;
                 next_event = state.next_event;
@@ -151,7 +151,7 @@ impl DurableService {
                 while let Some((seq, event)) = reader.next_event().map_err(ServeError::from)? {
                     first_seq.get_or_insert(seq);
                     if seq >= next_event {
-                        apply_event(&mut inner, &event)?;
+                        apply_event(&inner, &event)?;
                         replayed += 1;
                     }
                 }
@@ -245,15 +245,18 @@ impl DurableService {
         &self.inner
     }
 
-    /// Mutable access to the wrapped service **for serving only**. The
-    /// rerank paths need `&mut` for their scratch arenas; applying
-    /// mutations through this handle would bypass the log, so don't.
+    /// Mutable access to the wrapped service. Since the epoch-versioned
+    /// refactor every rerank *and* mutation path takes `&self`, so this
+    /// exists only for builder-style reconfiguration; applying mutations
+    /// through [`service`](Self::service) (or this) would bypass the log,
+    /// so don't.
     pub fn service_mut(&mut self) -> &mut ShardedPromotionService {
         &mut self.inner
     }
 
-    /// The underlying store (read-only).
-    pub fn store(&self) -> &ShardedStore {
+    /// The underlying store (read-only; holds the writer lock while the
+    /// guard lives, so drop it before mutating or snapshotting).
+    pub fn store(&self) -> StoreGuard<'_> {
         self.inner.store()
     }
 
@@ -356,23 +359,23 @@ impl DurableService {
     // so the common paths don't need `service_mut` at every call site.
 
     /// See [`ShardedPromotionService::rerank_one`].
-    pub fn rerank_one(&mut self, ctx: QueryContext) -> Vec<u64> {
+    pub fn rerank_one(&self, ctx: QueryContext) -> Vec<u64> {
         self.inner.rerank_one(ctx)
     }
 
     /// See [`ShardedPromotionService::rerank_top_k`].
-    pub fn rerank_top_k(&mut self, ctx: QueryContext, k: usize) -> Vec<u64> {
+    pub fn rerank_top_k(&self, ctx: QueryContext, k: usize) -> Vec<u64> {
         self.inner.rerank_top_k(ctx, k)
     }
 
     /// See [`ShardedPromotionService::rerank_batch`].
-    pub fn rerank_batch(&mut self, queries: &[QueryContext]) -> Vec<Vec<u64>> {
+    pub fn rerank_batch(&self, queries: &[QueryContext]) -> Vec<Vec<u64>> {
         self.inner.rerank_batch(queries)
     }
 
     /// See [`ShardedPromotionService::rerank_batch_top_k_into`].
     pub fn rerank_batch_top_k_into(
-        &mut self,
+        &self,
         queries: &[QueryContext],
         k: usize,
         results: &mut Vec<Vec<u64>>,
@@ -393,10 +396,15 @@ fn encode_snapshot(
     service: &ShardedPromotionService,
     next_event: u64,
 ) -> Result<String, ServeError> {
+    // One writer-lock scope covers both halves: taking `store()` and a
+    // second guard in the same expression would deadlock on the
+    // non-reentrant writer mutex.
+    let (store, shards) =
+        service.with_writer(|store, shards| (store.to_value(), shards.to_value()));
     let value = Value::Map(vec![
         ("engine".to_string(), service.engine().to_value()),
-        ("store".to_string(), service.store().to_value()),
-        ("shards".to_string(), service.shard_state().to_value()),
+        ("store".to_string(), store),
+        ("shards".to_string(), shards),
         ("next_event".to_string(), next_event.to_value()),
     ]);
     serde_json::to_string(&value).map_err(|e| ServeError::Recovery {
@@ -458,7 +466,7 @@ fn decode_snapshot(
 /// Apply one replayed event. Events were validated before they were
 /// logged, so a failure here means the log and snapshot do not belong
 /// together — a typed recovery error, never a panic.
-fn apply_event(service: &mut ShardedPromotionService, event: &WalEvent) -> Result<(), ServeError> {
+fn apply_event(service: &ShardedPromotionService, event: &WalEvent) -> Result<(), ServeError> {
     let result = match *event {
         WalEvent::Insert(document) => {
             service.insert(document);

@@ -78,5 +78,5 @@ pub mod store;
 
 pub use durable::{DurableService, RecoveryReport};
 pub use error::ServeError;
-pub use service::{available_workers, ServeStats, ShardedPromotionService};
+pub use service::{available_workers, ServeStats, ShardedPromotionService, StoreGuard};
 pub use store::ShardedStore;

@@ -1,18 +1,19 @@
 //! The sharded batch rerank service.
 
 use crate::store::ShardedStore;
-use rrp_core::{Document, QueryContext, RankPromotionEngine, ShardedCorpusCache};
+use rrp_core::{Document, PublishedVersion, QueryContext, RankPromotionEngine, ShardedCorpusCache};
 use rrp_ranking::{merge_shard_candidates_into, MergedCandidates, RankBuffers, ShardCandidates};
 use std::marker::PhantomData;
-use std::ops::Range;
+use std::ops::{Deref, Range};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// Operation counters for the incremental serving state — the probe that
 /// pins the steady-state contract in tests: when the corpus is unchanged a
-/// batch performs **zero** repairs and **zero** order merges, and a
-/// mutated corpus costs one repair of exactly the dirty slots plus one
-/// lazy re-merge of the complete order (paid only by the next full-order
-/// consumer).
+/// batch performs **zero** repairs, **zero** order merges and **zero**
+/// version publications, and a mutated corpus costs one publication
+/// repairing exactly the dirty slots plus one lazy re-merge of the
+/// complete order (paid only by the next full-order consumer).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Batches answered (one per `rerank_batch*` call).
@@ -55,10 +56,9 @@ pub struct ServeStats {
     /// batch reads exactly `shards × queries` (pinned in tests). The
     /// complete merged order is never consulted on that path.
     pub shard_retrievals: u64,
-    /// Repair events on the per-shard caches: one per query-or-batch that
-    /// found at least one shard-local dirty slot. Every query path runs
-    /// through this single repair site — there is no other tier to keep
-    /// current.
+    /// Repair events on the per-shard caches: one per version publication
+    /// that found at least one dirty slot. Every query path runs through
+    /// this single repair site — there is no other tier to keep current.
     pub shard_repairs: u64,
     /// Swap draws consumed by the v2 engines' lazy pool shuffle (one per
     /// promoted slot actually taken, except the pool's last remaining
@@ -70,11 +70,25 @@ pub struct ServeStats {
     pub pool_draws: u64,
     /// Lazy re-merges of the **complete** global popularity order — the
     /// `O(n)` k-way merge a full rerank or a Uniform-rule query reads
-    /// instead of any corpus-wide snapshot. Paid at most once per repair
-    /// epoch: clean batches between mutations re-merge nothing (pinned in
-    /// tests), and top-k traffic under a selective engine never merges at
-    /// all.
+    /// instead of any corpus-wide snapshot. Paid at most once per
+    /// published version: clean batches between mutations re-merge
+    /// nothing (pinned in tests), and top-k traffic under a selective
+    /// engine never merges at all.
     pub order_merges: u64,
+    /// Merge-time epoch-validation conflicts: a query or batch ranked
+    /// against a published version whose epoch no longer matched the live
+    /// mutation epoch by the time its answer was assembled. The answer
+    /// itself is always internally consistent (versions are immutable);
+    /// the sequential paths retry once against the freshly published
+    /// version (one conflict counted per retry), while the batch path
+    /// validates once per batch and only counts. Read-only workloads pin
+    /// this at 0.
+    pub epoch_conflicts: u64,
+    /// Immutable serving-version publications — at most one per mutation
+    /// epoch: the first query after a mutation stretch cuts exactly one
+    /// new version (repairing the dirty slots on the way), and clean
+    /// stretches publish nothing (pinned in tests).
+    pub version_publications: u64,
     /// Mutation events appended to the write-ahead log — counted only by
     /// the durable wrapper ([`crate::DurableService`]); a plain in-memory
     /// service always reads 0. One per *successful* append: an injected
@@ -90,11 +104,108 @@ pub struct ServeStats {
     pub events_replayed: u64,
 }
 
+/// The service-side probe counters, each in its own atomic cell so the
+/// `&self` query paths can charge them concurrently. Folded into a
+/// [`ServeStats`] snapshot on demand; the WAL counters belong to the
+/// durable wrapper and stay 0 here.
+#[derive(Debug, Default)]
+struct ProbeCells {
+    batches: AtomicU64,
+    queries: AtomicU64,
+    snapshot_rebuilds: AtomicU64,
+    full_sorts: AtomicU64,
+    dirty_slots_repaired: AtomicU64,
+    pool_rebuilds: AtomicU64,
+    pool_repairs: AtomicU64,
+    mask_resets: AtomicU64,
+    shard_retrievals: AtomicU64,
+    shard_repairs: AtomicU64,
+    pool_draws: AtomicU64,
+    order_merges: AtomicU64,
+    epoch_conflicts: AtomicU64,
+    version_publications: AtomicU64,
+}
+
+impl ProbeCells {
+    fn add(cell: &AtomicU64, n: u64) {
+        cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            snapshot_rebuilds: self.snapshot_rebuilds.load(Ordering::Relaxed),
+            full_sorts: self.full_sorts.load(Ordering::Relaxed),
+            dirty_slots_repaired: self.dirty_slots_repaired.load(Ordering::Relaxed),
+            pool_rebuilds: self.pool_rebuilds.load(Ordering::Relaxed),
+            pool_repairs: self.pool_repairs.load(Ordering::Relaxed),
+            mask_resets: self.mask_resets.load(Ordering::Relaxed),
+            shard_retrievals: self.shard_retrievals.load(Ordering::Relaxed),
+            shard_repairs: self.shard_repairs.load(Ordering::Relaxed),
+            pool_draws: self.pool_draws.load(Ordering::Relaxed),
+            order_merges: self.order_merges.load(Ordering::Relaxed),
+            epoch_conflicts: self.epoch_conflicts.load(Ordering::Relaxed),
+            version_publications: self.version_publications.load(Ordering::Relaxed),
+            wal_appends: 0,
+            snapshots_written: 0,
+            events_replayed: 0,
+        }
+    }
+}
+
+/// The writer-side state: everything a mutation touches, serialised behind
+/// one mutex. Queries never lock it on a clean stretch — they read the
+/// published version instead.
+#[derive(Debug)]
+struct WriterState {
+    store: ShardedStore,
+    /// The writer generation of the serving tier: one cache per store
+    /// shard, mutated in place and published as immutable epoch-stamped
+    /// versions (see [`ShardedCorpusCache`]).
+    shards: ShardedCorpusCache,
+    /// Snapshot scratch for [`ShardedPromotionService::rebuild_from_store`]'s
+    /// replay — the one path that still assembles a global document list.
+    rebuild_scratch: Vec<Document>,
+}
+
+/// Per-query scratch (rank arenas, slot list, top-k retrieval buffers),
+/// pooled so concurrent `&self` readers each borrow a private set and the
+/// steady-state query path stays allocation-free.
+#[derive(Debug, Default)]
+struct QueryScratch {
+    buffers: RankBuffers,
+    slots: Vec<usize>,
+    retrieval: TopKRetrieval,
+}
+
+/// A read guard over the service's document store, handed out by
+/// [`ShardedPromotionService::store`]. Holds the writer lock for its
+/// lifetime: drop it before calling any method on the same service that
+/// mutates or publishes (queries on a stale service publish).
+pub struct StoreGuard<'a> {
+    writer: MutexGuard<'a, WriterState>,
+}
+
+impl Deref for StoreGuard<'_> {
+    type Target = ShardedStore;
+
+    fn deref(&self) -> &ShardedStore {
+        &self.writer.store
+    }
+}
+
+impl std::fmt::Debug for StoreGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
 /// Serves randomized rank promotion over a sharded document store.
 ///
 /// The service owns the corpus (partitioned across N shards by document-id
 /// hash, as an index tier would be) and answers batches of queries on std
-/// scoped threads. Four properties make it safe to scale:
+/// scoped threads. Five properties make it safe to scale:
 ///
 /// 1. **Shard-count independence** — ranking is defined over the store's
 ///    canonical snapshot order, so 1-shard and 64-shard deployments answer
@@ -107,13 +218,11 @@ pub struct ServeStats {
 ///    tier: one shard-local cache per store shard
 ///    ([`ShardedCorpusCache`]), holding the ranking statistics,
 ///    popularity order and promotion-pool membership of its shard's
-///    documents. It persists *across* batches and is repaired on mutation
-///    ([`insert`](Self::insert), [`record_visit`](Self::record_visit),
-///    [`update_popularity`](Self::update_popularity)) instead of being
-///    re-derived per batch or per query: an unchanged corpus pays zero
-///    sorts, zero rebuilds and zero order merges (pinned by
-///    [`ServeStats`]), a full rerank reads the lazily maintained complete
-///    merged order, and a selective-promotion
+///    documents. It persists *across* batches and is repaired at
+///    publication time instead of being re-derived per batch or per
+///    query: an unchanged corpus pays zero sorts, zero rebuilds and zero
+///    order merges (pinned by [`ServeStats`]), a full rerank reads the
+///    lazily maintained complete merged order, and a selective-promotion
 ///    [`rerank_top_k`](Self::rerank_top_k) query is truly `O(pool + k)` —
 ///    no full-corpus scan, no membership-mask reset (also pinned, via
 ///    [`ServeStats::mask_resets`]).
@@ -122,26 +231,34 @@ pub struct ServeStats {
 ///    cursor; workers never take a lock and never touch another worker's
 ///    slots, and per-worker scratch arenas keep the per-query path
 ///    allocation-free.
+/// 5. **Epoch-versioned shared reads** — every query path takes `&self`:
+///    mutations bump a mutation-epoch counter and patch the writer
+///    generation under a mutex, while readers rank against an immutable
+///    epoch-stamped [`PublishedVersion`] (cut at most once per epoch, on
+///    the first query that finds the published epoch trailing the live
+///    one) and validate the epoch at merge time — a conflict is counted
+///    ([`ServeStats::epoch_conflicts`]) and the sequential paths retry
+///    once against the fresh version. Any number of reader threads can
+///    therefore serve concurrently with a mutating writer, each answer
+///    bit-identical to a sequential rerank at its version's epoch.
 #[derive(Debug)]
 pub struct ShardedPromotionService {
     engine: RankPromotionEngine,
-    store: ShardedStore,
     workers: usize,
-    /// The single serving tier: one cache per store shard, each under
-    /// dense shard-local slots with its own dirty list, plus the merged
-    /// global pool and the lazily merged complete global order. Every
-    /// query path — full, top-k, one-off or batched — reads only this.
-    shards: ShardedCorpusCache,
-    probe: ServeStats,
-    /// Scratch for the sequential paths (`rerank_one`, top-k).
-    buffers: RankBuffers,
-    /// Slot-index scratch for the sequential paths.
-    slots: Vec<usize>,
-    /// Candidate retrieval/merge scratch for the sequential top-k path.
-    retrieval: TopKRetrieval,
-    /// Snapshot scratch for [`rebuild_from_store`](Self::rebuild_from_store)'s
-    /// replay — the one path that still assembles a global document list.
-    rebuild_scratch: Vec<Document>,
+    /// The live mutation epoch: bumped (release) once per successful
+    /// mutation, read (acquire) by readers to detect a stale published
+    /// version and to validate at merge time.
+    epoch: AtomicU64,
+    /// The writer generation: store + shard caches + rebuild scratch,
+    /// locked by mutations and by the (at most once per epoch)
+    /// publication step.
+    writer: Mutex<WriterState>,
+    /// The published immutable serving version readers rank against.
+    /// Swapped wholesale at publication; reads only ever clone the `Arc`.
+    published: RwLock<Arc<PublishedVersion>>,
+    probe: ProbeCells,
+    /// Pooled per-query scratch for the sequential `&self` paths.
+    scratch: Mutex<Vec<QueryScratch>>,
 }
 
 impl ShardedPromotionService {
@@ -154,23 +271,14 @@ impl ShardedPromotionService {
         // their pool per query (the Uniform rule's coin scan draws one
         // coin per page instead of reading any membership index).
         shards.set_pool_maintained(engine.reads_pool_index());
-        ShardedPromotionService {
-            engine,
-            store,
-            workers: available_workers(),
-            shards,
-            probe: ServeStats::default(),
-            buffers: RankBuffers::new(),
-            slots: Vec::new(),
-            retrieval: TopKRetrieval::default(),
-            rebuild_scratch: Vec::new(),
-        }
+        Self::from_parts(engine, store, shards)
     }
 
     /// Like [`new`](Self::new), but a zero `shard_count` is a typed
-    /// [`ServeError::InvalidShardCount`] instead of being clamped to 1 —
-    /// for callers (deployment config parsing, the durable recovery path)
-    /// that want bad input surfaced rather than absorbed.
+    /// [`ServeError::InvalidShardCount`](crate::ServeError::InvalidShardCount)
+    /// instead of being clamped to 1 — for callers (deployment config
+    /// parsing, the durable recovery path) that want bad input surfaced
+    /// rather than absorbed.
     pub fn try_new(
         engine: RankPromotionEngine,
         shard_count: usize,
@@ -191,23 +299,38 @@ impl ShardedPromotionService {
         store: ShardedStore,
         shards: ShardedCorpusCache,
     ) -> Self {
+        // A non-empty recovered corpus must start one epoch ahead of the
+        // empty sentinel version, so the first query publishes instead of
+        // serving the sentinel; an empty corpus is exactly the sentinel.
+        let epoch = if store.is_empty() { 0 } else { 1 };
+        let published = Arc::new(PublishedVersion::empty(
+            store.shard_count(),
+            shards.pool_maintained(),
+        ));
         ShardedPromotionService {
             engine,
-            store,
             workers: available_workers(),
-            shards,
-            probe: ServeStats::default(),
-            buffers: RankBuffers::new(),
-            slots: Vec::new(),
-            retrieval: TopKRetrieval::default(),
-            rebuild_scratch: Vec::new(),
+            epoch: AtomicU64::new(epoch),
+            writer: Mutex::new(WriterState {
+                store,
+                shards,
+                rebuild_scratch: Vec::new(),
+            }),
+            published: RwLock::new(published),
+            probe: ProbeCells::default(),
+            scratch: Mutex::new(Vec::new()),
         }
     }
 
-    /// Hand out the serving tier for snapshotting (the durable wrapper
-    /// serialises it alongside the store).
-    pub(crate) fn shard_state(&self) -> &ShardedCorpusCache {
-        &self.shards
+    /// Run `f` over the writer-side store and serving tier under the
+    /// writer lock — the durable wrapper's snapshot path, which needs a
+    /// single consistent view of both halves.
+    pub(crate) fn with_writer<R>(
+        &self,
+        f: impl FnOnce(&ShardedStore, &ShardedCorpusCache) -> R,
+    ) -> R {
+        let writer = self.writer.lock().expect("writer lock");
+        f(&writer.store, &writer.shards)
     }
 
     /// Set the number of batch worker threads (clamped to at least 1).
@@ -223,9 +346,13 @@ impl ShardedPromotionService {
     }
 
     /// The underlying sharded store (read-only: all mutation goes through
-    /// the service so the cached serving state can never go stale).
-    pub fn store(&self) -> &ShardedStore {
-        &self.store
+    /// the service so the cached serving state can never go stale). The
+    /// guard holds the writer lock — drop it before mutating or querying
+    /// the same service.
+    pub fn store(&self) -> StoreGuard<'_> {
+        StoreGuard {
+            writer: self.writer.lock().expect("writer lock"),
+        }
     }
 
     /// Number of batch worker threads.
@@ -235,23 +362,35 @@ impl ShardedPromotionService {
 
     /// The steady-state operation counters.
     pub fn serve_stats(&self) -> ServeStats {
-        self.probe
+        self.probe.snapshot()
+    }
+
+    /// The live mutation epoch: 0 for a fresh empty service, bumped by
+    /// exactly one per successful mutation. The epoch returned by the
+    /// `*_versioned` read paths compares against this — equality means
+    /// the answer reflects every mutation applied before the call.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Insert one document into its shard, returning its global sequence
     /// number — the handle for [`record_visit`](Self::record_visit) and
     /// [`update_popularity`](Self::update_popularity). The owning shard's
     /// cache is extended in place (`O(1)`): the new slot joins its
-    /// popularity order at the next query via dirty-slot reinsertion.
-    pub fn insert(&mut self, document: Document) -> u64 {
-        let seq = self.store.insert(document);
-        let shard = self.store.shard_of_id(document.id);
-        self.shards.push(shard, &document);
+    /// popularity order at the next publication via dirty-slot
+    /// reinsertion.
+    pub fn insert(&self, document: Document) -> u64 {
+        let mut writer = self.writer.lock().expect("writer lock");
+        let WriterState { store, shards, .. } = &mut *writer;
+        let seq = store.insert(document);
+        let shard = store.shard_of_id(document.id);
+        shards.push(shard, &document);
+        self.epoch.fetch_add(1, Ordering::Release);
         seq
     }
 
     /// Insert every document of an iterator, in order.
-    pub fn extend(&mut self, documents: impl IntoIterator<Item = Document>) {
+    pub fn extend(&self, documents: impl IntoIterator<Item = Document>) {
         for document in documents {
             self.insert(document);
         }
@@ -260,11 +399,18 @@ impl ShardedPromotionService {
     /// Record a user visit to the document with sequence number `seq`:
     /// clears its unexplored flag, which removes it from the selective
     /// promotion pool. The cached slot is patched in place and marked
-    /// dirty. Returns `false` if no such sequence exists.
-    pub fn record_visit(&mut self, seq: u64) -> bool {
-        match self.store.record_visit(seq) {
+    /// dirty. Returns `false` if no such sequence exists (and the epoch
+    /// does not move).
+    pub fn record_visit(&self, seq: u64) -> bool {
+        let mut writer = self.writer.lock().expect("writer lock");
+        let WriterState { store, shards, .. } = &mut *writer;
+        match store.record_visit(seq) {
             Some(document) => {
-                self.shards.patch(seq as usize, &document);
+                let slot = store
+                    .slot_of(seq)
+                    .expect("a recorded visit has a placement slot");
+                shards.patch(slot, &document);
+                self.epoch.fetch_add(1, Ordering::Release);
                 true
             }
             None => false,
@@ -273,11 +419,18 @@ impl ShardedPromotionService {
 
     /// Replace the popularity score of the document with sequence number
     /// `seq` (clamped to non-negative). The cached slot is patched in
-    /// place and marked dirty. Returns `false` if no such sequence exists.
-    pub fn update_popularity(&mut self, seq: u64, popularity: f64) -> bool {
-        match self.store.update_popularity(seq, popularity) {
+    /// place and marked dirty. Returns `false` if no such sequence exists
+    /// (and the epoch does not move).
+    pub fn update_popularity(&self, seq: u64, popularity: f64) -> bool {
+        let mut writer = self.writer.lock().expect("writer lock");
+        let WriterState { store, shards, .. } = &mut *writer;
+        match store.update_popularity(seq, popularity) {
             Some(document) => {
-                self.shards.patch(seq as usize, &document);
+                let slot = store
+                    .slot_of(seq)
+                    .expect("an updated document has a placement slot");
+                shards.patch(slot, &document);
+                self.epoch.fetch_add(1, Ordering::Release);
                 true
             }
             None => false,
@@ -285,24 +438,26 @@ impl ShardedPromotionService {
     }
 
     /// [`record_visit`](Self::record_visit) with the failure typed: an
-    /// unknown sequence is a [`ServeError::UnknownSequence`], and the
-    /// serving state is untouched.
-    pub fn try_record_visit(&mut self, seq: u64) -> Result<(), crate::ServeError> {
+    /// unknown sequence is a
+    /// [`ServeError::UnknownSequence`](crate::ServeError::UnknownSequence),
+    /// and the serving state is untouched.
+    pub fn try_record_visit(&self, seq: u64) -> Result<(), crate::ServeError> {
         if self.record_visit(seq) {
             Ok(())
         } else {
             Err(crate::ServeError::UnknownSequence {
                 seq,
-                len: self.store.len() as u64,
+                len: self.store().len() as u64,
             })
         }
     }
 
     /// [`update_popularity`](Self::update_popularity) with the failure
-    /// typed: an unknown sequence is a [`ServeError::UnknownSequence`],
+    /// typed: an unknown sequence is a
+    /// [`ServeError::UnknownSequence`](crate::ServeError::UnknownSequence),
     /// and the serving state is untouched.
     pub fn try_update_popularity(
-        &mut self,
+        &self,
         seq: u64,
         popularity: f64,
     ) -> Result<(), crate::ServeError> {
@@ -311,7 +466,7 @@ impl ShardedPromotionService {
         } else {
             Err(crate::ServeError::UnknownSequence {
                 seq,
-                len: self.store.len() as u64,
+                len: self.store().len() as u64,
             })
         }
     }
@@ -325,98 +480,183 @@ impl ShardedPromotionService {
     /// counters it increments are pinned at 0 in the steady-state tests
     /// precisely to catch a change that reintroduces per-batch rebuilds.
     /// It exists as the recovery/maintenance escape hatch (and as the one
-    /// honest increment site for those counters).
-    pub fn rebuild_from_store(&mut self) {
-        self.probe.snapshot_rebuilds += 1;
-        self.probe.full_sorts += 1;
-        if self.shards.pool_maintained() {
-            self.probe.pool_rebuilds += 1;
+    /// honest increment site for those counters). Bumps the epoch: the
+    /// next query publishes the rebuilt state.
+    pub fn rebuild_from_store(&self) {
+        let mut writer = self.writer.lock().expect("writer lock");
+        ProbeCells::add(&self.probe.snapshot_rebuilds, 1);
+        ProbeCells::add(&self.probe.full_sorts, 1);
+        if writer.shards.pool_maintained() {
+            ProbeCells::add(&self.probe.pool_rebuilds, 1);
         }
-        self.store.snapshot_into(&mut self.rebuild_scratch);
-        self.shards.clear();
-        for document in &self.rebuild_scratch {
-            self.shards
-                .push(self.store.shard_of_id(document.id), document);
+        let WriterState {
+            store,
+            shards,
+            rebuild_scratch,
+        } = &mut *writer;
+        store.snapshot_into(rebuild_scratch);
+        shards.clear();
+        for document in rebuild_scratch.iter() {
+            shards.push(store.shard_of_id(document.id), document);
         }
         // Part of the same rebuild event, not a lazy repair — left out of
-        // the repair counters on purpose. The complete merged order goes
-        // stale here and is re-merged by the next full-order consumer.
-        self.shards.repair();
+        // the repair counters on purpose (the rebuild also invalidates
+        // the publication diff log, so the follow-up publication charges
+        // nothing extra).
+        shards.repair();
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 
-    /// Bring the serving tier current by repairing every shard cache with
-    /// dirty slots (no-op when nothing changed). Every query path calls
-    /// this first — it is the only repair site.
-    fn repair_shard_state(&mut self) {
-        if self.shards.dirty_len() > 0 {
-            self.probe.shard_repairs += 1;
-            if self.shards.pool_maintained() {
-                self.probe.pool_repairs += 1;
+    /// The serving version for the current epoch: the published one if it
+    /// is current, else a fresh publication (at most one ever happens per
+    /// epoch — racing readers converge on the same version).
+    fn current_version(&self) -> Arc<PublishedVersion> {
+        // Clone the Arc only when the version is current: carrying a
+        // stale clone into `publish_current` would keep the retired
+        // version's refcount above one right when `recycle` tries to
+        // reclaim its buffers, silently downgrading every publication
+        // from O(dirty) to a full copy-on-write of the next mutation.
+        {
+            let published = self.published.read().expect("published version lock");
+            if published.epoch() == self.epoch.load(Ordering::Acquire) {
+                return published.clone();
             }
-            self.probe.dirty_slots_repaired += self.shards.repair();
         }
+        self.publish_current()
     }
 
-    /// Re-merge the complete global popularity order if a repair left it
-    /// stale (no-op on a clean stretch). Called by the paths that consume
-    /// the full order — full reranks and the Uniform rule's top-k.
-    fn ensure_merged_order(&mut self) {
-        if self.shards.ensure_merged_order() {
-            self.probe.order_merges += 1;
+    /// Cut and install a version for the live epoch under the writer
+    /// lock: repair the writer generation (charging the repair probes),
+    /// swap the new version in, and recycle the retired one's buffers.
+    fn publish_current(&self) -> Arc<PublishedVersion> {
+        let mut writer = self.writer.lock().expect("writer lock");
+        // The epoch is stable while we hold the writer lock (every bump
+        // site holds it too); another reader may have published for this
+        // epoch while we waited on the lock.
+        let epoch = self.epoch.load(Ordering::Acquire);
+        {
+            let published = self.published.read().expect("published version lock");
+            if published.epoch() == epoch {
+                return published.clone();
+            }
         }
+        let WriterState { store, shards, .. } = &mut *writer;
+        let (version, charged) = shards.publish(epoch);
+        if charged > 0 {
+            ProbeCells::add(&self.probe.shard_repairs, 1);
+            if shards.pool_maintained() {
+                ProbeCells::add(&self.probe.pool_repairs, 1);
+            }
+            ProbeCells::add(&self.probe.dirty_slots_repaired, charged);
+        }
+        ProbeCells::add(&self.probe.version_publications, 1);
+        let prev = std::mem::replace(
+            &mut *self.published.write().expect("published version lock"),
+            version.clone(),
+        );
+        shards.recycle(prev, |slot| {
+            *store
+                .get(slot as u64)
+                .expect("every published slot exists in the store")
+        });
+        version
+    }
+
+    /// Borrow a pooled scratch set (or start a fresh one).
+    fn take_scratch(&self) -> QueryScratch {
+        self.scratch
+            .lock()
+            .expect("scratch pool lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Return a scratch set to the pool for the next query.
+    fn put_scratch(&self, scratch: QueryScratch) {
+        self.scratch
+            .lock()
+            .expect("scratch pool lock")
+            .push(scratch);
     }
 
     /// The current selective-promotion pool: the unexplored slots in
-    /// ascending canonical-sequence order, read off the merged per-shard
-    /// pool indexes after bringing them current. Exposed for
+    /// ascending canonical-sequence order, read off the current published
+    /// version (publishing first if the corpus mutated). Exposed for
     /// introspection and for the property suite that pins the incremental
     /// pool against a from-scratch recomputation. Empty for engines that
     /// never read the pool index (the Uniform rule) — their pool is
     /// re-drawn per query and no index is maintained.
-    pub fn pooled_slots(&mut self) -> &[usize] {
-        self.repair_shard_state();
-        self.shards.pool_slots()
+    pub fn pooled_slots(&self) -> Vec<usize> {
+        self.current_version().pool_slots().to_vec()
     }
 
     /// Answer one query sequentially: the canonical snapshot order
     /// re-ranked by the engine. This is the reference the batch path is
     /// measured against — and must stay bit-identical to. Served from the
-    /// complete merged shard order, so the only per-call allocation after
-    /// warm-up is the returned vector itself
+    /// published version's complete merged order, so the only per-call
+    /// allocation after warm-up is the returned vector itself
     /// ([`rerank_one_into`](Self::rerank_one_into) removes that too).
-    pub fn rerank_one(&mut self, context: QueryContext) -> Vec<u64> {
-        let mut out = Vec::with_capacity(self.store.len());
-        self.rerank_one_into(context, &mut out);
-        out
+    pub fn rerank_one(&self, context: QueryContext) -> Vec<u64> {
+        self.rerank_one_versioned(context).1
+    }
+
+    /// [`rerank_one`](Self::rerank_one) plus the epoch of the version
+    /// that answered: equal to [`epoch`](Self::epoch) when no mutation
+    /// raced the query.
+    pub fn rerank_one_versioned(&self, context: QueryContext) -> (u64, Vec<u64>) {
+        let mut out = Vec::new();
+        let epoch = self.one_versioned_into(context, &mut out);
+        (epoch, out)
     }
 
     /// [`rerank_one`](Self::rerank_one) writing the document ids into
     /// `out` (cleared first): allocation-free once the serving state and
     /// `out` have grown to the corpus size.
-    pub fn rerank_one_into(&mut self, context: QueryContext, out: &mut Vec<u64>) {
-        self.probe.queries += 1;
-        if self.store.is_empty() {
+    pub fn rerank_one_into(&self, context: QueryContext, out: &mut Vec<u64>) {
+        self.one_versioned_into(context, out);
+    }
+
+    fn one_versioned_into(&self, context: QueryContext, out: &mut Vec<u64>) -> u64 {
+        ProbeCells::add(&self.probe.queries, 1);
+        let mut version = self.current_version();
+        if version.is_empty() {
             // Degenerate path: answer without touching (or charging) the
             // serving tier.
             out.clear();
-            return;
+            return version.epoch();
         }
-        self.repair_shard_state();
-        self.ensure_merged_order();
-        let engine = &self.engine;
-        let shards = &self.shards;
-        engine.rerank_merged_into(
-            shards.pool_slots(),
-            shards.merged_order(),
-            |s| shards.in_pool(s),
-            context,
-            &mut self.buffers,
-            &mut self.slots,
-        );
-        self.probe.mask_resets += self.buffers.take_mask_resets();
-        self.probe.pool_draws += self.buffers.take_pool_draws();
+        let mut scratch = self.take_scratch();
+        let mut retried = false;
+        let epoch = loop {
+            let (order, ran) = version.ensure_merged_order();
+            if ran {
+                ProbeCells::add(&self.probe.order_merges, 1);
+            }
+            self.engine.rerank_merged_into(
+                version.pool_slots(),
+                order,
+                |s| version.in_pool(s),
+                context,
+                &mut scratch.buffers,
+                &mut scratch.slots,
+            );
+            // Validate at merge time: a racing mutation leaves the answer
+            // consistent at the version's epoch, merely stale — retry
+            // once against the fresh version, then accept (the writer may
+            // always be one step ahead).
+            if retried || self.epoch.load(Ordering::Acquire) == version.epoch() {
+                break version.epoch();
+            }
+            ProbeCells::add(&self.probe.epoch_conflicts, 1);
+            retried = true;
+            version = self.current_version();
+        };
+        ProbeCells::add(&self.probe.mask_resets, scratch.buffers.take_mask_resets());
+        ProbeCells::add(&self.probe.pool_draws, scratch.buffers.take_pool_draws());
         out.clear();
-        out.extend(self.slots.iter().map(|&s| shards.page_of(s).0));
+        out.extend(scratch.slots.iter().map(|&s| version.page_of(s).0));
+        self.put_scratch(scratch);
+        epoch
     }
 
     /// The first `min(k, n)` document ids of
@@ -430,54 +670,87 @@ impl ShardedPromotionService {
     /// alone — the complete merged order is neither re-merged nor
     /// consulted (pinned by [`ServeStats::order_merges`]). A Uniform-rule
     /// engine must keep scanning every slot for its per-page coins and
-    /// reads the complete merged order instead.
-    pub fn rerank_top_k(&mut self, context: QueryContext, k: usize) -> Vec<u64> {
-        let mut out = Vec::with_capacity(k.min(self.store.len()));
-        self.rerank_top_k_into(context, k, &mut out);
-        out
+    /// reads the complete merged order instead. `k = 0` answers without
+    /// consulting — or publishing — any serving state.
+    pub fn rerank_top_k(&self, context: QueryContext, k: usize) -> Vec<u64> {
+        self.rerank_top_k_versioned(context, k).1
+    }
+
+    /// [`rerank_top_k`](Self::rerank_top_k) plus the answering version's
+    /// epoch (the currently published epoch when `k = 0`).
+    pub fn rerank_top_k_versioned(&self, context: QueryContext, k: usize) -> (u64, Vec<u64>) {
+        let mut out = Vec::new();
+        let epoch = self.top_k_versioned_into(context, k, &mut out);
+        (epoch, out)
     }
 
     /// [`rerank_top_k`](Self::rerank_top_k) writing into `out` (cleared
     /// first); allocation-free after warm-up.
-    pub fn rerank_top_k_into(&mut self, context: QueryContext, k: usize, out: &mut Vec<u64>) {
-        self.probe.queries += 1;
-        if self.store.is_empty() {
-            // Degenerate path first: an empty corpus must not book
-            // retrievals (or merges) that never happen.
+    pub fn rerank_top_k_into(&self, context: QueryContext, k: usize, out: &mut Vec<u64>) {
+        self.top_k_versioned_into(context, k, out);
+    }
+
+    fn top_k_versioned_into(&self, context: QueryContext, k: usize, out: &mut Vec<u64>) -> u64 {
+        ProbeCells::add(&self.probe.queries, 1);
+        if k == 0 {
+            // A zero-rank query is answerable from nothing: charge no
+            // probes and publish no version, whatever the backlog.
             out.clear();
-            return;
+            return self
+                .published
+                .read()
+                .expect("published version lock")
+                .epoch();
         }
-        self.repair_shard_state();
-        if self.engine.reads_pool_index() {
-            self.probe.shard_retrievals += self.shards.shard_count() as u64;
-            self.retrieval.answer_into(
-                &self.engine,
-                &self.shards,
-                context,
-                k,
-                &mut self.buffers,
-                &mut self.slots,
-                out,
-            );
-            self.probe.pool_draws += self.buffers.take_pool_draws();
-            return;
+        let mut version = self.current_version();
+        if version.is_empty() {
+            // Degenerate path: an empty corpus must not book retrievals
+            // (or merges) that never happen.
+            out.clear();
+            return version.epoch();
         }
-        self.ensure_merged_order();
-        let engine = &self.engine;
-        let shards = &self.shards;
-        engine.rerank_top_k_merged_into(
-            shards.pool_slots(),
-            shards.merged_order(),
-            |s| shards.in_pool(s),
-            k,
-            context,
-            &mut self.buffers,
-            &mut self.slots,
-        );
-        self.probe.mask_resets += self.buffers.take_mask_resets();
-        self.probe.pool_draws += self.buffers.take_pool_draws();
-        out.clear();
-        out.extend(self.slots.iter().map(|&s| shards.page_of(s).0));
+        let mut scratch = self.take_scratch();
+        let mut retried = false;
+        let epoch = loop {
+            if self.engine.reads_pool_index() {
+                ProbeCells::add(&self.probe.shard_retrievals, version.shard_count() as u64);
+                scratch.retrieval.answer_into(
+                    &self.engine,
+                    &version,
+                    context,
+                    k,
+                    &mut scratch.buffers,
+                    &mut scratch.slots,
+                    out,
+                );
+            } else {
+                let (order, ran) = version.ensure_merged_order();
+                if ran {
+                    ProbeCells::add(&self.probe.order_merges, 1);
+                }
+                self.engine.rerank_top_k_merged_into(
+                    version.pool_slots(),
+                    order,
+                    |s| version.in_pool(s),
+                    k,
+                    context,
+                    &mut scratch.buffers,
+                    &mut scratch.slots,
+                );
+                out.clear();
+                out.extend(scratch.slots.iter().map(|&s| version.page_of(s).0));
+            }
+            if retried || self.epoch.load(Ordering::Acquire) == version.epoch() {
+                break version.epoch();
+            }
+            ProbeCells::add(&self.probe.epoch_conflicts, 1);
+            retried = true;
+            version = self.current_version();
+        };
+        ProbeCells::add(&self.probe.mask_resets, scratch.buffers.take_mask_resets());
+        ProbeCells::add(&self.probe.pool_draws, scratch.buffers.take_pool_draws());
+        self.put_scratch(scratch);
+        epoch
     }
 
     /// Answer a batch of queries, fanning out across scoped worker
@@ -485,17 +758,25 @@ impl ShardedPromotionService {
     /// [`rerank_one`](Self::rerank_one) — and therefore
     /// [`RankPromotionEngine::rerank`] on the canonical snapshot —
     /// regardless of shard count, worker count, or scheduling.
-    pub fn rerank_batch(&mut self, queries: &[QueryContext]) -> Vec<Vec<u64>> {
+    pub fn rerank_batch(&self, queries: &[QueryContext]) -> Vec<Vec<u64>> {
         let mut results = Vec::new();
         self.rerank_batch_into(queries, &mut results);
         results
+    }
+
+    /// [`rerank_batch`](Self::rerank_batch) plus the epoch of the single
+    /// published version every query in the batch ranked against.
+    pub fn rerank_batch_versioned(&self, queries: &[QueryContext]) -> (u64, Vec<Vec<u64>>) {
+        let mut results = Vec::new();
+        let epoch = self.batch_into(queries, None, &mut results);
+        (epoch, results)
     }
 
     /// [`rerank_batch`](Self::rerank_batch) writing into `results`
     /// (resized to `queries.len()`); existing entries keep their heap
     /// storage, so a caller that reuses `results` across batches pays no
     /// result allocations at steady state.
-    pub fn rerank_batch_into(&mut self, queries: &[QueryContext], results: &mut Vec<Vec<u64>>) {
+    pub fn rerank_batch_into(&self, queries: &[QueryContext], results: &mut Vec<Vec<u64>>) {
         self.batch_into(queries, None, results);
     }
 
@@ -507,7 +788,7 @@ impl ShardedPromotionService {
     /// complete-order merges and exactly `shards × queries` shard
     /// retrievals.
     pub fn rerank_batch_top_k_into(
-        &mut self,
+        &self,
         queries: &[QueryContext],
         k: usize,
         results: &mut Vec<Vec<u64>>,
@@ -516,25 +797,42 @@ impl ShardedPromotionService {
     }
 
     fn batch_into(
-        &mut self,
+        &self,
         queries: &[QueryContext],
         k: Option<usize>,
         results: &mut Vec<Vec<u64>>,
-    ) {
-        self.probe.batches += 1;
-        self.probe.queries += queries.len() as u64;
+    ) -> u64 {
+        ProbeCells::add(&self.probe.batches, 1);
+        ProbeCells::add(&self.probe.queries, queries.len() as u64);
 
         // Resize without discarding inner-vector capacity.
         results.truncate(queries.len());
         results.resize_with(queries.len(), Vec::new);
         if queries.is_empty() {
-            // Explicit early return: an empty batch must repair nothing
+            // Explicit early return: an empty batch must publish nothing
             // and, above all, never reach the region-claim fan-out below —
             // `chunk_len`/`SlotRegions` are defined over at least one
             // result slot.
-            return;
+            return self
+                .published
+                .read()
+                .expect("published version lock")
+                .epoch();
         }
-        if self.store.is_empty() {
+        if k == Some(0) {
+            // Zero-rank batches are answerable from nothing: clear the
+            // (possibly reused) result slots, publish and charge nothing.
+            for out in results.iter_mut() {
+                out.clear();
+            }
+            return self
+                .published
+                .read()
+                .expect("published version lock")
+                .epoch();
+        }
+        let version = self.current_version();
+        if version.is_empty() {
             // An empty corpus answers every query with an empty ranking
             // and charges nothing — no repair, no retrievals, no merge.
             // `resize_with` keeps reused entries' stale contents, so
@@ -542,72 +840,101 @@ impl ShardedPromotionService {
             for out in results.iter_mut() {
                 out.clear();
             }
-            return;
+            return version.epoch();
         }
 
-        // One repair site for every route, then pick the batch's path:
-        // top-k under a selective engine retrieves per shard; everything
-        // else (full reranks, the Uniform rule's coin scan) consumes the
-        // complete merged order, brought current once for the batch.
-        self.repair_shard_state();
+        // Pick the batch's path: top-k under a selective engine retrieves
+        // per shard; everything else (full reranks, the Uniform rule's
+        // coin scan) consumes the complete merged order, brought current
+        // once for the batch.
         let mode = match k {
             Some(k) if self.engine.reads_pool_index() => {
-                self.probe.shard_retrievals += (self.shards.shard_count() * queries.len()) as u64;
+                ProbeCells::add(
+                    &self.probe.shard_retrievals,
+                    (version.shard_count() * queries.len()) as u64,
+                );
                 BatchMode::TopKShards(k)
             }
             Some(k) => {
-                self.ensure_merged_order();
+                let (_, ran) = version.ensure_merged_order();
+                if ran {
+                    ProbeCells::add(&self.probe.order_merges, 1);
+                }
                 BatchMode::TopKMerged(k)
             }
             None => {
-                self.ensure_merged_order();
+                let (_, ran) = version.ensure_merged_order();
+                if ran {
+                    ProbeCells::add(&self.probe.order_merges, 1);
+                }
                 BatchMode::Full
             }
         };
 
         let engine = &self.engine;
-        let shards = &self.shards;
         let workers = self.workers.min(queries.len());
         if workers <= 1 {
-            let mut worker = BatchWorker::new(engine, shards, mode);
+            let mut worker = BatchWorker::new(engine, &version, self.take_scratch());
             for (&ctx, out) in queries.iter().zip(results.iter_mut()) {
                 worker.answer_into(ctx, mode, out);
             }
-            self.probe.mask_resets += worker.buffers.take_mask_resets();
-            self.probe.pool_draws += worker.buffers.take_pool_draws();
-            return;
-        }
-
-        // Contention-free fan-out: the result slots are pre-split into
-        // disjoint `&mut` regions that workers claim chunk-by-chunk from
-        // an atomic cursor — chunked work-stealing by index ranges, no
-        // result lock anywhere. Chunks are a few queries wide so a slow
-        // query does not serialise its neighbours behind one worker.
-        let regions = SlotRegions::new(results, chunk_len(queries.len(), workers));
-        // Mask resets and lazy-shuffle draws are accumulated per worker
-        // arena and folded into the probe once per worker — one relaxed
-        // add each at scope exit, nothing on the query path.
-        let mask_resets = AtomicU64::new(0);
-        let pool_draws = AtomicU64::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    // Each worker owns its scratch: queries are
-                    // allocation-free once the claimed result slots have
-                    // warmed up to the corpus size.
-                    let mut worker = BatchWorker::new(engine, shards, mode);
-                    while let Some((range, slots)) = regions.claim() {
-                        for (&ctx, out) in queries[range].iter().zip(slots.iter_mut()) {
-                            worker.answer_into(ctx, mode, out);
+            ProbeCells::add(
+                &self.probe.mask_resets,
+                worker.scratch.buffers.take_mask_resets(),
+            );
+            ProbeCells::add(
+                &self.probe.pool_draws,
+                worker.scratch.buffers.take_pool_draws(),
+            );
+            self.put_scratch(worker.scratch);
+        } else {
+            // Contention-free fan-out: the result slots are pre-split into
+            // disjoint `&mut` regions that workers claim chunk-by-chunk
+            // from an atomic cursor — chunked work-stealing by index
+            // ranges, no result lock anywhere. Chunks are a few queries
+            // wide so a slow query does not serialise its neighbours
+            // behind one worker.
+            let regions = SlotRegions::new(results, chunk_len(queries.len(), workers));
+            // Mask resets and lazy-shuffle draws are accumulated per
+            // worker arena and folded into the probe once per worker —
+            // one relaxed add each at scope exit, nothing on the query
+            // path.
+            let mask_resets = AtomicU64::new(0);
+            let pool_draws = AtomicU64::new(0);
+            let version = &*version;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        // Each worker borrows a private scratch set from
+                        // the pool: queries are allocation-free once the
+                        // pool has warmed up to the worker fan-out.
+                        let mut worker = BatchWorker::new(engine, version, self.take_scratch());
+                        while let Some((range, slots)) = regions.claim() {
+                            for (&ctx, out) in queries[range].iter().zip(slots.iter_mut()) {
+                                worker.answer_into(ctx, mode, out);
+                            }
                         }
-                    }
-                    mask_resets.fetch_add(worker.buffers.take_mask_resets(), Ordering::Relaxed);
-                    pool_draws.fetch_add(worker.buffers.take_pool_draws(), Ordering::Relaxed);
-                });
-            }
-        });
-        self.probe.mask_resets += mask_resets.into_inner();
-        self.probe.pool_draws += pool_draws.into_inner();
+                        mask_resets.fetch_add(
+                            worker.scratch.buffers.take_mask_resets(),
+                            Ordering::Relaxed,
+                        );
+                        pool_draws
+                            .fetch_add(worker.scratch.buffers.take_pool_draws(), Ordering::Relaxed);
+                        self.put_scratch(worker.scratch);
+                    });
+                }
+            });
+            ProbeCells::add(&self.probe.mask_resets, mask_resets.into_inner());
+            ProbeCells::add(&self.probe.pool_draws, pool_draws.into_inner());
+        }
+        // Validate once at merge time, count-only: each answer is
+        // consistent at the version's epoch by construction (versions are
+        // immutable), so a conflict records bounded staleness rather than
+        // forcing a batch-wide retry.
+        if self.epoch.load(Ordering::Acquire) != version.epoch() {
+            ProbeCells::add(&self.probe.epoch_conflicts, 1);
+        }
+        version.epoch()
     }
 }
 
@@ -686,9 +1013,9 @@ impl<'a> SlotRegions<'a> {
 
 /// Reusable scratch for one top-k query's retrieve→merge→rank round trip:
 /// the per-shard rest candidates, the merged view, and the slot list the
-/// merged rest flattens into. Owned per caller (the service's sequential
-/// path, or one per batch worker), so steady-state top-k queries allocate
-/// nothing.
+/// merged rest flattens into. Owned per caller (a pooled sequential
+/// scratch set, or one per batch worker), so steady-state top-k queries
+/// allocate nothing.
 #[derive(Debug, Default)]
 struct TopKRetrieval {
     shards: Vec<ShardCandidates>,
@@ -697,18 +1024,18 @@ struct TopKRetrieval {
 }
 
 impl TopKRetrieval {
-    /// Answer one top-`k` query from the shard caches alone: retrieve each
-    /// shard's rest prefix (`O(k)` per shard), merge them
-    /// deterministically, and rank against that prefix plus the maintained
-    /// merged pool — the complete order is never read, and the ranked
-    /// global slots resolve to document ids through their owning shard's
-    /// cache. Output is bit-identical to the length-`k` prefix of the
-    /// full rerank.
+    /// Answer one top-`k` query from a published version's shard caches
+    /// alone: retrieve each shard's rest prefix (`O(k)` per shard), merge
+    /// them deterministically, and rank against that prefix plus the
+    /// version's merged pool — the complete order is never read, and the
+    /// ranked global slots resolve to document ids through the version's
+    /// page table. Output is bit-identical to the length-`k` prefix of
+    /// the full rerank.
     #[allow(clippy::too_many_arguments)]
     fn answer_into(
         &mut self,
         engine: &RankPromotionEngine,
-        shards: &ShardedCorpusCache,
+        version: &PublishedVersion,
         context: QueryContext,
         k: usize,
         buffers: &mut RankBuffers,
@@ -716,13 +1043,13 @@ impl TopKRetrieval {
         out: &mut Vec<u64>,
     ) {
         let limit = engine.config().candidate_prefix_len(k);
-        shards.collect_rest_candidates(limit, &mut self.shards);
+        version.collect_rest_candidates(limit, &mut self.shards);
         merge_shard_candidates_into(&self.shards, limit, &mut self.merged);
         self.rest_slots.clear();
         self.rest_slots
             .extend(self.merged.rest().iter().map(|p| p.slot));
         engine.rerank_top_k_retrieved_into(
-            shards.pool_slots(),
+            version.pool_slots(),
             &self.rest_slots,
             k,
             context,
@@ -730,38 +1057,32 @@ impl TopKRetrieval {
             slots,
         );
         out.clear();
-        out.extend(slots.iter().map(|&s| shards.page_of(s).0));
+        out.extend(slots.iter().map(|&s| version.page_of(s).0));
     }
 }
 
-/// Per-worker state: shared read-only serving state plus private scratch.
+/// Per-worker state: a shared read-only published version plus private
+/// scratch.
 struct BatchWorker<'a> {
     engine: &'a RankPromotionEngine,
-    shards: &'a ShardedCorpusCache,
-    buffers: RankBuffers,
-    slots: Vec<usize>,
-    retrieval: TopKRetrieval,
+    version: &'a PublishedVersion,
+    scratch: QueryScratch,
 }
 
 impl<'a> BatchWorker<'a> {
+    /// Wrap a pooled scratch set: the arenas were grown by earlier
+    /// queries and go back to the pool after the batch, so steady-state
+    /// batches allocate nothing per batch (not even the first query's
+    /// arena growth — that warm-up happened once per service).
     fn new(
         engine: &'a RankPromotionEngine,
-        shards: &'a ShardedCorpusCache,
-        mode: BatchMode,
+        version: &'a PublishedVersion,
+        scratch: QueryScratch,
     ) -> Self {
-        // Full and merged-top-k batches fill `O(n)` arenas; the
-        // shard-retrieval path only ever touches the pool plus `k` ranks,
-        // so its workers pre-grow to that instead of the corpus size.
-        let capacity = match mode {
-            BatchMode::TopKShards(k) => shards.pool_slots().len() + k,
-            BatchMode::Full | BatchMode::TopKMerged(_) => shards.len(),
-        };
         BatchWorker {
             engine,
-            shards,
-            buffers: RankBuffers::with_capacity(capacity),
-            slots: Vec::with_capacity(capacity),
-            retrieval: TopKRetrieval::default(),
+            version,
+            scratch,
         }
     }
 
@@ -771,36 +1092,41 @@ impl<'a> BatchWorker<'a> {
     fn answer_into(&mut self, context: QueryContext, mode: BatchMode, out: &mut Vec<u64>) {
         match mode {
             BatchMode::Full => self.engine.rerank_merged_into(
-                self.shards.pool_slots(),
-                self.shards.merged_order(),
-                |s| self.shards.in_pool(s),
+                self.version.pool_slots(),
+                self.version.merged_order(),
+                |s| self.version.in_pool(s),
                 context,
-                &mut self.buffers,
-                &mut self.slots,
+                &mut self.scratch.buffers,
+                &mut self.scratch.slots,
             ),
             BatchMode::TopKMerged(k) => self.engine.rerank_top_k_merged_into(
-                self.shards.pool_slots(),
-                self.shards.merged_order(),
-                |s| self.shards.in_pool(s),
+                self.version.pool_slots(),
+                self.version.merged_order(),
+                |s| self.version.in_pool(s),
                 k,
                 context,
-                &mut self.buffers,
-                &mut self.slots,
+                &mut self.scratch.buffers,
+                &mut self.scratch.slots,
             ),
             BatchMode::TopKShards(k) => {
-                return self.retrieval.answer_into(
+                return self.scratch.retrieval.answer_into(
                     self.engine,
-                    self.shards,
+                    self.version,
                     context,
                     k,
-                    &mut self.buffers,
-                    &mut self.slots,
+                    &mut self.scratch.buffers,
+                    &mut self.scratch.slots,
                     out,
                 );
             }
         }
         out.clear();
-        out.extend(self.slots.iter().map(|&s| self.shards.page_of(s).0));
+        out.extend(
+            self.scratch
+                .slots
+                .iter()
+                .map(|&s| self.version.page_of(s).0),
+        );
     }
 }
 
@@ -847,8 +1173,7 @@ mod tests {
         let expected: Vec<Vec<u64>> = qs.iter().map(|&ctx| engine.rerank(&docs, ctx)).collect();
         for shards in [1usize, 2, 8] {
             for workers in [1usize, 2, 8] {
-                let mut service =
-                    ShardedPromotionService::new(engine, shards).with_workers(workers);
+                let service = ShardedPromotionService::new(engine, shards).with_workers(workers);
                 service.extend(docs.iter().copied());
                 assert_eq!(
                     service.rerank_batch(&qs),
@@ -862,7 +1187,7 @@ mod tests {
     #[test]
     fn rerank_one_matches_batch_of_one() {
         let engine = uniform_engine().with_seed(5);
-        let mut service = ShardedPromotionService::new(engine, 4);
+        let service = ShardedPromotionService::new(engine, 4);
         service.extend(corpus(77));
         let ctx = QueryContext::from_strings("stacked deck", "session-1");
         let one = service.rerank_one(ctx);
@@ -871,7 +1196,7 @@ mod tests {
 
     #[test]
     fn batch_results_are_stable_across_repeated_calls() {
-        let mut service =
+        let service =
             ShardedPromotionService::new(RankPromotionEngine::recommended(), 3).with_workers(4);
         service.extend(corpus(150));
         let qs = queries(9);
@@ -880,7 +1205,7 @@ mod tests {
 
     #[test]
     fn empty_batch_and_empty_store_are_fine() {
-        let mut service = ShardedPromotionService::new(RankPromotionEngine::recommended(), 2);
+        let service = ShardedPromotionService::new(RankPromotionEngine::recommended(), 2);
         assert!(service.rerank_batch(&[]).is_empty());
         let out = service.rerank_batch(&queries(3));
         assert_eq!(out, vec![Vec::<u64>::new(); 3]);
@@ -895,7 +1220,7 @@ mod tests {
         // work) *before* noticing the corpus was empty, booking
         // retrievals that never happened.
         for engine in [RankPromotionEngine::recommended(), uniform_engine()] {
-            let mut service = ShardedPromotionService::new(engine, 4).with_workers(2);
+            let service = ShardedPromotionService::new(engine, 4).with_workers(2);
             let qs = queries(3);
             let mut results = vec![vec![7u64; 4], vec![8u64; 2]];
             service.rerank_batch_top_k_into(&qs, 5, &mut results);
@@ -917,6 +1242,11 @@ mod tests {
             assert_eq!(stats.order_merges, 0);
             assert_eq!(stats.shard_repairs, 0);
             assert_eq!(stats.mask_resets, 0, "not even the Uniform coin scan runs");
+            assert_eq!(
+                stats.version_publications, 0,
+                "an empty corpus serves the epoch-0 sentinel forever"
+            );
+            assert_eq!(stats.epoch_conflicts, 0);
         }
     }
 
@@ -932,28 +1262,34 @@ mod tests {
 
     #[test]
     fn steady_state_batches_pay_zero_sorts_and_zero_snapshot_rebuilds() {
-        let mut service =
+        let service =
             ShardedPromotionService::new(RankPromotionEngine::recommended(), 4).with_workers(4);
         service.extend(corpus(300));
         let qs = queries(16);
 
         // Warm-up: the 300 inserted slots enter the shard orders via one
-        // repair, and the complete order is merged once for the batch.
+        // publication's repair, and the complete order is merged once for
+        // the batch.
         service.rerank_batch(&qs);
         let warm = service.serve_stats();
         assert_eq!(warm.shard_repairs, 1);
         assert_eq!(warm.dirty_slots_repaired, 300);
         assert_eq!(warm.order_merges, 1);
+        assert_eq!(warm.version_publications, 1);
 
         // Steady state, corpus unchanged: no repair, no re-merge, no sort,
-        // no rebuild — and with a selective engine, no per-query pool scan
-        // or mask reset either: every query reads the persistent pool
-        // index.
+        // no rebuild, no publication — and with a selective engine, no
+        // per-query pool scan or mask reset either: every query reads the
+        // persistent pool index.
         service.rerank_batch(&qs);
         service.rerank_batch(&qs);
         let steady = service.serve_stats();
         assert_eq!(steady.shard_repairs, 1, "clean batches must not repair");
         assert_eq!(steady.order_merges, 1, "clean batches must not re-merge");
+        assert_eq!(
+            steady.version_publications, 1,
+            "clean batches must not publish"
+        );
         assert_eq!(steady.snapshot_rebuilds, 0);
         assert_eq!(steady.full_sorts, 0);
         assert_eq!(steady.pool_rebuilds, 0);
@@ -961,10 +1297,11 @@ mod tests {
         assert_eq!(steady.mask_resets, 0, "no query may scan the corpus");
         assert_eq!(steady.batches, 3);
         assert_eq!(steady.queries, 48);
+        assert_eq!(steady.epoch_conflicts, 0, "no writer raced these batches");
 
         // A mutation dirties exactly the touched slots; the next batch
-        // repairs those, re-merges the order once, and nothing else —
-        // still no sort, no rebuild, no pool rebuild.
+        // publishes once, repairs those, re-merges the order once, and
+        // nothing else — still no sort, no rebuild, no pool rebuild.
         assert!(service.record_visit(0));
         assert!(service.update_popularity(7, 0.99));
         service.rerank_batch(&qs);
@@ -972,11 +1309,13 @@ mod tests {
         assert_eq!(mutated.shard_repairs, 2);
         assert_eq!(mutated.dirty_slots_repaired, 302);
         assert_eq!(mutated.order_merges, 2);
+        assert_eq!(mutated.version_publications, 2);
         assert_eq!(mutated.snapshot_rebuilds, 0);
         assert_eq!(mutated.full_sorts, 0);
         assert_eq!(mutated.pool_rebuilds, 0);
         assert_eq!(mutated.pool_repairs, 2);
         assert_eq!(mutated.mask_resets, 0);
+        assert_eq!(mutated.epoch_conflicts, 0);
     }
 
     #[test]
@@ -986,11 +1325,11 @@ mod tests {
         // pool derivations (mask resets), zero pool rebuilds and zero
         // complete-order merges, on the sequential and the fan-out paths
         // alike.
-        let mut service =
+        let service =
             ShardedPromotionService::new(RankPromotionEngine::recommended(), 4).with_workers(4);
         service.extend(corpus(500));
         let qs = queries(32);
-        service.rerank_batch(&qs); // absorb the warm-up repair and merge
+        service.rerank_batch(&qs); // absorb the warm-up publication
         let before = service.serve_stats();
 
         for (i, &ctx) in qs.iter().enumerate() {
@@ -1003,6 +1342,7 @@ mod tests {
         assert_eq!(after.pool_rebuilds, 0);
         assert_eq!(after.shard_repairs, before.shard_repairs);
         assert_eq!(after.order_merges, before.order_merges);
+        assert_eq!(after.version_publications, before.version_publications);
         assert_eq!(after.queries, before.queries + 64);
     }
 
@@ -1014,7 +1354,7 @@ mod tests {
         // global order, and performs exactly one candidate retrieval per
         // shard per query.
         let shards = 4u64;
-        let mut service =
+        let service =
             ShardedPromotionService::new(RankPromotionEngine::recommended(), shards as usize)
                 .with_workers(4);
         service.extend(corpus(300));
@@ -1035,14 +1375,14 @@ mod tests {
         assert_eq!(stats.snapshot_rebuilds, 0);
         assert_eq!(stats.full_sorts, 0);
         assert_eq!(stats.mask_resets, 0);
-        // Two repair events: the warm-up (300 inserted slots) and the two
-        // mutations — there is only one tier, so the top-k traffic left
-        // no deferred backlog behind.
+        // Two publications repaired dirt: the warm-up (300 inserted
+        // slots) and the two mutations — there is only one tier, so the
+        // top-k traffic left no deferred backlog behind.
         assert_eq!(stats.shard_repairs, 2);
         assert_eq!(stats.dirty_slots_repaired, 302);
 
         // The first full batch pays exactly the one deferred merge of the
-        // complete order; the tier itself is already repaired.
+        // complete order; the published version is already current.
         service.rerank_batch(&qs);
         let stats = service.serve_stats();
         assert_eq!(stats.order_merges, 1);
@@ -1054,8 +1394,9 @@ mod tests {
     fn empty_batches_skip_repair_and_fan_out() {
         // Regression for the empty-batch edge: zero queries must not
         // exercise the region-claim path (`chunk_len`/`SlotRegions` are
-        // defined over at least one slot) and must not trigger a repair.
-        let mut service =
+        // defined over at least one slot) and must not trigger a
+        // publication.
+        let service =
             ShardedPromotionService::new(RankPromotionEngine::recommended(), 3).with_workers(4);
         service.extend(corpus(50));
 
@@ -1074,10 +1415,12 @@ mod tests {
         );
         assert_eq!(stats.shard_retrievals, 0);
         assert_eq!(stats.order_merges, 0);
+        assert_eq!(stats.version_publications, 0);
 
-        // The pending warm-up dirt is repaired by the first real query.
+        // The pending warm-up dirt is published by the first real query.
         service.rerank_batch(&queries(2));
         assert_eq!(service.serve_stats().shard_repairs, 1);
+        assert_eq!(service.serve_stats().version_publications, 1);
     }
 
     #[test]
@@ -1085,8 +1428,8 @@ mod tests {
         // The Uniform rule's per-page coins require every slot, so its
         // top-k traffic reads the complete merged order — assembled from
         // the shard caches, not from any corpus-wide snapshot — and pays
-        // the merge once per repair epoch, not per query.
-        let mut service = ShardedPromotionService::new(uniform_engine(), 4).with_workers(2);
+        // the merge once per published version, not per query.
+        let service = ShardedPromotionService::new(uniform_engine(), 4).with_workers(2);
         service.extend(corpus(80));
         let qs = queries(6);
         let mut results = Vec::new();
@@ -1111,7 +1454,7 @@ mod tests {
         // The Uniform rule's pool is drawn per query — one coin per page is
         // part of the observable RNG stream — so the probe documents one
         // mask reset per query rather than pretending the scan is gone.
-        let mut service = ShardedPromotionService::new(uniform_engine(), 2).with_workers(2);
+        let service = ShardedPromotionService::new(uniform_engine(), 2).with_workers(2);
         service.extend(corpus(100));
         let qs = queries(8);
         service.rerank_batch(&qs);
@@ -1128,7 +1471,7 @@ mod tests {
 
     #[test]
     fn pooled_slots_tracks_mutations_incrementally() {
-        let mut service = ShardedPromotionService::new(RankPromotionEngine::recommended(), 3);
+        let service = ShardedPromotionService::new(RankPromotionEngine::recommended(), 3);
         service.extend(corpus(50));
         let expected: Vec<usize> = (0..50).step_by(10).collect();
         assert_eq!(service.pooled_slots(), expected.as_slice());
@@ -1142,7 +1485,7 @@ mod tests {
 
     #[test]
     fn rebuild_from_store_is_observable_but_never_changes_answers() {
-        let mut service =
+        let service =
             ShardedPromotionService::new(RankPromotionEngine::recommended(), 3).with_workers(2);
         service.extend(corpus(120));
         let qs = queries(6);
@@ -1157,16 +1500,18 @@ mod tests {
             incremental,
             "a from-scratch rebuild must reproduce the repaired state exactly"
         );
-        // The rebuild drained the dirty lists, so no lazy repair followed
-        // it — only the complete order had to re-merge.
+        // The rebuild drained the dirty lists itself, so the publication
+        // that followed charged no lazy repair — only the complete order
+        // had to re-merge for the new version.
         assert_eq!(service.serve_stats().shard_repairs, 1);
         assert_eq!(service.serve_stats().order_merges, 2);
+        assert_eq!(service.serve_stats().version_publications, 2);
     }
 
     #[test]
     fn mutations_change_answers_like_a_fresh_service() {
         let engine = RankPromotionEngine::recommended().with_seed(3);
-        let mut service = ShardedPromotionService::new(engine, 4).with_workers(2);
+        let service = ShardedPromotionService::new(engine, 4).with_workers(2);
         service.extend(corpus(120));
         let qs = queries(7);
         service.rerank_batch(&qs); // warm the incremental state
@@ -1175,7 +1520,7 @@ mod tests {
         assert!(service.update_popularity(55, 2.5));
         let incremental = service.rerank_batch(&qs);
 
-        let mut fresh = ShardedPromotionService::new(engine, 4).with_workers(2);
+        let fresh = ShardedPromotionService::new(engine, 4).with_workers(2);
         fresh.extend(service.store().snapshot());
         assert_eq!(incremental, fresh.rerank_batch(&qs));
 
@@ -1185,7 +1530,7 @@ mod tests {
     #[test]
     fn inserts_between_batches_join_the_order_incrementally() {
         let engine = RankPromotionEngine::recommended().with_seed(8);
-        let mut service = ShardedPromotionService::new(engine, 3).with_workers(3);
+        let service = ShardedPromotionService::new(engine, 3).with_workers(3);
         service.extend(corpus(90));
         let qs = queries(5);
         service.rerank_batch(&qs);
@@ -1195,7 +1540,7 @@ mod tests {
         service.insert(Document::unexplored(1_001));
         let incremental = service.rerank_batch(&qs);
 
-        let mut fresh = ShardedPromotionService::new(engine, 3).with_workers(3);
+        let fresh = ShardedPromotionService::new(engine, 3).with_workers(3);
         fresh.extend(service.store().snapshot());
         assert_eq!(incremental, fresh.rerank_batch(&qs));
         assert_eq!(service.serve_stats().snapshot_rebuilds, 0);
@@ -1205,7 +1550,7 @@ mod tests {
     #[test]
     fn top_k_equals_the_full_rerank_prefix() {
         let engine = RankPromotionEngine::recommended().with_seed(13);
-        let mut service = ShardedPromotionService::new(engine, 4).with_workers(4);
+        let service = ShardedPromotionService::new(engine, 4).with_workers(4);
         service.extend(corpus(150));
         let qs = queries(11);
         let full = service.rerank_batch(&qs);
@@ -1234,7 +1579,7 @@ mod tests {
         // The merged-order top-k path (Uniform has no retrieval route)
         // must stay bit-identical to the full rerank's prefix too.
         let engine = uniform_engine().with_seed(21);
-        let mut service = ShardedPromotionService::new(engine, 4).with_workers(4);
+        let service = ShardedPromotionService::new(engine, 4).with_workers(4);
         service.extend(corpus(150));
         let qs = queries(7);
         let full = service.rerank_batch(&qs);
@@ -1260,7 +1605,7 @@ mod tests {
 
     #[test]
     fn batch_into_reuses_result_arenas() {
-        let mut service =
+        let service =
             ShardedPromotionService::new(RankPromotionEngine::recommended(), 2).with_workers(2);
         service.extend(corpus(64));
         let qs = queries(8);
@@ -1297,13 +1642,13 @@ mod tests {
         let v2 = v1.with_version(EngineVersion::V2);
         let mut results = Vec::new();
 
-        let mut service = ShardedPromotionService::new(v1, 4).with_workers(4);
+        let service = ShardedPromotionService::new(v1, 4).with_workers(4);
         service.extend(corpus(300));
         service.rerank_batch_top_k_into(&qs, k, &mut results);
         service.rerank_top_k(qs[0], k);
         assert_eq!(service.serve_stats().pool_draws, 0, "v1 draws nothing");
 
-        let mut service = ShardedPromotionService::new(v2, 4).with_workers(4);
+        let service = ShardedPromotionService::new(v2, 4).with_workers(4);
         service.extend(corpus(300));
         service.rerank_batch_top_k_into(&qs, k, &mut results);
         let batched = service.serve_stats().pool_draws;
@@ -1321,6 +1666,89 @@ mod tests {
             0,
             "the lazy route still never scans the corpus"
         );
+    }
+
+    #[test]
+    fn top_k_zero_charges_nothing_and_publishes_no_version() {
+        // The pinned zero-rank edge: k = 0 answers from nothing, even on
+        // a service with a full mutation backlog — no publication, no
+        // repair, no retrieval, no merge.
+        let service =
+            ShardedPromotionService::new(RankPromotionEngine::recommended(), 3).with_workers(2);
+        service.extend(corpus(60));
+        assert!(service.rerank_top_k(QueryContext::new(1, 2), 0).is_empty());
+        let mut results = vec![vec![9u64]];
+        service.rerank_batch_top_k_into(&queries(4), 0, &mut results);
+        assert_eq!(results, vec![Vec::<u64>::new(); 4]);
+        let stats = service.serve_stats();
+        assert_eq!(stats.queries, 5);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.version_publications, 0, "k = 0 must not publish");
+        assert_eq!(stats.shard_repairs, 0);
+        assert_eq!(stats.shard_retrievals, 0);
+        assert_eq!(stats.order_merges, 0);
+        assert_eq!(stats.epoch_conflicts, 0);
+        // k > n is the whole full rerank (one publication, shared by both
+        // calls).
+        let full = service.rerank_one(QueryContext::new(1, 2));
+        assert_eq!(service.rerank_top_k(QueryContext::new(1, 2), 500), full);
+        assert_eq!(service.serve_stats().version_publications, 1);
+    }
+
+    #[test]
+    fn mutation_handles_are_checked_before_any_state_changes() {
+        // The seq→slot conversion is checked in one place (the store's
+        // `slot_of`); a bad handle fails closed without bumping the epoch
+        // or touching the serving tier.
+        let service = ShardedPromotionService::new(RankPromotionEngine::recommended(), 2);
+        service.extend(corpus(10));
+        let before = service.epoch();
+        assert!(!service.record_visit(u64::MAX));
+        assert!(!service.record_visit(10));
+        assert!(!service.update_popularity(10, 1.0));
+        assert!(matches!(
+            service.try_record_visit(u64::MAX),
+            Err(crate::ServeError::UnknownSequence {
+                seq: u64::MAX,
+                len: 10
+            })
+        ));
+        assert!(matches!(
+            service.try_update_popularity(10, 0.5),
+            Err(crate::ServeError::UnknownSequence { seq: 10, len: 10 })
+        ));
+        assert_eq!(
+            service.epoch(),
+            before,
+            "failed mutations must not bump the epoch"
+        );
+    }
+
+    #[test]
+    fn versioned_reads_expose_the_published_epoch() {
+        let engine = RankPromotionEngine::recommended().with_seed(4);
+        let service = ShardedPromotionService::new(engine, 3).with_workers(2);
+        assert_eq!(service.epoch(), 0);
+        service.extend(corpus(40));
+        assert_eq!(service.epoch(), 40, "every mutation bumps the epoch by one");
+        let ctx = QueryContext::new(1, 2);
+        let (epoch, ids) = service.rerank_one_versioned(ctx);
+        assert_eq!(epoch, 40);
+        assert_eq!(ids, service.rerank_one(ctx));
+        let (epoch, top) = service.rerank_top_k_versioned(ctx, 5);
+        assert_eq!(epoch, 40);
+        assert_eq!(top, ids[..5]);
+        let qs = queries(3);
+        let (epoch, batch) = service.rerank_batch_versioned(&qs);
+        assert_eq!(epoch, 40);
+        assert_eq!(batch, service.rerank_batch(&qs));
+        // A mutation advances the epoch; the next read publishes for it.
+        assert!(service.record_visit(0));
+        let (epoch, _) = service.rerank_one_versioned(ctx);
+        assert_eq!(epoch, 41);
+        let stats = service.serve_stats();
+        assert_eq!(stats.version_publications, 2);
+        assert_eq!(stats.epoch_conflicts, 0);
     }
 
     #[test]

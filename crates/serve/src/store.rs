@@ -139,11 +139,22 @@ impl ShardedStore {
         Some(*document)
     }
 
+    /// The canonical snapshot slot of sequence number `seq`, if it exists.
+    /// Sequences are dense (`0..len`), so the slot *is* the sequence — but
+    /// the `u64 → usize` conversion and the bounds check live here, once,
+    /// instead of being re-derived (or skipped) at every mutation call
+    /// site that needs to hand a store mutation to the serving tier.
+    #[inline]
+    pub fn slot_of(&self, seq: u64) -> Option<usize> {
+        let slot = usize::try_from(seq).ok()?;
+        (slot < self.placement.len()).then_some(slot)
+    }
+
     /// Find `(shard, index)` of the entry with sequence `seq` — one
     /// placement-map read, `O(1)` for every mutation instead of a binary
     /// search over every shard.
     fn locate(&self, seq: u64) -> Option<(usize, usize)> {
-        let &(shard, index) = self.placement.get(usize::try_from(seq).ok()?)?;
+        let &(shard, index) = self.placement.get(self.slot_of(seq)?)?;
         debug_assert_eq!(self.shards[shard as usize][index as usize].0, seq);
         Some((shard as usize, index as usize))
     }
@@ -351,6 +362,22 @@ mod tests {
             .collect();
         assert_eq!(snapshots[0], snapshots[1]);
         assert_eq!(snapshots[0], snapshots[2]);
+    }
+
+    #[test]
+    fn slot_of_checks_the_boundary_exactly() {
+        let mut store = ShardedStore::new(3);
+        store.extend(docs(20));
+        assert_eq!(store.slot_of(0), Some(0));
+        assert_eq!(store.slot_of(19), Some(19));
+        assert_eq!(store.slot_of(20), None, "one past the end is rejected");
+        assert_eq!(store.slot_of(u64::MAX), None, "no overflow on conversion");
+        // The slot is the sequence: mutations and lookups agree with it.
+        for seq in 0..20u64 {
+            assert_eq!(store.slot_of(seq), Some(seq as usize));
+            assert!(store.get(seq).is_some());
+        }
+        assert_eq!(ShardedStore::new(1).slot_of(0), None, "empty store");
     }
 
     #[test]

@@ -106,7 +106,7 @@ proptest! {
             for workers in GRID {
                 let (recovered, report) =
                     DurableService::open(dir.path(), engine, shards).unwrap();
-                let mut recovered = recovered.with_workers(workers);
+                let recovered = recovered.with_workers(workers);
 
                 // Nothing was torn or corrupt, so nothing may be lost,
                 // and replay covers exactly the events past the last

@@ -42,7 +42,7 @@ fn surviving_events(path: &std::path::Path) -> (Vec<WalEvent>, rrp_wal::TailStat
 
 /// The in-memory state `events` produces when applied live.
 fn live_state(events: &[WalEvent], seed: u64, shards: usize) -> ShardedPromotionService {
-    let mut service = ShardedPromotionService::new(engine(seed), shards);
+    let service = ShardedPromotionService::new(engine(seed), shards);
     for event in events {
         match *event {
             WalEvent::Insert(doc) => {
@@ -64,7 +64,7 @@ fn assert_recovers_to(
     seed: u64,
     shards: usize,
 ) {
-    let (mut recovered, _) = DurableService::open(dir.path(), engine(seed), shards).unwrap();
+    let (recovered, _) = DurableService::open(dir.path(), engine(seed), shards).unwrap();
     assert_same_corpus(&recovered.store().snapshot(), &expected.store().snapshot());
     let qs = queries(4, 0xFA);
     assert_eq!(recovered.rerank_batch(&qs), expected.rerank_batch(&qs));
@@ -148,7 +148,7 @@ fn append_failures_degrade_gracefully_and_keep_state_consistent() {
     let (durable, _) =
         DurableService::open_with_failpoint(dir.path(), engine(7), 2, failpoint.clone()).unwrap();
     let mut durable = durable.with_snapshot_every(u64::MAX);
-    let mut twin = ShardedPromotionService::new(engine(7), 2);
+    let twin = ShardedPromotionService::new(engine(7), 2);
 
     for i in 0..10u64 {
         let doc = Document::established(i, 0.9 - i as f64 * 0.05).with_age(i);
@@ -196,7 +196,7 @@ fn append_failures_degrade_gracefully_and_keep_state_consistent() {
     twin.record_visit(4);
     assert_eq!(durable.rerank_batch(&qs), twin.rerank_batch(&qs));
     drop(durable);
-    let (mut recovered, report) = DurableService::open(dir.path(), engine(7), 2).unwrap();
+    let (recovered, report) = DurableService::open(dir.path(), engine(7), 2).unwrap();
     assert_eq!(report.events_lost, 0);
     assert_eq!(report.events_replayed, 13); // 10 inserts + 3 mutations
     assert_same_corpus(&recovered.store().snapshot(), &twin.store().snapshot());
@@ -207,7 +207,7 @@ fn append_failures_degrade_gracefully_and_keep_state_consistent() {
 fn a_corrupt_snapshot_falls_back_to_full_log_replay() {
     let dir = TempDir::new("snapshot-corrupt");
     let (mut durable, _) = DurableService::open(dir.path(), engine(3), 2).unwrap();
-    let mut twin = ShardedPromotionService::new(engine(3), 2);
+    let twin = ShardedPromotionService::new(engine(3), 2);
     for i in 0..20u64 {
         let doc = Document::established(i, 1.0 - i as f64 * 0.01).with_age(i);
         durable.insert(doc).unwrap();
@@ -223,7 +223,7 @@ fn a_corrupt_snapshot_falls_back_to_full_log_replay() {
     flip_byte(&dir.snapshot_path(), len / 2).unwrap();
 
     // The log was never truncated, so recovery goes around the snapshot.
-    let (mut recovered, report) = DurableService::open(dir.path(), engine(3), 2).unwrap();
+    let (recovered, report) = DurableService::open(dir.path(), engine(3), 2).unwrap();
     assert!(report.snapshot_fallback);
     assert!(!report.snapshot_loaded);
     assert_eq!(report.events_replayed, 21, "the whole history replays");
@@ -236,7 +236,7 @@ fn a_corrupt_snapshot_falls_back_to_full_log_replay() {
 fn an_unreadable_log_header_resets_the_log_but_keeps_the_snapshot() {
     let dir = TempDir::new("bad-header");
     let (mut durable, _) = DurableService::open(dir.path(), engine(11), 2).unwrap();
-    let mut twin = ShardedPromotionService::new(engine(11), 2);
+    let twin = ShardedPromotionService::new(engine(11), 2);
     for i in 0..12u64 {
         let doc = Document::established(i, 0.8 - i as f64 * 0.02).with_age(i);
         durable.insert(doc).unwrap();
@@ -261,7 +261,7 @@ fn an_unreadable_log_header_resets_the_log_but_keeps_the_snapshot() {
     recovered.insert(doc).unwrap();
     twin.insert(doc);
     drop(recovered);
-    let (mut again, report) = DurableService::open(dir.path(), engine(11), 2).unwrap();
+    let (again, report) = DurableService::open(dir.path(), engine(11), 2).unwrap();
     assert_eq!(report.events_replayed, 1);
     assert_eq!(again.rerank_batch(&qs), twin.rerank_batch(&qs));
 }
@@ -270,7 +270,7 @@ fn an_unreadable_log_header_resets_the_log_but_keeps_the_snapshot() {
 fn a_log_cut_below_the_snapshot_mark_is_reset_and_the_snapshot_carries() {
     let dir = TempDir::new("log-behind-snapshot");
     let (mut durable, _) = DurableService::open(dir.path(), engine(5), 2).unwrap();
-    let mut twin = ShardedPromotionService::new(engine(5), 2);
+    let twin = ShardedPromotionService::new(engine(5), 2);
     for i in 0..15u64 {
         let doc = Document::established(i, 0.7 - i as f64 * 0.01).with_age(i);
         durable.insert(doc).unwrap();
@@ -296,7 +296,7 @@ fn a_log_cut_below_the_snapshot_mark_is_reset_and_the_snapshot_carries() {
     recovered.insert(doc).unwrap();
     twin.insert(doc);
     drop(recovered);
-    let (mut again, report) = DurableService::open(dir.path(), engine(5), 2).unwrap();
+    let (again, report) = DurableService::open(dir.path(), engine(5), 2).unwrap();
     assert_eq!(report.events_lost, 0);
     assert_eq!(report.events_replayed, 1);
     assert_eq!(again.rerank_batch(&qs), twin.rerank_batch(&qs));

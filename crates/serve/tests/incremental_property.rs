@@ -36,7 +36,7 @@ proptest! {
                 batch_salt += 1;
                 let qs = queries(q, batch_salt);
                 let incremental = service.rerank_batch(&qs);
-                let mut fresh = ShardedPromotionService::new(engine, 1).with_workers(1);
+                let fresh = ShardedPromotionService::new(engine, 1).with_workers(1);
                 fresh.extend(service.store().snapshot());
                 prop_assert_eq!(&incremental, &fresh.rerank_batch(&qs));
             }
@@ -50,7 +50,7 @@ proptest! {
         let incremental = service.rerank_batch(&qs);
         for shards in GRID {
             for workers in GRID {
-                let mut fresh =
+                let fresh =
                     ShardedPromotionService::new(engine, shards).with_workers(workers);
                 fresh.extend(corpus.iter().copied());
                 prop_assert_eq!(

@@ -55,7 +55,7 @@ proptest! {
                 let qs = queries(q, batch_salt);
                 let mut top = Vec::new();
                 service.rerank_batch_top_k_into(&qs, k, &mut top);
-                let mut fresh =
+                let fresh =
                     ShardedPromotionService::new(engine, 1).with_workers(1);
                 fresh.extend(service.store().snapshot());
                 let full = fresh.rerank_batch(&qs);
@@ -84,7 +84,7 @@ proptest! {
         let full = service.rerank_batch(&qs);
         for shards in GRID {
             for workers in GRID {
-                let mut fresh =
+                let fresh =
                     ShardedPromotionService::new(engine, shards).with_workers(workers);
                 fresh.extend(corpus.iter().copied());
                 for k in [1usize, 3, 10] {

@@ -59,10 +59,17 @@ fn assert_same_cache(got: &mut ShardedCorpusCache, expected: &mut ShardedCorpusC
             "popularity bits at {slot}"
         );
     }
-    // The merged order can only be (re)built on a repaired cache.
+    // The merged order lives on a published version now; publication
+    // also repairs, so only compare from an already-clean cache to keep
+    // the dirty-length probes above meaningful.
     if expected.dirty_len() == 0 {
-        assert_eq!(got.ensure_merged_order(), expected.ensure_merged_order());
-        assert_eq!(got.merged_order(), expected.merged_order());
+        let (got_version, got_charged) = got.publish(1);
+        let (expected_version, expected_charged) = expected.publish(1);
+        assert_eq!(got_charged, expected_charged);
+        let (got_order, _) = got_version.ensure_merged_order();
+        let (expected_order, _) = expected_version.ensure_merged_order();
+        assert_eq!(got_order, expected_order);
+        assert_eq!(got_version.merged_order(), expected_version.merged_order());
     }
 }
 

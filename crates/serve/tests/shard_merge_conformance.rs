@@ -124,7 +124,7 @@ proptest! {
             .collect();
         for shards in GRID {
             for workers in GRID {
-                let mut fresh =
+                let fresh =
                     ShardedPromotionService::new(engine, shards).with_workers(workers);
                 fresh.extend(corpus.iter().copied());
                 for (ki, &k) in [1usize, 4, 11].iter().enumerate() {
@@ -205,7 +205,7 @@ proptest! {
             qs.iter().map(|&ctx| engine.rerank(&corpus, ctx)).collect();
         for shards in GRID {
             for workers in GRID {
-                let mut fresh =
+                let fresh =
                     ShardedPromotionService::new(engine, shards).with_workers(workers);
                 fresh.extend(corpus.iter().copied());
                 prop_assert_eq!(

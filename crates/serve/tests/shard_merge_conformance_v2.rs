@@ -136,7 +136,7 @@ proptest! {
             .collect();
         for shards in GRID {
             for workers in GRID {
-                let mut fresh =
+                let fresh =
                     ShardedPromotionService::new(engine, shards).with_workers(workers);
                 fresh.extend(corpus.iter().copied());
                 let mut served = 0u64;

@@ -85,7 +85,7 @@ proptest! {
         let replay_dir = TempDir::new("prefix-replay-cut");
         std::fs::copy(dir.wal_path(), replay_dir.wal_path()).unwrap();
         truncate_at(&replay_dir.wal_path(), boundaries[prefix]).unwrap();
-        let (mut replayed, report) =
+        let (replayed, report) =
             DurableService::open(replay_dir.path(), engine, shards).unwrap();
         prop_assert_eq!(report.events_replayed, prefix as u64);
         prop_assert_eq!(report.events_lost, 0);

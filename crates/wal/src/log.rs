@@ -334,7 +334,12 @@ impl<R: Read> WalReader<R> {
         let stored_crc = u32::from_le_bytes(prefix[4..8].try_into().expect("4 bytes"));
         let seq = u64::from_le_bytes(prefix[8..16].try_into().expect("8 bytes"));
         if payload_len > MAX_PAYLOAD {
-            return self.finish_corrupt(FRAME_PREFIX as u64, "absurd payload length");
+            // The claimed length is garbage, so this frame's true extent
+            // is unknowable and only its 16 prefix bytes were consumed —
+            // the loss-counting walk would start inside the unread
+            // payload and reinterpret its bytes as frame prefixes. Drop
+            // the rest uncounted instead.
+            return self.finish_corrupt_unframed(FRAME_PREFIX as u64, "absurd payload length");
         }
         let mut payload = vec![0u8; payload_len as usize];
         let got = read_up_to(&mut self.src, &mut payload)?;
@@ -385,11 +390,33 @@ impl<R: Read> WalReader<R> {
         Ok(None)
     }
 
+    /// A frame whose own length prefix cannot be trusted: the stream
+    /// position is `prefix_bytes` into the bad frame and no boundary
+    /// after it is knowable, so the remaining bytes are drained and
+    /// counted as dropped while the loss count stays at its floor of 1
+    /// (the bad frame itself).
+    fn finish_corrupt_unframed(
+        &mut self,
+        prefix_bytes: u64,
+        detail: &str,
+    ) -> Result<Option<(u64, WalEvent)>, WalError> {
+        let _ = detail; // classification only; the status carries the counts
+        self.done = true;
+        let dropped = prefix_bytes + drain(&mut self.src)?;
+        self.tail = TailStatus::Corrupt {
+            first_bad_offset: self.valid_len,
+            events_lost: 1,
+            dropped_bytes: dropped,
+        };
+        Ok(None)
+    }
+
     /// A complete frame failed verification `bad_frame_len` bytes into
-    /// the tail. Count the whole frames from here to EOF (the bad one
-    /// included) by walking length prefixes — best effort: if a length
-    /// prefix itself was damaged the walk desynchronises, so the count is
-    /// a floor, never a panic.
+    /// the tail (the whole frame, prefix and payload, has been consumed,
+    /// so the stream sits on the next frame boundary). Count the whole
+    /// frames from here to EOF (the bad one included) by walking length
+    /// prefixes — best effort: if a *later* length prefix was damaged the
+    /// walk desynchronises, so the count is a floor, never a panic.
     fn finish_corrupt(
         &mut self,
         bad_frame_len: u64,
@@ -630,6 +657,61 @@ mod tests {
             tail,
             TailStatus::TornWrite {
                 dropped_bytes: bytes.len() as u64 - WAL_HEADER_LEN
+            }
+        );
+    }
+
+    #[test]
+    fn an_absurd_length_prefix_drops_the_tail_with_exact_counts() {
+        // Regression: a length prefix past MAX_PAYLOAD used to enter the
+        // frame-walking loss count with only 16 prefix bytes consumed, so
+        // the walk started inside the unread payload and reinterpreted
+        // payload bytes as frame prefixes — garbage event counts. Pinned
+        // exactly, at every frame offset: one event lost (the bad frame,
+        // whose extent is unknowable), and dropped bytes spanning from the
+        // valid prefix to EOF.
+        let bytes = sample_log();
+        let full = scan(&bytes).0;
+        let mut offset = WAL_HEADER_LEN as usize;
+        for (index, (_, event)) in full.iter().enumerate() {
+            let mut payload = Vec::new();
+            event.encode_into(&mut payload);
+            let frame_len = FRAME_PREFIX + payload.len();
+            let mut copy = bytes.clone();
+            copy[offset..offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            let (events, tail, valid) = scan(&copy);
+            assert_eq!(events[..], full[..index], "record {index}");
+            assert_eq!(valid as usize, offset, "record {index}");
+            assert_eq!(
+                tail,
+                TailStatus::Corrupt {
+                    first_bad_offset: offset as u64,
+                    events_lost: 1,
+                    dropped_bytes: (bytes.len() - offset) as u64,
+                },
+                "record {index}"
+            );
+            offset += frame_len;
+        }
+    }
+
+    #[test]
+    fn an_absurd_length_prefix_at_eof_still_counts_one_loss() {
+        // The degenerate variant: the absurd frame's prefix is the last
+        // thing in the file. Nothing to drain, still exactly one loss.
+        let bytes = sample_log();
+        let offset = WAL_HEADER_LEN as usize;
+        let mut copy = bytes[..offset + FRAME_PREFIX].to_vec();
+        copy[offset..offset + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let (events, tail, valid) = scan(&copy);
+        assert!(events.is_empty());
+        assert_eq!(valid, WAL_HEADER_LEN);
+        assert_eq!(
+            tail,
+            TailStatus::Corrupt {
+                first_bad_offset: WAL_HEADER_LEN,
+                events_lost: 1,
+                dropped_bytes: FRAME_PREFIX as u64,
             }
         );
     }

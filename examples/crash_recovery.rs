@@ -58,7 +58,7 @@ fn main() {
 
     // ── Recovery ────────────────────────────────────────────────────────
     // Snapshot + tail replay. The report says what was found on disk.
-    let (mut recovered, report) = DurableService::open(&dir, engine, 4).expect("recover");
+    let (recovered, report) = DurableService::open(&dir, engine, 4).expect("recover");
     println!("after recovery:");
     println!("  snapshot loaded   = {}", report.snapshot_loaded);
     println!("  events replayed   = {}", report.events_replayed);

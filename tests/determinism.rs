@@ -131,7 +131,7 @@ fn serve_batch_matches_sequential_engine_across_shards_and_workers() {
 
     for shards in [1usize, 2, 8] {
         for workers in [1usize, 2, 8] {
-            let mut service = ShardedPromotionService::new(engine, shards).with_workers(workers);
+            let service = ShardedPromotionService::new(engine, shards).with_workers(workers);
             service.extend(docs.iter().copied());
             assert_eq!(
                 service.rerank_batch(&queries),
@@ -165,7 +165,7 @@ fn top_k_is_the_golden_prefix_at_every_layer() {
         );
     }
     for shards in [1usize, 4] {
-        let mut service = ShardedPromotionService::new(engine, shards).with_workers(2);
+        let service = ShardedPromotionService::new(engine, shards).with_workers(2);
         service.extend(docs.iter().copied());
         for k in [1usize, 10, 30] {
             assert_eq!(
@@ -230,7 +230,7 @@ fn pooled_top_k_reproduces_the_recorded_goldens_for_all_four_policies() {
 #[test]
 fn mutate_then_serve_top_k_matches_its_golden() {
     let engine = RankPromotionEngine::recommended().with_seed(7);
-    let mut service = ShardedPromotionService::new(engine, 4).with_workers(2);
+    let service = ShardedPromotionService::new(engine, 4).with_workers(2);
     service.extend(corpus());
     service.rerank_batch(&[QueryContext::new(0, 0)]); // warm the indexes
     assert!(service.record_visit(22));
@@ -291,7 +291,7 @@ fn shard_merged_top_k_reproduces_the_recorded_goldens_for_all_four_policies() {
         let engine = engine.with_seed(7);
         let label = engine.config().label();
         for shards in [1usize, 3, 8] {
-            let mut service = ShardedPromotionService::new(engine, shards).with_workers(2);
+            let service = ShardedPromotionService::new(engine, shards).with_workers(2);
             service.extend(docs.iter().copied());
             for k in [1usize, engine.config().start_rank, 10] {
                 assert_eq!(
@@ -354,7 +354,7 @@ fn uniform_full_rerank_reproduces_its_golden_through_the_merged_order() {
     );
     for shards in [1usize, 3, 8] {
         for workers in [1usize, 2] {
-            let mut service = ShardedPromotionService::new(engine, shards).with_workers(workers);
+            let service = ShardedPromotionService::new(engine, shards).with_workers(workers);
             service.extend(docs.iter().copied());
             assert_eq!(
                 service.rerank_one(ctx),
@@ -454,7 +454,7 @@ fn shard_candidate_merge_reproduces_the_pooled_goldens() {
 fn mutate_then_merge_schedule_reproduces_its_golden_at_every_shard_count() {
     let engine = RankPromotionEngine::recommended().with_seed(7);
     for shards in [1usize, 3, 8] {
-        let mut service = ShardedPromotionService::new(engine, shards).with_workers(2);
+        let service = ShardedPromotionService::new(engine, shards).with_workers(2);
         service.extend(corpus());
         assert!(service.record_visit(22));
         assert!(service.record_visit(25));
@@ -532,7 +532,7 @@ fn v2_shard_merged_top_k_reproduces_its_recorded_goldens() {
             );
         }
         for shards in [1usize, 3, 8] {
-            let mut service = ShardedPromotionService::new(engine, shards).with_workers(2);
+            let service = ShardedPromotionService::new(engine, shards).with_workers(2);
             service.extend(docs.iter().copied());
             let mut served = 0u64;
             for k in [1usize, engine.config().start_rank, 10] {
@@ -589,7 +589,7 @@ fn v2_mutate_then_serve_matches_its_golden_at_every_shard_count() {
         .with_seed(7)
         .with_version(EngineVersion::V2);
     for shards in [1usize, 3, 8] {
-        let mut service = ShardedPromotionService::new(engine, shards).with_workers(2);
+        let service = ShardedPromotionService::new(engine, shards).with_workers(2);
         service.extend(corpus());
         service.rerank_batch(&[QueryContext::new(0, 0)]); // warm the indexes
         assert!(service.record_visit(22));
