@@ -55,9 +55,9 @@ use serde::{Deserialize, Serialize, Value};
 use std::path::{Path, PathBuf};
 
 /// File name of the log inside a durable directory.
-const WAL_FILE: &str = "wal.log";
+pub(crate) const WAL_FILE: &str = "wal.log";
 /// File name of the snapshot inside a durable directory.
-const SNAPSHOT_FILE: &str = "snapshot.bin";
+pub(crate) const SNAPSHOT_FILE: &str = "snapshot.bin";
 /// Default mutation count between automatic snapshots.
 const DEFAULT_SNAPSHOT_EVERY: u64 = 1024;
 
@@ -79,6 +79,15 @@ pub struct RecoveryReport {
     /// Bytes discarded past the log's valid prefix (torn tail, corrupt
     /// tail, or an unreadable log that had to be reset).
     pub bytes_dropped: u64,
+    /// Whether the log file had to be reset — recreated empty, with
+    /// appends resuming at the snapshot's high-water mark — because it
+    /// could not be appended to as found: an unreadable header, an
+    /// unsupported format version, or a log that ends *before* the
+    /// snapshot's mark (appending there would leave a sequence gap in
+    /// the file). The discarded bytes are counted in
+    /// [`bytes_dropped`](Self::bytes_dropped). Regression guard: the
+    /// behind-snapshot reset used to happen silently.
+    pub log_reset: bool,
 }
 
 /// [`ShardedPromotionService`] behind a write-ahead log: mutations are
@@ -124,46 +133,20 @@ impl DurableService {
         let snapshot_path = dir.join(SNAPSHOT_FILE);
         let mut report = RecoveryReport::default();
 
-        // 1. The snapshot, if one verifies. A snapshot that exists but
-        // fails its checksum is recovered *around*: the log holds the
-        // full history (snapshots never truncate it), so starting empty
-        // and replaying everything reaches the same state.
-        let mut next_event = 0u64;
-        let inner = match read_snapshot(&snapshot_path) {
-            Ok(Some(payload)) => {
-                let state = decode_snapshot(&payload, &engine, shard_count)?;
-                next_event = state.next_event;
-                report.snapshot_loaded = true;
-                ShardedPromotionService::from_parts(engine, state.store, state.shards)
-            }
-            Ok(None) => ShardedPromotionService::try_new(engine, shard_count)?,
-            Err(_) => {
-                report.snapshot_fallback = true;
-                ShardedPromotionService::try_new(engine, shard_count)?
-            }
-        };
+        // 1. The snapshot, if one verifies (shared with the replica
+        // bootstrap — see `bootstrap_snapshot`).
+        let boot = bootstrap_snapshot(&snapshot_path, engine, shard_count)?;
+        let next_event = boot.hwm;
+        let inner = boot.service;
+        report.snapshot_loaded = boot.snapshot_loaded;
+        report.snapshot_fallback = boot.snapshot_fallback;
 
         // 2–3. Replay the tail and classify how the log ends.
-        let mut replayed = 0u64;
+        let mut cursor = ReplayCursor::new(next_event);
         let mut log_state = match WalReader::open(&wal_path) {
             Ok(mut reader) => {
-                let mut first_seq = None;
                 while let Some((seq, event)) = reader.next_event().map_err(ServeError::from)? {
-                    first_seq.get_or_insert(seq);
-                    if seq >= next_event {
-                        apply_event(&inner, &event)?;
-                        replayed += 1;
-                    }
-                }
-                if let Some(first) = first_seq {
-                    if first > next_event {
-                        return Err(ServeError::Recovery {
-                            detail: format!(
-                                "log starts at event {first} but the snapshot only covers \
-                                 events before {next_event}: history is missing"
-                            ),
-                        });
-                    }
+                    cursor.offer(&inner, seq, &event)?;
                 }
                 match reader.tail() {
                     TailStatus::Clean => {}
@@ -179,7 +162,27 @@ impl DurableService {
                         report.bytes_dropped += dropped_bytes;
                     }
                 }
-                Some((reader.valid_len(), reader.next_seq().unwrap_or(0)))
+                // Where appending must resume. The reader reports the
+                // sequence one past its last verified record; a scan that
+                // yielded records but cannot say where they end would be
+                // a sequencing bug, surfaced as a typed error instead of
+                // silently restarting numbering at 0 (the old
+                // `unwrap_or(0)` swallowed it — appends would then fork
+                // the log's history at sequence 0).
+                let log_next = match (reader.next_seq(), cursor.first_seq()) {
+                    (Some(next), _) => next,
+                    (None, Some(first)) => {
+                        return Err(ServeError::Recovery {
+                            detail: format!(
+                                "log yielded records starting at event {first} but reports \
+                                 no resume sequence"
+                            ),
+                        });
+                    }
+                    // An empty valid prefix: resume at the snapshot mark.
+                    (None, None) => next_event,
+                };
+                Some((reader.valid_len(), log_next))
             }
             // No log yet: a fresh directory (or snapshot-only survivor).
             Err(WalError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
@@ -187,6 +190,7 @@ impl DurableService {
             // all. The snapshot state (possibly empty) stands; the log is
             // reset rather than appended to blindly.
             Err(WalError::BadHeader { .. }) | Err(WalError::UnsupportedVersion { .. }) => {
+                report.log_reset = true;
                 report.bytes_dropped += std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
                 None
             }
@@ -195,9 +199,13 @@ impl DurableService {
 
         // A log that ends before the snapshot's high-water mark cannot be
         // appended to at `next_event` without leaving a sequence gap in
-        // the file — reset it and let the snapshot carry the past.
-        if let Some((_, log_next)) = log_state {
+        // the file — reset it and let the snapshot carry the past. The
+        // discarded valid prefix joins whatever tail bytes were already
+        // counted, so `bytes_dropped` covers the whole file.
+        if let Some((valid_len, log_next)) = log_state {
             if log_next < next_event {
+                report.log_reset = true;
+                report.bytes_dropped += valid_len;
                 log_state = None;
             }
         }
@@ -207,16 +215,23 @@ impl DurableService {
             Some((valid_len, log_next)) => (resume_log_file(&wal_path, valid_len)?, log_next),
             None => (create_log_file(&wal_path)?, next_event),
         };
+        debug_assert!(writer_next >= next_event);
         let sink = FailpointSink::new(FileSink::new(file), failpoint);
-        let wal = WalWriter::new(Box::new(sink), writer_next.max(next_event));
+        let wal = WalWriter::new(Box::new(sink), writer_next);
 
+        let replayed = cursor.applied();
         report.events_replayed = replayed;
         let service = DurableService {
             inner,
             wal,
             snapshot_path,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
-            events_since_snapshot: 0,
+            // The snapshot on disk is `replayed` events behind the log;
+            // seeding the cadence counter keeps the next automatic
+            // snapshot on schedule. Starting at 0 here would let the
+            // replay tail grow to ~2× `snapshot_every` across repeated
+            // crashes.
+            events_since_snapshot: replayed,
             wal_appends: 0,
             snapshots_written: 0,
             events_replayed: replayed,
@@ -326,6 +341,18 @@ impl DurableService {
         Ok(())
     }
 
+    /// The leader-side replication handoff: flush the log all the way to
+    /// disk and return the sequence one past the last durable event —
+    /// the mark a follower tailing this directory can reach. After this
+    /// returns, a `ReplicaService::catch_up` over the same directory is
+    /// guaranteed to see every event below the returned mark (the frames
+    /// are fully visible to same-machine readers even before the sync;
+    /// the sync makes the handoff crash-durable).
+    pub fn sync_for_followers(&mut self) -> Result<u64, ServeError> {
+        self.wal.sync()?;
+        Ok(self.wal.next_seq())
+    }
+
     /// Reject mutations against sequences the store never issued, before
     /// they can be logged.
     fn check_seq(&self, seq: u64) -> Result<(), ServeError> {
@@ -381,6 +408,127 @@ impl DurableService {
         results: &mut Vec<Vec<u64>>,
     ) {
         self.inner.rerank_batch_top_k_into(queries, k, results)
+    }
+}
+
+/// What the snapshot half of recovery produced: the seeded service and
+/// where log replay must pick up. Shared by [`DurableService::open`] and
+/// the replica bootstrap (`crate::replica`).
+pub(crate) struct SnapshotBootstrap {
+    /// The service, seeded from the snapshot (or empty).
+    pub(crate) service: ShardedPromotionService,
+    /// The event sequence the snapshot is current through: replay
+    /// applies events at or past this mark.
+    pub(crate) hwm: u64,
+    /// Whether a verified snapshot seeded the state.
+    pub(crate) snapshot_loaded: bool,
+    /// Whether a snapshot existed but failed verification (recovery goes
+    /// around it: the log holds full history, snapshots never truncate
+    /// it).
+    pub(crate) snapshot_fallback: bool,
+}
+
+/// Load and verify the snapshot at `snapshot_path`, if one exists, and
+/// seed a service from it. A snapshot that exists but fails verification
+/// is recovered *around* — start empty, replay everything; a snapshot
+/// that verifies but belongs to a different deployment (engine, shard
+/// count) is a typed error.
+pub(crate) fn bootstrap_snapshot(
+    snapshot_path: &Path,
+    engine: RankPromotionEngine,
+    shard_count: usize,
+) -> Result<SnapshotBootstrap, ServeError> {
+    match read_snapshot(snapshot_path) {
+        Ok(Some(payload)) => {
+            let state = decode_snapshot(&payload, &engine, shard_count)?;
+            Ok(SnapshotBootstrap {
+                service: ShardedPromotionService::from_parts(engine, state.store, state.shards),
+                hwm: state.next_event,
+                snapshot_loaded: true,
+                snapshot_fallback: false,
+            })
+        }
+        Ok(None) => Ok(SnapshotBootstrap {
+            service: ShardedPromotionService::try_new(engine, shard_count)?,
+            hwm: 0,
+            snapshot_loaded: false,
+            snapshot_fallback: false,
+        }),
+        Err(_) => Ok(SnapshotBootstrap {
+            service: ShardedPromotionService::try_new(engine, shard_count)?,
+            hwm: 0,
+            snapshot_loaded: false,
+            snapshot_fallback: true,
+        }),
+    }
+}
+
+/// The resumable replay loop shared by [`DurableService::open`] and the
+/// replica: offered records below the snapshot's high-water mark are
+/// already part of the bootstrapped state and skipped; records at or
+/// past it are applied. The first record seen is checked against the
+/// mark — a log that starts *past* it is missing history, and replaying
+/// it would silently skip events.
+pub(crate) struct ReplayCursor {
+    hwm: u64,
+    first_seq: Option<u64>,
+    applied: u64,
+}
+
+impl ReplayCursor {
+    /// A cursor replaying onto state current through `hwm`.
+    pub(crate) fn new(hwm: u64) -> Self {
+        ReplayCursor {
+            hwm,
+            first_seq: None,
+            applied: 0,
+        }
+    }
+
+    /// Check the next record's place in the replay without applying it:
+    /// `Ok(true)` = past the snapshot mark (apply it, or hold it back),
+    /// `Ok(false)` = already covered by the snapshot, `Err` = the log is
+    /// missing history.
+    pub(crate) fn admit(&mut self, seq: u64) -> Result<bool, ServeError> {
+        if self.first_seq.is_none() {
+            self.first_seq = Some(seq);
+            if seq > self.hwm {
+                return Err(ServeError::Recovery {
+                    detail: format!(
+                        "log starts at event {seq} but the snapshot only covers events \
+                         before {}: history is missing",
+                        self.hwm
+                    ),
+                });
+            }
+        }
+        Ok(seq >= self.hwm)
+    }
+
+    /// Offer the next record from the log, in log order. Returns whether
+    /// it was applied (false = covered by the snapshot).
+    pub(crate) fn offer(
+        &mut self,
+        service: &ShardedPromotionService,
+        seq: u64,
+        event: &WalEvent,
+    ) -> Result<bool, ServeError> {
+        if !self.admit(seq)? {
+            return Ok(false);
+        }
+        apply_event(service, event)?;
+        self.applied += 1;
+        Ok(true)
+    }
+
+    /// Events applied so far (offers past the snapshot mark).
+    pub(crate) fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// The sequence of the first record offered, if any.
+    pub(crate) fn first_seq(&self) -> Option<u64> {
+        self.first_seq
     }
 }
 
@@ -466,7 +614,10 @@ fn decode_snapshot(
 /// Apply one replayed event. Events were validated before they were
 /// logged, so a failure here means the log and snapshot do not belong
 /// together — a typed recovery error, never a panic.
-fn apply_event(service: &ShardedPromotionService, event: &WalEvent) -> Result<(), ServeError> {
+pub(crate) fn apply_event(
+    service: &ShardedPromotionService,
+    event: &WalEvent,
+) -> Result<(), ServeError> {
     let result = match *event {
         WalEvent::Insert(document) => {
             service.insert(document);
@@ -480,4 +631,160 @@ fn apply_event(service: &ShardedPromotionService, event: &WalEvent) -> Result<()
     result.map_err(|e| ServeError::Recovery {
         detail: format!("replay could not apply {event:?}: {e}"),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrp_core::RankPromotionEngine;
+    use rrp_wal::WalReader;
+    use std::path::PathBuf;
+
+    fn engine() -> RankPromotionEngine {
+        RankPromotionEngine::recommended().with_seed(42)
+    }
+
+    /// A unique scratch directory, cleaned up on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(name: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("rrp-durable-{name}-{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            std::fs::create_dir_all(&dir).unwrap();
+            Scratch(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+
+        fn wal_path(&self) -> PathBuf {
+            self.0.join(WAL_FILE)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn doc(i: u64) -> Document {
+        Document::established(i, 0.9 - i as f64 * 0.01).with_age(i)
+    }
+
+    /// Byte length of the log's valid prefix after `events` records.
+    fn boundary_after(path: &Path, events: usize) -> u64 {
+        let mut reader = WalReader::open(path).unwrap();
+        for _ in 0..events {
+            reader.next_event().unwrap().unwrap();
+        }
+        reader.valid_len()
+    }
+
+    fn truncate_log(path: &Path, len: u64) {
+        let file = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+        file.set_len(len).unwrap();
+    }
+
+    #[test]
+    fn extend_batches_snapshot_exactly_on_cadence() {
+        let dir = Scratch::new("cadence");
+        let (svc, _) = DurableService::open(dir.path(), engine(), 2).unwrap();
+        let mut svc = svc.with_snapshot_every(4);
+        // A 10-document batch crosses the threshold twice mid-batch:
+        // snapshots fire at events 4 and 8, never doubled, never skipped.
+        svc.extend((0..10).map(doc)).unwrap();
+        assert_eq!(svc.serve_stats().snapshots_written, 2);
+        assert_eq!(svc.events_since_snapshot, 2);
+        // Two more mutations reach the threshold again, exactly once.
+        svc.insert(doc(10)).unwrap();
+        assert_eq!(svc.serve_stats().snapshots_written, 2);
+        svc.record_visit(0).unwrap();
+        assert_eq!(svc.serve_stats().snapshots_written, 3);
+        assert_eq!(svc.events_since_snapshot, 0);
+    }
+
+    #[test]
+    fn recovery_seeds_the_cadence_counter_from_the_replayed_tail() {
+        let dir = Scratch::new("cadence-recovery");
+        {
+            let (svc, _) = DurableService::open(dir.path(), engine(), 2).unwrap();
+            let mut svc = svc.with_snapshot_every(4);
+            svc.extend((0..6).map(doc)).unwrap(); // snapshot at 4, then 2 more
+            assert_eq!(svc.serve_stats().snapshots_written, 1);
+        } // crash
+        let (svc, report) = DurableService::open(dir.path(), engine(), 2).unwrap();
+        assert_eq!(report.events_replayed, 2);
+        // The snapshot on disk is 2 events behind the log; the counter
+        // says so, and the next automatic snapshot stays on the original
+        // schedule (event 8) instead of drifting to event 10.
+        assert_eq!(svc.events_since_snapshot, 2);
+        let mut svc = svc.with_snapshot_every(4);
+        svc.insert(doc(6)).unwrap();
+        assert_eq!(svc.serve_stats().snapshots_written, 0);
+        svc.insert(doc(7)).unwrap();
+        assert_eq!(svc.serve_stats().snapshots_written, 1);
+        drop(svc);
+        let (_, report) = DurableService::open(dir.path(), engine(), 2).unwrap();
+        assert_eq!(report.events_replayed, 0, "the snapshot is current again");
+    }
+
+    #[test]
+    fn a_log_behind_the_snapshot_resets_with_reported_bytes() {
+        let dir = Scratch::new("behind-snapshot");
+        {
+            let (mut svc, _) = DurableService::open(dir.path(), engine(), 2).unwrap();
+            svc.extend((0..8).map(doc)).unwrap();
+            svc.snapshot_now().unwrap(); // high-water mark 8
+        }
+        // Cut the log back to its first three events: everything it still
+        // holds is older than the snapshot's mark.
+        let keep = boundary_after(&dir.wal_path(), 3);
+        truncate_log(&dir.wal_path(), keep);
+
+        let (mut svc, report) = DurableService::open(dir.path(), engine(), 2).unwrap();
+        // Regression: this reset used to be completely silent.
+        assert!(report.log_reset);
+        assert_eq!(
+            report.bytes_dropped, keep,
+            "the whole remaining file is dropped"
+        );
+        assert_eq!(report.events_replayed, 0);
+        assert!(report.snapshot_loaded);
+        // Appending resumes at the snapshot's sequence, gap-free.
+        assert_eq!(svc.insert(doc(100)).unwrap(), 8);
+        drop(svc);
+        let (svc, report) = DurableService::open(dir.path(), engine(), 2).unwrap();
+        assert!(!report.log_reset);
+        assert_eq!(report.events_replayed, 1);
+        assert_eq!(svc.store().len(), 9);
+    }
+
+    #[test]
+    fn an_emptied_valid_prefix_resumes_at_the_snapshot_mark_without_reset() {
+        let dir = Scratch::new("empty-prefix");
+        {
+            let (mut svc, _) = DurableService::open(dir.path(), engine(), 2).unwrap();
+            svc.extend((0..5).map(doc)).unwrap();
+            svc.snapshot_now().unwrap();
+        }
+        // Cut the log to exactly its header: no records survive, but
+        // there is nothing to reset either — the empty log is kept and
+        // appends simply resume at the snapshot's mark (this used to
+        // take the silent-reset path via a defaulted sequence of 0).
+        truncate_log(&dir.wal_path(), rrp_wal::WAL_HEADER_LEN);
+
+        let (mut svc, report) = DurableService::open(dir.path(), engine(), 2).unwrap();
+        assert!(!report.log_reset);
+        assert_eq!(report.bytes_dropped, 0);
+        assert_eq!(report.events_replayed, 0);
+        assert_eq!(svc.insert(doc(50)).unwrap(), 5);
+        drop(svc);
+        let (_, report) = DurableService::open(dir.path(), engine(), 2).unwrap();
+        assert_eq!(report.events_lost, 0);
+        assert_eq!(report.events_replayed, 1);
+    }
 }

@@ -39,6 +39,13 @@
 //! [`DurableService::open`] recovers bit-identical serving state after a
 //! crash — snapshot plus tail replay, torn tails dropped cleanly, corrupt
 //! records truncated with a reported loss count ([`RecoveryReport`]).
+//! Since PR 10 the same log also fans out: a [`ReplicaService`]
+//! bootstraps from the leader's snapshot and *tails the live log*
+//! (snapshot + incremental replay between serves), giving one-writer /
+//! many-reader deployments where every replica answer is bit-identical
+//! to the leader at the applied sequence — and, via a capped
+//! [`ReplicaService::apply_up_to`], time-travel reads at any historical
+//! sequence.
 //! Bad external input (unknown sequences, zero shard counts, out-of-range
 //! shard indexes, mismatched snapshots) degrades to a typed
 //! [`ServeError`] instead of a panic.
@@ -73,10 +80,12 @@
 
 pub mod durable;
 pub mod error;
+pub mod replica;
 pub mod service;
 pub mod store;
 
 pub use durable::{DurableService, RecoveryReport};
 pub use error::ServeError;
+pub use replica::{BootstrapSource, ReplicaService, ReplicaStats};
 pub use service::{available_workers, ServeStats, ShardedPromotionService, StoreGuard};
 pub use store::ShardedStore;

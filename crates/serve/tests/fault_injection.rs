@@ -250,6 +250,7 @@ fn an_unreadable_log_header_resets_the_log_but_keeps_the_snapshot() {
 
     let (mut recovered, report) = DurableService::open(dir.path(), engine(11), 2).unwrap();
     assert!(report.snapshot_loaded);
+    assert!(report.log_reset, "the reset is reported, not silent");
     assert_eq!(report.events_replayed, 0);
     assert_eq!(report.bytes_dropped, log_len, "the unreadable log is reset");
     assert_same_corpus(&recovered.store().snapshot(), &twin.store().snapshot());
@@ -280,11 +281,16 @@ fn a_log_cut_below_the_snapshot_mark_is_reset_and_the_snapshot_carries() {
     drop(durable);
 
     // Cut the log all the way back to its header: everything it held is
-    // now *older* than the snapshot's high-water mark.
+    // now *older* than the snapshot's high-water mark. An empty log
+    // needs no reset — appends resume directly at the snapshot's mark
+    // (the reset-with-reporting path, for a log still *holding* stale
+    // events, is pinned by the durable unit tests).
     truncate_at(&dir.wal_path(), WAL_HEADER_LEN).unwrap();
 
     let (mut recovered, report) = DurableService::open(dir.path(), engine(5), 2).unwrap();
     assert!(report.snapshot_loaded);
+    assert!(!report.log_reset, "an empty log is kept, not reset");
+    assert_eq!(report.bytes_dropped, 0);
     assert_eq!(report.events_replayed, 0);
     assert_same_corpus(&recovered.store().snapshot(), &twin.store().snapshot());
     let qs = queries(4, 5);

@@ -29,6 +29,6 @@ pub mod snapshot;
 pub use crc32::{crc32, crc32_concat};
 pub use event::WalEvent;
 pub use log::{
-    create_log_file, resume_log_file, FileSink, TailStatus, WalError, WalReader, WalSink,
-    WalWriter, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION,
+    create_log_file, resume_log_file, FileSink, TailStatus, WalError, WalPoll, WalReader, WalSink,
+    WalTailReader, WalWriter, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION,
 };

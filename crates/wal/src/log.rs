@@ -32,6 +32,14 @@
 //! exactly the case the reader drops cleanly. Durability against *power*
 //! loss additionally needs [`WalWriter::sync`], which the serving tier
 //! calls at snapshot points.
+//!
+//! [`WalReader`] scans a *dead* log once and classifies its tail at EOF.
+//! For a log another process is still appending to, [`WalTailReader`]
+//! re-examines the tail on every [`poll_next_event`]
+//! ([`WalTailReader::poll_next_event`]): an incomplete frame is
+//! [`WalPoll::Pending`] ("more may arrive"), and only a *complete* frame
+//! that fails verification — which no amount of further bytes can
+//! repair — reads as corruption.
 
 use crate::crc32::crc32_concat;
 use crate::event::WalEvent;
@@ -286,25 +294,35 @@ impl WalReader<BufReader<File>> {
     }
 }
 
+/// Validate the (possibly short) header bytes read from the front of a
+/// log file — shared by the batch and tail readers.
+fn validate_header(bytes: &[u8]) -> Result<(), WalError> {
+    if bytes.len() < WAL_HEADER_LEN as usize {
+        return Err(WalError::BadHeader {
+            detail: format!(
+                "file holds {} bytes, header needs {WAL_HEADER_LEN}",
+                bytes.len()
+            ),
+        });
+    }
+    if bytes[..8] != WAL_MAGIC {
+        return Err(WalError::BadHeader {
+            detail: "magic mismatch".to_string(),
+        });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != WAL_VERSION {
+        return Err(WalError::UnsupportedVersion { found: version });
+    }
+    Ok(())
+}
+
 impl<R: Read> WalReader<R> {
     /// Wrap any byte source, validating the header first.
     pub fn from_reader(mut src: R) -> Result<Self, WalError> {
         let mut header = [0u8; WAL_HEADER_LEN as usize];
         let got = read_up_to(&mut src, &mut header)?;
-        if got < header.len() {
-            return Err(WalError::BadHeader {
-                detail: format!("file holds {got} bytes, header needs {WAL_HEADER_LEN}"),
-            });
-        }
-        if header[..8] != WAL_MAGIC {
-            return Err(WalError::BadHeader {
-                detail: "magic mismatch".to_string(),
-            });
-        }
-        let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-        if version != WAL_VERSION {
-            return Err(WalError::UnsupportedVersion { found: version });
-        }
+        validate_header(&header[..got])?;
         Ok(WalReader {
             src,
             valid_len: WAL_HEADER_LEN,
@@ -456,6 +474,138 @@ impl<R: Read> WalReader<R> {
     }
 }
 
+/// One observation of a live log's tail, from
+/// [`WalTailReader::poll_next_event`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WalPoll {
+    /// The next verified record.
+    Event {
+        /// The sequence number the record was logged under.
+        seq: u64,
+        /// The decoded event.
+        event: WalEvent,
+    },
+    /// Clean end of the visible log: every byte so far belongs to a
+    /// verified record and whatever follows (nothing, or a partial
+    /// frame) is still incomplete. On a live log more bytes may arrive —
+    /// poll again; on a quiesced one this is exactly a clean or torn
+    /// tail.
+    Pending,
+}
+
+/// A resumable reader for *live* logs: where [`WalReader`] scans a dead
+/// file once and classifies its tail at EOF, `WalTailReader` keeps the
+/// file open and re-examines the tail on every poll, so a follower can
+/// apply events while a writer is still appending to the same file.
+///
+/// The classification rules shift accordingly. Frames are appended with
+/// a single `write_all`, so a concurrently visible partial frame is
+/// always a byte-prefix of what the writer is putting there — an
+/// **incomplete** frame means "in flight, come back later"
+/// ([`WalPoll::Pending`]), never corruption. A **complete** frame that
+/// fails verification (absurd length, checksum mismatch, sequence
+/// discontinuity, undecodable payload) can never be repaired by more
+/// bytes, so it poisons the reader: that poll and every poll after it
+/// return the same [`WalError::Corrupt`]. A follower stuck there must
+/// re-bootstrap — typically after the log's owner has itself recovered
+/// and truncated the bad tail.
+pub struct WalTailReader {
+    file: File,
+    /// Bytes of verified log consumed so far: header plus every frame
+    /// yielded as an event. Each poll re-reads from here.
+    valid_len: u64,
+    expect_seq: Option<u64>,
+    payload: Vec<u8>,
+    /// Set once a complete frame fails verification: `(offset, detail)`
+    /// of the permanently bad tail.
+    poisoned: Option<(u64, String)>,
+}
+
+impl WalTailReader {
+    /// Open a log file for tailing, validating its header. A file still
+    /// too short to hold its header reads as [`WalError::BadHeader`] —
+    /// if the log is being created concurrently, retry the open.
+    pub fn open(path: &Path) -> Result<Self, WalError> {
+        let mut file = File::open(path)?;
+        let mut header = [0u8; WAL_HEADER_LEN as usize];
+        let got = read_up_to(&mut file, &mut header)?;
+        validate_header(&header[..got])?;
+        Ok(WalTailReader {
+            file,
+            valid_len: WAL_HEADER_LEN,
+            expect_seq: None,
+            payload: Vec::new(),
+            poisoned: None,
+        })
+    }
+
+    /// The next verified record if one is fully visible, or
+    /// [`WalPoll::Pending`] at the (current) end of the log. A complete
+    /// frame that fails verification is sticky: this and every later
+    /// poll return the same [`WalError::Corrupt`].
+    pub fn poll_next_event(&mut self) -> Result<WalPoll, WalError> {
+        if let Some((offset, detail)) = &self.poisoned {
+            return Err(WalError::Corrupt {
+                offset: *offset,
+                detail: detail.clone(),
+            });
+        }
+        self.file.seek(SeekFrom::Start(self.valid_len))?;
+        let mut prefix = [0u8; FRAME_PREFIX];
+        let got = read_up_to(&mut self.file, &mut prefix)?;
+        if got < FRAME_PREFIX {
+            return Ok(WalPoll::Pending);
+        }
+        let payload_len = u32::from_le_bytes(prefix[0..4].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_le_bytes(prefix[4..8].try_into().expect("4 bytes"));
+        let seq = u64::from_le_bytes(prefix[8..16].try_into().expect("8 bytes"));
+        if payload_len > MAX_PAYLOAD {
+            // Real payloads are tiny; no further bytes can shrink the
+            // claimed length back into range.
+            return self.poison("absurd payload length");
+        }
+        self.payload.resize(payload_len as usize, 0);
+        let got = read_up_to(&mut self.file, &mut self.payload)?;
+        if got < self.payload.len() {
+            return Ok(WalPoll::Pending);
+        }
+        if crc32_concat(&[&prefix[8..16], &self.payload]) != stored_crc {
+            return self.poison("checksum mismatch");
+        }
+        if let Some(expected) = self.expect_seq {
+            if seq != expected {
+                return self.poison("sequence discontinuity");
+            }
+        }
+        let Some(event) = WalEvent::decode(&self.payload) else {
+            return self.poison("undecodable event payload");
+        };
+        self.valid_len += (FRAME_PREFIX as u64) + payload_len as u64;
+        self.expect_seq = Some(seq + 1);
+        Ok(WalPoll::Event { seq, event })
+    }
+
+    /// Byte length of the verified prefix consumed so far.
+    pub fn valid_len(&self) -> u64 {
+        self.valid_len
+    }
+
+    /// The sequence number one past the last verified record, if any
+    /// record was read at all.
+    pub fn next_seq(&self) -> Option<u64> {
+        self.expect_seq
+    }
+
+    /// Mark the tail permanently bad at the current verified offset.
+    fn poison(&mut self, detail: &str) -> Result<WalPoll, WalError> {
+        self.poisoned = Some((self.valid_len, detail.to_string()));
+        Err(WalError::Corrupt {
+            offset: self.valid_len,
+            detail: detail.to_string(),
+        })
+    }
+}
+
 /// Read until `buf` is full or EOF; returns how many bytes landed.
 fn read_up_to<R: Read>(src: &mut R, buf: &mut [u8]) -> io::Result<usize> {
     let mut filled = 0;
@@ -572,7 +722,20 @@ mod tests {
     fn truncation_at_every_offset_is_torn_or_shorter_clean() {
         let bytes = sample_log();
         let full = scan(&bytes).0;
-        for cut in WAL_HEADER_LEN as usize..bytes.len() {
+        for cut in 0..bytes.len() {
+            if cut < WAL_HEADER_LEN as usize {
+                // Mid-header cuts (including a zero-byte file) cannot be
+                // scanned at all: a typed header error, never a panic and
+                // never a misread.
+                assert!(
+                    matches!(
+                        WalReader::from_reader(Cursor::new(&bytes[..cut])),
+                        Err(WalError::BadHeader { .. })
+                    ),
+                    "cut at {cut}"
+                );
+                continue;
+            }
             let (events, tail, valid) = scan(&bytes[..cut]);
             assert!(valid <= cut as u64);
             // Whatever survives is a prefix of the uncut log.
@@ -585,6 +748,16 @@ mod tests {
                 TailStatus::Corrupt { .. } => panic!("truncation can never look corrupt"),
             }
         }
+    }
+
+    #[test]
+    fn a_log_cut_at_exactly_header_length_is_clean_and_empty() {
+        // The boundary case between "bad header" and "torn frame": a file
+        // holding exactly its header is a *valid empty log*.
+        let (events, tail, valid) = scan(&header_bytes());
+        assert!(events.is_empty());
+        assert_eq!(tail, TailStatus::Clean);
+        assert_eq!(valid, WAL_HEADER_LEN);
     }
 
     #[test]
@@ -751,6 +924,257 @@ mod tests {
             WalReader::from_reader(Cursor::new(future)),
             Err(WalError::UnsupportedVersion { found: 99 })
         ));
+    }
+
+    /// Byte offsets of every frame boundary in `sample_log`: the header
+    /// end first, then the end of each frame.
+    fn sample_frame_boundaries() -> Vec<usize> {
+        let mut offsets = vec![WAL_HEADER_LEN as usize];
+        for event in sample_events() {
+            let mut payload = Vec::new();
+            event.encode_into(&mut payload);
+            offsets.push(offsets.last().unwrap() + FRAME_PREFIX + payload.len());
+        }
+        offsets
+    }
+
+    /// A structurally complete frame carrying `seq` and a zero-length
+    /// payload: valid length prefix, valid CRC (over the sequence bytes
+    /// alone — the payload contributes nothing), undecodable content.
+    fn empty_payload_frame(seq: u64) -> Vec<u8> {
+        let seq_bytes = seq.to_le_bytes();
+        let mut frame = Vec::with_capacity(FRAME_PREFIX);
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        frame.extend_from_slice(&crc32_concat(&[&seq_bytes]).to_le_bytes());
+        frame.extend_from_slice(&seq_bytes);
+        frame
+    }
+
+    /// `sample_log` plus one empty-payload frame at the end, and the
+    /// byte offset where that frame starts.
+    fn log_with_empty_payload_final_frame() -> (Vec<u8>, usize) {
+        let mut bytes = sample_log();
+        let boundary = bytes.len();
+        bytes.extend_from_slice(&empty_payload_frame(sample_events().len() as u64));
+        (bytes, boundary)
+    }
+
+    #[test]
+    fn an_empty_payload_final_frame_is_corrupt_with_exact_counts() {
+        // An empty payload passes the length and checksum gates but
+        // decodes to no event: a *complete* frame that fails
+        // verification, so the tail is corrupt — exactly one event lost,
+        // exactly the frame's sixteen prefix bytes dropped.
+        let (bytes, boundary) = log_with_empty_payload_final_frame();
+        let full = scan(&bytes[..boundary]).0;
+        let (events, tail, valid) = scan(&bytes);
+        assert_eq!(events, full);
+        assert_eq!(valid as usize, boundary);
+        assert_eq!(
+            tail,
+            TailStatus::Corrupt {
+                first_bad_offset: boundary as u64,
+                events_lost: 1,
+                dropped_bytes: FRAME_PREFIX as u64,
+            }
+        );
+    }
+
+    #[test]
+    fn every_cut_of_a_log_ending_in_an_empty_payload_frame_classifies_exactly() {
+        // Sweep *every* cut point, from the empty file through the
+        // complete log: mid-header cuts are typed header errors, interior
+        // cuts are clean or torn, partial prefixes of the empty-payload
+        // frame are torn (indistinguishable from any in-flight append),
+        // and only the complete frame reads as corrupt.
+        let (bytes, boundary) = log_with_empty_payload_final_frame();
+        let full = scan(&bytes[..boundary]).0;
+        for cut in 0..=bytes.len() {
+            if cut < WAL_HEADER_LEN as usize {
+                assert!(
+                    matches!(
+                        WalReader::from_reader(Cursor::new(&bytes[..cut])),
+                        Err(WalError::BadHeader { .. })
+                    ),
+                    "cut at {cut}"
+                );
+                continue;
+            }
+            let (events, tail, valid) = scan(&bytes[..cut]);
+            assert_eq!(events[..], full[..events.len()], "cut at {cut}");
+            if cut == bytes.len() {
+                assert_eq!(events.len(), full.len());
+                assert_eq!(valid as usize, boundary, "cut at {cut}");
+                assert_eq!(
+                    tail,
+                    TailStatus::Corrupt {
+                        first_bad_offset: boundary as u64,
+                        events_lost: 1,
+                        dropped_bytes: FRAME_PREFIX as u64,
+                    },
+                    "cut at {cut}"
+                );
+            } else if cut > boundary {
+                assert_eq!(events.len(), full.len());
+                assert_eq!(valid as usize, boundary, "cut at {cut}");
+                assert_eq!(
+                    tail,
+                    TailStatus::TornWrite {
+                        dropped_bytes: (cut - boundary) as u64
+                    },
+                    "cut at {cut}"
+                );
+            } else {
+                match tail {
+                    TailStatus::Clean => assert_eq!(valid, cut as u64, "cut at {cut}"),
+                    TailStatus::TornWrite { dropped_bytes } => {
+                        assert_eq!(valid + dropped_bytes, cut as u64, "cut at {cut}")
+                    }
+                    TailStatus::Corrupt { .. } => {
+                        panic!("truncation can never look corrupt (cut {cut})")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn an_empty_payload_frame_mid_log_counts_every_following_frame_lost() {
+        // Spliced between real frames, the empty-payload frame is the
+        // first bad record and the loss walk resynchronises on the intact
+        // frames after it: every one of them counts as lost.
+        let bytes = sample_log();
+        let full = scan(&bytes).0;
+        let bounds = sample_frame_boundaries();
+        let splice = bounds[1]; // after the first record
+        let mut copy = bytes[..splice].to_vec();
+        copy.extend_from_slice(&empty_payload_frame(1));
+        copy.extend_from_slice(&bytes[splice..]);
+        let (events, tail, valid) = scan(&copy);
+        assert_eq!(events[..], full[..1]);
+        assert_eq!(valid as usize, splice);
+        assert_eq!(
+            tail,
+            TailStatus::Corrupt {
+                first_bad_offset: splice as u64,
+                events_lost: full.len() as u64, // the empty frame + the 4 after it
+                dropped_bytes: (copy.len() - splice) as u64,
+            }
+        );
+    }
+
+    fn tail_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rrp-wal-tail-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn tail_reader_yields_events_only_as_frames_complete() {
+        // Grow the file one byte at a time, polling after every byte —
+        // the strictest version of "the replica polls while the leader is
+        // appending". Exactly the fully visible frames are yielded, never
+        // an error, never a partial read.
+        let dir = tail_dir("incremental");
+        let path = dir.join("wal.log");
+        let bytes = sample_log();
+        let bounds = sample_frame_boundaries();
+        std::fs::write(&path, &bytes[..WAL_HEADER_LEN as usize]).unwrap();
+        let mut tail = WalTailReader::open(&path).unwrap();
+        assert_eq!(tail.poll_next_event().unwrap(), WalPoll::Pending);
+
+        let full = scan(&bytes).0;
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        let mut seen = Vec::new();
+        for grow in WAL_HEADER_LEN as usize + 1..=bytes.len() {
+            file.write_all(&bytes[grow - 1..grow]).unwrap();
+            while let WalPoll::Event { seq, event } = tail.poll_next_event().unwrap() {
+                seen.push((seq, event));
+            }
+            let complete = *bounds.iter().rfind(|&&b| b <= grow).unwrap();
+            assert_eq!(tail.valid_len(), complete as u64, "grew to {grow}");
+            let visible = bounds
+                .iter()
+                .filter(|&&b| b > WAL_HEADER_LEN as usize && b <= grow);
+            assert_eq!(seen.len(), visible.count(), "grew to {grow}");
+        }
+        assert_eq!(seen, full);
+        assert_eq!(tail.next_seq(), Some(full.len() as u64));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tail_reader_poisons_on_a_complete_invalid_frame() {
+        let dir = tail_dir("poison");
+        let path = dir.join("wal.log");
+        let (bytes, boundary) = log_with_empty_payload_final_frame();
+        // Everything but the bad frame's last byte: the frame is still
+        // incomplete, so the tail is merely pending.
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        let mut tail = WalTailReader::open(&path).unwrap();
+        let mut events = 0;
+        while let WalPoll::Event { .. } = tail.poll_next_event().unwrap() {
+            events += 1;
+        }
+        assert_eq!(events, sample_events().len());
+
+        // The frame completes: sticky corruption at the frame's offset,
+        // on this poll and every poll after it.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(&bytes[bytes.len() - 1..]).unwrap();
+        for _ in 0..3 {
+            match tail.poll_next_event() {
+                Err(WalError::Corrupt { offset, .. }) => assert_eq!(offset, boundary as u64),
+                other => panic!("expected sticky corruption, got {other:?}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tail_reader_poisons_on_sequence_discontinuity() {
+        let dir = tail_dir("seq-gap");
+        let path = dir.join("wal.log");
+        let sink = MemSink::default();
+        let mut writer = WalWriter::new(Box::new(sink.clone()), 0);
+        writer.append(&WalEvent::Visit { seq: 0 }).unwrap();
+        drop(writer);
+        let mut writer = WalWriter::new(Box::new(sink.clone()), 5);
+        writer.append(&WalEvent::Visit { seq: 1 }).unwrap();
+        let mut bytes = header_bytes();
+        bytes.extend_from_slice(&sink.bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut tail = WalTailReader::open(&path).unwrap();
+        assert!(matches!(
+            tail.poll_next_event().unwrap(),
+            WalPoll::Event { seq: 0, .. }
+        ));
+        assert!(matches!(
+            tail.poll_next_event(),
+            Err(WalError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            tail.poll_next_event(),
+            Err(WalError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tail_reader_open_rejects_a_partial_header_until_it_completes() {
+        let dir = tail_dir("header");
+        let path = dir.join("wal.log");
+        std::fs::write(&path, &header_bytes()[..7]).unwrap();
+        assert!(matches!(
+            WalTailReader::open(&path),
+            Err(WalError::BadHeader { .. })
+        ));
+        // The concurrent creator finishes the header: the retry works.
+        std::fs::write(&path, header_bytes()).unwrap();
+        let mut tail = WalTailReader::open(&path).unwrap();
+        assert_eq!(tail.poll_next_event().unwrap(), WalPoll::Pending);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -19,7 +19,7 @@ use rrp_core::{Document, EngineVersion, QueryContext, RankPromotionEngine};
 use rrp_experiments::runner::SweepExecutor;
 use rrp_model::{new_rng, SeedSequence};
 use rrp_ranking::{PolicyKind, PoolIndex, PoolView, PromotionConfig, PromotionRule, RankBuffers};
-use rrp_serve::ShardedPromotionService;
+use rrp_serve::{DurableService, ReplicaService, ShardedPromotionService};
 
 fn corpus() -> Vec<Document> {
     let mut docs: Vec<Document> = (0..20)
@@ -611,6 +611,66 @@ fn v2_mutate_then_serve_matches_its_golden_at_every_shard_count() {
     }
 }
 
+/// Layer 3, time travel off the log: the documented mutation schedule is
+/// written through a durable leader (snapshots off, so the log is the
+/// full history), then fresh replicas recover it with a sequence cap at
+/// three historical marks. Each capped state is pinned to a recorded
+/// vector: event 30 is the untouched corpus (the documented full-rerank
+/// golden's prefix), event 35 is the complete schedule (the recorded
+/// mutate-then-serve golden — time travel to the end *is* recovery), and
+/// event 33 — mid-schedule, after the visits and the popularity boost but
+/// before the two inserts — has its own constant. If capped replay ever
+/// applied one event too many or too few, or replayed them out of order,
+/// one of these three vectors would shift.
+#[test]
+fn time_travel_replicas_reproduce_the_recorded_history() {
+    let dir = std::env::temp_dir().join(format!("rrp-determinism-travel-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let engine = RankPromotionEngine::recommended().with_seed(7);
+    let (leader, _) = DurableService::open(&dir, engine, 3).unwrap();
+    let mut leader = leader.with_snapshot_every(u64::MAX);
+    for doc in corpus() {
+        leader.insert(doc).unwrap(); // events 0..30
+    }
+    leader.record_visit(22).unwrap(); // event 30
+    leader.record_visit(25).unwrap(); // event 31
+    leader.update_popularity(3, 1.5).unwrap(); // event 32
+    leader
+        .insert(Document::established(40, 0.77).with_age(9))
+        .unwrap(); // event 33
+    leader.insert(Document::unexplored(41)).unwrap(); // event 34
+    let total = leader.sync_for_followers().unwrap();
+    assert_eq!(total, 35, "the documented schedule is 35 events");
+    drop(leader);
+
+    let ctx = QueryContext::new(11, 13);
+    let marks: [(u64, &[u64; 12]); 3] = [
+        (30, &GOLDEN_TIME_TRAVEL_AT_30),
+        (33, &GOLDEN_TIME_TRAVEL_AT_33),
+        (35, &GOLDEN_MUTATE_THEN_SERVE_TOP12),
+    ];
+    for (cap, golden) in marks {
+        let mut replica = ReplicaService::open(&dir, engine, 3).unwrap();
+        replica.apply_up_to(cap).unwrap();
+        let stats = replica.stats();
+        assert_eq!(stats.events_applied, cap, "capped replay stops exactly");
+        assert_eq!(stats.behind_by, total - cap, "the rest is held, not lost");
+        assert_eq!(
+            replica.rerank_top_k(ctx, 12),
+            *golden,
+            "history at event {cap}"
+        );
+    }
+    // The pre-mutation past is the documented corpus exactly.
+    assert_eq!(GOLDEN_TIME_TRAVEL_AT_30, GOLDEN_RERANK_7_11_13[..12]);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Golden outputs of `new_rng(123)`.
 const GOLDEN_RNG_123: [u64; 4] = [
     17369494502333954609,
@@ -645,6 +705,15 @@ const GOLDEN_TOP10_SELECTIVE_123: [usize; 10] = [0, 1, 28, 2, 3, 4, 5, 6, 7, 8];
 /// Golden top-12 document ids after the documented mutate-then-serve
 /// schedule (engine seed 7, `QueryContext::new(11, 13)`).
 const GOLDEN_MUTATE_THEN_SERVE_TOP12: [u64; 12] = [3, 0, 1, 2, 4, 5, 40, 6, 7, 8, 9, 10];
+
+/// Golden time-travel vectors (engine seed 7, `QueryContext::new(11, 13)`,
+/// top-12): the documented durable schedule recovered with a sequence cap
+/// at event 30 (the untouched corpus — equals the full-rerank golden's
+/// prefix) and at event 33 (after both visits and the popularity boost,
+/// before either insert). The cap-35 vector is
+/// `GOLDEN_MUTATE_THEN_SERVE_TOP12` itself.
+const GOLDEN_TIME_TRAVEL_AT_30: [u64; 12] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+const GOLDEN_TIME_TRAVEL_AT_33: [u64; 12] = [3, 0, 1, 2, 4, 5, 6, 7, 8, 9, 10, 11];
 
 /// Golden top-10 document ids over the documented corpus for the other
 /// three serving policies (engine seed 7, `QueryContext::new(11, 13)`;
